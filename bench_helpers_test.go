@@ -1,0 +1,39 @@
+package hostcc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// msTime is one millisecond of simulated time.
+const msTime = sim.Millisecond
+
+// itoa is a tiny integer formatter for benchmark sub-names.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// fmtWeight renders an EWMA weight like 1/8 as "w1_8".
+func fmtWeight(w float64) string { return fmt.Sprintf("w1_%d", int(1/w+0.5)) }
+
+// runWithHCCConfig runs the standard 3x hostCC scenario with ablation
+// overrides: weightIS (0 = default 1/8), sampleUs (signal sampling period,
+// 0 = default 2 µs) and mbaUs (MBA MSR write latency, 0 = default 22 µs).
+func runWithHCCConfig(mod func(*Options), weightIS float64, sampleUs, mbaUs int) Metrics {
+	opts := DefaultOptions()
+	opts.Degree = 3
+	opts.HostCC = true
+	opts.Warmup = benchScale.Warmup
+	opts.Measure = benchScale.Measure
+	opts.MinRTO = benchScale.ThroughputMinRTO
+	opts.SignalWeightIS = weightIS
+	if sampleUs > 0 {
+		opts.SampleInterval = sim.Time(sampleUs) * sim.Microsecond
+	}
+	if mbaUs > 0 {
+		opts.MBAWriteLatency = sim.Time(mbaUs) * sim.Microsecond
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	return Run(opts)
+}

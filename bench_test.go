@@ -1,0 +1,305 @@
+package hostcc
+
+// One benchmark per evaluation figure of the paper (the paper reports all
+// results as figures; it has no numbered tables). Each benchmark runs the
+// corresponding experiment at bench scale and reports the figure's
+// headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation. Use cmd/hostcc-bench for complete rows
+// at higher fidelity.
+
+import (
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+var benchScale = testbed.ScaleBench
+
+// report tags a metric set onto the benchmark output.
+func reportCongestion(b *testing.B, rows []CongestionRow) {
+	b.Helper()
+	for _, r := range rows {
+		if r.Degree == 3 {
+			suffix := "_baseline"
+			if r.HostCC {
+				suffix = "_hostcc"
+			}
+			b.ReportMetric(r.M.ThroughputGbps, "Gbps3x"+suffix)
+			b.ReportMetric(r.M.DropRatePct, "drop%3x"+suffix)
+		}
+	}
+}
+
+func BenchmarkFigure02_HostCongestionBaseline(b *testing.B) {
+	var rows []CongestionRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure2(benchScale)
+	}
+	reportCongestion(b, rows)
+}
+
+func BenchmarkFigure03_MTUAndFlows(b *testing.B) {
+	var rows []MTUFlowRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure3(benchScale)
+	}
+	for _, r := range rows {
+		if r.MTU == 9000 && !r.DDIO {
+			b.ReportMetric(r.M.DropRatePct, "drop%_mtu9000")
+		}
+	}
+}
+
+func BenchmarkFigure04_TailLatencyBaseline(b *testing.B) {
+	var rows []LatencyRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure4(benchScale)
+	}
+	for _, r := range rows {
+		if r.SizeBytes == 128 {
+			switch r.Scenario {
+			case "uncongested":
+				b.ReportMetric(r.P99us, "p99us_idle")
+			case "congested":
+				b.ReportMetric(r.P99us, "p99us_cong")
+				b.ReportMetric(r.P999us, "p999us_cong")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure07_SignalReadLatency(b *testing.B) {
+	var cdfs []SignalLatencyCDF
+	for i := 0; i < b.N; i++ {
+		cdfs = RunFigure7(benchScale)
+	}
+	for _, c := range cdfs {
+		name := "meanUs_idle"
+		if c.Congested {
+			name = "meanUs_congested"
+		}
+		b.ReportMetric(c.MeanUs, name)
+	}
+}
+
+func BenchmarkFigure08_SignalTimeSeries(b *testing.B) {
+	var traces []Trace
+	for i := 0; i < b.N; i++ {
+		traces = RunFigure8(benchScale)
+	}
+	b.ReportMetric(traces[0].IS.Mean(), "IS_idle")
+	b.ReportMetric(traces[1].IS.Mean(), "IS_congested")
+	b.ReportMetric(traces[1].BS.Mean(), "BSGbps_congested")
+}
+
+func BenchmarkFigure09_MBALevels(b *testing.B) {
+	var rows []MBARow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure9(benchScale)
+	}
+	for _, r := range rows {
+		if !r.DDIO && (r.Level == 0 || r.Level == 4) {
+			b.ReportMetric(r.NetGbps, "netGbps_l"+string(rune('0'+r.Level)))
+		}
+	}
+}
+
+func BenchmarkFigure10_HostCCBenefits(b *testing.B) {
+	var rows []CongestionRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure10(benchScale)
+	}
+	reportCongestion(b, rows)
+}
+
+func BenchmarkFigure11_HostCCMTUFlows(b *testing.B) {
+	var rows []MTUFlowRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure11(benchScale)
+	}
+	for _, r := range rows {
+		if r.MTU == 9000 && r.HostCC {
+			b.ReportMetric(r.M.ThroughputGbps, "Gbps_mtu9000_hostcc")
+		}
+	}
+}
+
+func BenchmarkFigure12_HostCCTailLatency(b *testing.B) {
+	var rows []LatencyRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure12(benchScale)
+	}
+	for _, r := range rows {
+		if r.SizeBytes == 128 && r.Scenario == "congested+hostcc" {
+			b.ReportMetric(r.P99us, "p99us_hostcc")
+			b.ReportMetric(r.P999us, "p999us_hostcc")
+		}
+	}
+}
+
+func BenchmarkFigure13_Incast(b *testing.B) {
+	var rows []IncastRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure13(benchScale)
+	}
+	for _, r := range rows {
+		if r.FlowsTotal == 10 && r.Degree == 3 {
+			name := "Gbps_incast2.5x_baseline"
+			if r.HostCC {
+				name = "Gbps_incast2.5x_hostcc"
+			}
+			b.ReportMetric(r.M.ThroughputGbps, name)
+		}
+	}
+}
+
+func BenchmarkFigure14_HostCCDDIO(b *testing.B) {
+	var rows []CongestionRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure14(benchScale)
+	}
+	reportCongestion(b, rows)
+}
+
+func BenchmarkFigure15_HostCCDDIOLatency(b *testing.B) {
+	var rows []LatencyRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure15(benchScale)
+	}
+	for _, r := range rows {
+		if r.SizeBytes == 128 && r.Scenario == "congested+hostcc" {
+			b.ReportMetric(r.P999us, "p999us_ddio_hostcc")
+		}
+	}
+}
+
+func BenchmarkFigure16_SensitivityBT(b *testing.B) {
+	var rows []SensitivityRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure16(benchScale)
+	}
+	for _, r := range rows {
+		if r.BTGbps == 10 || r.BTGbps == 100 {
+			b.ReportMetric(r.M.ThroughputGbps, "GbpsAtBT"+itoa(int(r.BTGbps)))
+		}
+	}
+}
+
+func BenchmarkFigure17_SensitivityIT(b *testing.B) {
+	var rows []SensitivityRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure17(benchScale)
+	}
+	for _, r := range rows {
+		if r.IT == 70 || r.IT == 90 {
+			b.ReportMetric(r.M.DropRatePct, "drop%AtIT"+itoa(int(r.IT)))
+		}
+	}
+}
+
+func BenchmarkFigure18_Ablation(b *testing.B) {
+	var rows []AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFigure18(benchScale)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.M.ThroughputGbps, "Gbps_"+r.Mode.String())
+	}
+}
+
+func BenchmarkFigure19_SteadyState(b *testing.B) {
+	var tr Trace
+	for i := 0; i < b.N; i++ {
+		tr = RunFigure19(benchScale)
+	}
+	b.ReportMetric(tr.BS.Mean(), "BSGbps_mean")
+	b.ReportMetric(tr.IS.FractionAbove(70)*100, "IS>IT_%time")
+}
+
+// --- Ablation benchmarks for hostCC design choices (§4.1, §6) ----------
+
+// BenchmarkAblationEWMAWeight sweeps the I_S filter weight: large weights
+// overreact to bursts, small weights delay the congestion response.
+func BenchmarkAblationEWMAWeight(b *testing.B) {
+	for _, w := range []float64{1.0 / 2, 1.0 / 8, 1.0 / 64} {
+		w := w
+		b.Run(fmtWeight(w), func(b *testing.B) {
+			var m Metrics
+			for i := 0; i < b.N; i++ {
+				m = runWithHCCConfig(func(o *Options) {}, w, 0, 0)
+			}
+			b.ReportMetric(m.ThroughputGbps, "Gbps")
+			b.ReportMetric(m.DropRatePct, "drop%")
+		})
+	}
+}
+
+// BenchmarkAblationSamplingInterval sweeps the signal sampling period
+// (the paper collects signals at sub-µs granularity; coarser sampling
+// delays both responses).
+func BenchmarkAblationSamplingInterval(b *testing.B) {
+	for _, us := range []int{2, 10, 50} {
+		us := us
+		b.Run(itoa(us)+"us", func(b *testing.B) {
+			var m Metrics
+			for i := 0; i < b.N; i++ {
+				m = runWithHCCConfig(func(o *Options) {}, 0, us, 0)
+			}
+			b.ReportMetric(m.ThroughputGbps, "Gbps")
+			b.ReportMetric(m.DropRatePct, "drop%")
+		})
+	}
+}
+
+// BenchmarkAblationMBAWriteLatency sweeps the MBA MSR write cost — the
+// hardware limitation §6 calls out (22 µs today; ~1 µs would enable a
+// finer-grained host-local response).
+func BenchmarkAblationMBAWriteLatency(b *testing.B) {
+	for _, us := range []int{1, 22, 100} {
+		us := us
+		b.Run(itoa(us)+"us", func(b *testing.B) {
+			var m Metrics
+			for i := 0; i < b.N; i++ {
+				m = runWithHCCConfig(func(o *Options) {}, 0, 0, us)
+			}
+			b.ReportMetric(m.ThroughputGbps, "Gbps")
+			b.ReportMetric(m.DropRatePct, "drop%")
+		})
+	}
+}
+
+// BenchmarkExtensionIOMMU runs the §6 IOMMU study: translation-induced
+// congestion that IIO occupancy cannot see.
+func BenchmarkExtensionIOMMU(b *testing.B) {
+	var rows []IOMMURow
+	for i := 0; i < b.N; i++ {
+		rows = RunIOMMUStudy(benchScale)
+	}
+	for _, r := range rows {
+		if r.IOTLBEntries == 32 {
+			b.ReportMetric(r.M.ThroughputGbps, "Gbps_thrashed")
+			b.ReportMetric(r.M.AvgIS, "IS_thrashed")
+			b.ReportMetric(r.MissRate*100, "missRate%")
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator performance: events
+// processed per second for a congested full-system run.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions()
+		opts.Degree = 3
+		opts.HostCC = true
+		opts.Warmup = 2 * msTime
+		opts.Measure = 4 * msTime
+		opts.MinRTO = 4 * msTime
+		tb := NewTestbed(opts)
+		tb.StartNetAppT()
+		tb.RunWindow()
+		b.ReportMetric(float64(tb.E.Processed), "events/op")
+	}
+}

@@ -1,0 +1,135 @@
+// Command hostcc-bench regenerates any figure of the paper's evaluation
+// and prints its rows.
+//
+// Usage:
+//
+//	hostcc-bench -fig 10 -scale quick
+//	hostcc-bench -fig all -scale default
+//
+// Figures: 2 3 4 7 8 9 10 11 12 13 14 15 16 17 18 19 (or "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	hostcc "repro"
+	"repro/internal/testbed"
+)
+
+func main() {
+	fig := flag.String("fig", "10", "figure number to regenerate, or 'all'")
+	scaleName := flag.String("scale", "quick", "experiment scale: bench, quick, default, paper")
+	flag.Parse()
+
+	scale, ok := map[string]hostcc.Scale{
+		"bench":   testbed.ScaleBench,
+		"quick":   hostcc.ScaleQuick,
+		"default": hostcc.ScaleDefault,
+		"paper":   hostcc.ScalePaper,
+	}[*scaleName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	runners := map[string]func(hostcc.Scale){
+		"2": func(s hostcc.Scale) { printRows("Figure 2 — baseline under host congestion", hostcc.RunFigure2(s)) },
+		"3": func(s hostcc.Scale) {
+			printRows("Figure 3 — MTU and flow count (baseline, 3x)", hostcc.RunFigure3(s))
+		},
+		"4":  func(s hostcc.Scale) { printRows("Figure 4 — baseline RPC tail latency", hostcc.RunFigure4(s)) },
+		"7":  func(s hostcc.Scale) { printFig7(s) },
+		"8":  func(s hostcc.Scale) { printTraces("Figure 8 — signal time series (1 ms)", hostcc.RunFigure8(s)) },
+		"9":  func(s hostcc.Scale) { printRows("Figure 9 — MBA response levels (3x)", hostcc.RunFigure9(s)) },
+		"10": func(s hostcc.Scale) { printRows("Figure 10 — DCTCP vs DCTCP+hostCC", hostcc.RunFigure10(s)) },
+		"11": func(s hostcc.Scale) {
+			printRows("Figure 11 — hostCC across MTU and flows (3x)", hostcc.RunFigure11(s))
+		},
+		"12": func(s hostcc.Scale) { printRows("Figure 12 — hostCC RPC tail latency", hostcc.RunFigure12(s)) },
+		"13": func(s hostcc.Scale) {
+			printRows("Figure 13 — incast, network +/- host congestion", hostcc.RunFigure13(s))
+		},
+		"14": func(s hostcc.Scale) { printRows("Figure 14 — hostCC with DDIO enabled", hostcc.RunFigure14(s)) },
+		"15": func(s hostcc.Scale) {
+			printRows("Figure 15 — hostCC latency with DDIO enabled", hostcc.RunFigure15(s))
+		},
+		"16": func(s hostcc.Scale) { printRows("Figure 16 — sensitivity to B_T (3x)", hostcc.RunFigure16(s)) },
+		"17": func(s hostcc.Scale) { printRows("Figure 17 — sensitivity to I_T (3x)", hostcc.RunFigure17(s)) },
+		"18": func(s hostcc.Scale) {
+			printRows("Figure 18 — ablation of hostCC's responses (3x)", hostcc.RunFigure18(s))
+		},
+		"19": func(s hostcc.Scale) { printFig19(s) },
+		"iommu": func(s hostcc.Scale) {
+			printRows("Extension — IOMMU-induced host congestion (§6)", hostcc.RunIOMMUStudy(s))
+		},
+		"futuremba": func(s hostcc.Scale) {
+			printRows("Extension — today's vs future MBA hardware (§6)", hostcc.RunFutureMBAStudy(s))
+		},
+	}
+
+	var figs []string
+	if *fig == "all" {
+		for k := range runners {
+			figs = append(figs, k)
+		}
+		sort.Slice(figs, func(i, j int) bool { return atoi(figs[i]) < atoi(figs[j]) })
+	} else {
+		figs = strings.Split(*fig, ",")
+	}
+	for _, f := range figs {
+		run, ok := runners[strings.TrimSpace(f)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+			os.Exit(2)
+		}
+		start := time.Now()
+		run(scale)
+		fmt.Printf("  [figure %s regenerated in %.1fs at scale %q]\n\n", f, time.Since(start).Seconds(), *scaleName)
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func printRows[T fmt.Stringer](title string, rows []T) {
+	fmt.Println("==", title)
+	for _, r := range rows {
+		fmt.Println("  ", r.String())
+	}
+}
+
+func printFig7(s hostcc.Scale) {
+	fmt.Println("== Figure 7 — MSR read latency CDFs (independent of congestion)")
+	for _, c := range hostcc.RunFigure7(s) {
+		fmt.Printf("   congested=%-5v mean=%.2fus max=%.2fus points=%d\n",
+			c.Congested, c.MeanUs, c.MaxUs, len(c.ValuesUs))
+	}
+}
+
+func printTraces(title string, traces []hostcc.Trace) {
+	fmt.Println("==", title)
+	for _, tr := range traces {
+		lo, hi := tr.IS.MinMax()
+		fmt.Printf("   %-20s IS mean=%5.1f min=%5.1f max=%5.1f | BS mean=%6.1fG\n",
+			tr.Label, tr.IS.Mean(), lo, hi, tr.BS.Mean())
+	}
+}
+
+func printFig19(s hostcc.Scale) {
+	tr := hostcc.RunFigure19(s)
+	fmt.Println("== Figure 19 — hostCC steady state (250 us)")
+	lo, hi := tr.Level.MinMax()
+	fmt.Printf("   BS mean=%.1fG (target 80G + PCIe overhead)\n", tr.BS.Mean())
+	fmt.Printf("   IS mean=%.1f, above I_T=70 %.0f%% of the time\n", tr.IS.Mean(), tr.IS.FractionAbove(70)*100)
+	fmt.Printf("   response level range [%.0f, %.0f]\n", lo, hi)
+}

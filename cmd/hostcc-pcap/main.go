@@ -1,0 +1,96 @@
+// Command hostcc-pcap captures the packets crossing the receiver's
+// NetFilter hook position during a short experiment and writes them as a
+// wire-format capture file (the simulator's tcpdump). It can also read a
+// capture back and print a summary.
+//
+// Usage:
+//
+//	hostcc-pcap -out run.hcp -degree 3 -hostcc -ms 5
+//	hostcc-pcap -read run.hcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hostcc "repro"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", "", "write a capture to this file")
+	read := flag.String("read", "", "read and summarize a capture file")
+	degree := flag.Float64("degree", 3, "degree of host congestion")
+	withCC := flag.Bool("hostcc", false, "enable hostCC")
+	ms := flag.Int("ms", 2, "capture window in milliseconds")
+	keep := flag.Int("keep", 100000, "max packets retained")
+	flag.Parse()
+
+	switch {
+	case *read != "":
+		summarize(*read)
+	case *out != "":
+		capture(*out, *degree, *withCC, *ms, *keep)
+	default:
+		fmt.Fprintln(os.Stderr, "need -out or -read")
+		os.Exit(2)
+	}
+}
+
+func capture(path string, degree float64, withCC bool, ms, keep int) {
+	opts := hostcc.DefaultOptions()
+	opts.Degree = degree
+	opts.HostCC = withCC
+	opts.MinRTO = 5 * sim.Millisecond
+	opts.Warmup = 25 * sim.Millisecond
+	tb := hostcc.NewTestbed(opts)
+	tb.StartNetAppT()
+
+	log := trace.NewPacketLog(tb.E, keep)
+	tb.Receiver.AddReceiveHook(log.Hook())
+
+	tb.E.RunUntil(opts.Warmup)
+	tb.MarkWindow()
+	tb.E.RunFor(sim.Time(ms) * sim.Millisecond)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if _, err := log.WriteTo(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := trace.Summarize(log.Records())
+	fmt.Printf("captured %s -> %s\n", s, path)
+	m := tb.Collect()
+	fmt.Printf("window: tput=%.1fG drop=%.4f%% IS=%.1f marked=%.1f%%\n",
+		m.ThroughputGbps, m.DropRatePct, m.AvgIS, m.MarkedPct)
+}
+
+func summarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(trace.Summarize(recs))
+	// Per-flow breakdown.
+	perFlow := map[string]int{}
+	for _, r := range recs {
+		perFlow[r.Pkt.Flow.String()]++
+	}
+	for flow, n := range perFlow {
+		fmt.Printf("  %-24s %d packets\n", flow, n)
+	}
+}

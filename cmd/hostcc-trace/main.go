@@ -1,0 +1,70 @@
+// Command hostcc-trace dumps the microscopic time-series figures (8, 18,
+// 19) as CSV files for plotting.
+//
+// Usage:
+//
+//	hostcc-trace -out /tmp/traces -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	hostcc "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	out := flag.String("out", "traces", "output directory for CSV files")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick, default, paper")
+	flag.Parse()
+
+	scale := map[string]hostcc.Scale{
+		"quick":   hostcc.ScaleQuick,
+		"default": hostcc.ScaleDefault,
+		"paper":   hostcc.ScalePaper,
+	}[*scaleName]
+	if scale.Name == "" {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	dump := func(name string, s *stats.Series) {
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := s.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	fmt.Println("Figure 8 traces (baseline, 1 ms)...")
+	for _, tr := range hostcc.RunFigure8(scale) {
+		dump("fig8_"+tr.Label+"_is", tr.IS)
+		dump("fig8_"+tr.Label+"_bs", tr.BS)
+	}
+
+	fmt.Println("Figure 18 traces (ablation, 1 ms)...")
+	for _, row := range hostcc.RunFigure18(scale) {
+		dump("fig18_"+row.Mode.String()+"_is", row.Trace.IS)
+		dump("fig18_"+row.Mode.String()+"_bs", row.Trace.BS)
+	}
+
+	fmt.Println("Figure 19 trace (steady state, 250 us)...")
+	tr := hostcc.RunFigure19(scale)
+	dump("fig19_is", tr.IS)
+	dump("fig19_bs", tr.BS)
+	dump("fig19_level", tr.Level)
+}

@@ -1,0 +1,45 @@
+// Sensitivity: hostCC has exactly two parameters — the target network
+// bandwidth B_T and the IIO occupancy threshold I_T (§5.3). This example
+// sweeps both at 3x host congestion (Figures 16 and 17).
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+
+	hostcc "repro"
+)
+
+func main() {
+	fmt.Println("B_T sweep (I_T = 70), 3x host congestion:")
+	fmt.Printf("%8s %12s %12s %10s %10s\n", "B_T", "tput(Gbps)", "drops", "memNet", "memMApp")
+	for _, bt := range []float64{20, 40, 60, 80, 100} {
+		opts := hostcc.DefaultOptions()
+		opts.Degree = 3
+		opts.HostCC = true
+		opts.BT = hostcc.Gbps(bt)
+		opts.MinRTO = 5e6
+		m := hostcc.Run(opts)
+		fmt.Printf("%7.0fG %12.1f %11.4f%% %10.2f %10.2f\n",
+			bt, m.ThroughputGbps, m.DropRatePct, m.MemUtilNet, m.MemUtilMApp)
+	}
+
+	fmt.Println()
+	fmt.Println("I_T sweep (B_T = 80G), 3x host congestion:")
+	fmt.Printf("%8s %12s %12s %10s %10s\n", "I_T", "tput(Gbps)", "drops", "memNet", "memMApp")
+	for _, it := range []float64{70, 75, 80, 85, 90} {
+		opts := hostcc.DefaultOptions()
+		opts.Degree = 3
+		opts.HostCC = true
+		opts.IT = it
+		opts.MinRTO = 5e6
+		m := hostcc.Run(opts)
+		fmt.Printf("%8.0f %12.1f %11.4f%% %10.2f %10.2f\n",
+			it, m.ThroughputGbps, m.DropRatePct, m.MemUtilNet, m.MemUtilMApp)
+	}
+
+	fmt.Println()
+	fmt.Println("Lower B_T leaves more memory bandwidth to the MApp; higher I_T")
+	fmt.Println("reacts later to congestion, trading drops for MApp bandwidth.")
+}

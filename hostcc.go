@@ -1,0 +1,143 @@
+// Package hostcc is a simulation-backed reproduction of "Host Congestion
+// Control" (Agarwal, Krishnamurthy, Agarwal — ACM SIGCOMM 2023).
+//
+// hostCC is a congestion control architecture that handles congestion
+// inside the host — in the processor, memory and peripheral interconnects
+// between the NIC and CPU/memory — in addition to classical network-fabric
+// congestion. This package is the public facade over a full discrete-event
+// model of that system:
+//
+//   - the host network datapath of the paper's Figure 1 (NIC buffer, PCIe
+//     credit-based flow control, IIO buffer, DDIO cache, memory
+//     controller),
+//   - a network fabric (links + ECN-marking switch),
+//   - a Linux-like transport (DCTCP/Reno/CUBIC/delay-based congestion
+//     control, SACK, RTO, TLP, pacing), and
+//   - the hostCC module itself: sub-µs host congestion signals read from
+//     IIO hardware counters, a sub-RTT host-local response driving Intel
+//     MBA throttle levels, and RTT-granularity ECN echo to the network
+//     congestion control protocol.
+//
+// # Quick start
+//
+//	opts := hostcc.DefaultOptions()
+//	opts.Degree = 3        // 3x host congestion (24 MApp cores)
+//	opts.HostCC = true     // enable the hostCC module
+//	m := hostcc.Run(opts)
+//	fmt.Printf("throughput %.1f Gbps, drops %.4f%%\n",
+//	        m.ThroughputGbps, m.DropRatePct)
+//
+// Every figure of the paper's evaluation has a runner (RunFigure2 …
+// RunFigure19); cmd/hostcc-bench prints their rows and the benchmarks in
+// bench_test.go regenerate them under `go test -bench`.
+package hostcc
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/transport"
+)
+
+// Re-exported experiment configuration and results.
+type (
+	// Options selects one experimental configuration (hosts, workload
+	// degree, hostCC parameters, measurement windows).
+	Options = testbed.Options
+	// Metrics summarizes one measurement window.
+	Metrics = testbed.Metrics
+	// Scale selects experiment fidelity (Quick / Default / Paper).
+	Scale = testbed.Scale
+	// Testbed is a fully constructed experiment (for advanced use:
+	// attaching custom apps, sampling mid-run).
+	Testbed = testbed.Testbed
+
+	// Row types of the per-figure runners.
+	CongestionRow    = testbed.CongestionRow
+	MTUFlowRow       = testbed.MTUFlowRow
+	LatencyRow       = testbed.LatencyRow
+	SignalLatencyCDF = testbed.SignalLatencyCDF
+	Trace            = testbed.Trace
+	MBARow           = testbed.MBARow
+	IncastRow        = testbed.IncastRow
+	SensitivityRow   = testbed.SensitivityRow
+	AblationRow      = testbed.AblationRow
+	IOMMURow         = testbed.IOMMURow
+
+	// Mode selects hostCC's active responses (ablations).
+	Mode = core.Mode
+)
+
+// hostCC response modes (Figure 18 ablation).
+const (
+	ModeFull      = core.ModeFull
+	ModeEchoOnly  = core.ModeEchoOnly
+	ModeLocalOnly = core.ModeLocalOnly
+	ModeOff       = core.ModeOff
+)
+
+// Experiment scales.
+var (
+	ScaleQuick   = testbed.ScaleQuick
+	ScaleDefault = testbed.ScaleDefault
+	ScalePaper   = testbed.ScalePaper
+)
+
+// DefaultOptions returns the paper's baseline setup: two hosts through one
+// switch, 4 DCTCP flows, 4K MTU, DDIO disabled.
+func DefaultOptions() Options { return testbed.DefaultOptions() }
+
+// NewTestbed constructs (but does not run) an experiment.
+func NewTestbed(opts Options) *Testbed { return testbed.New(opts) }
+
+// Run executes a NetApp-T throughput experiment and returns its metrics.
+func Run(opts Options) Metrics { return testbed.RunNetAppTOnly(opts) }
+
+// Congestion control factories for Options.CC — hostCC composes with any
+// of them (§4.3, §6).
+var (
+	DCTCP = transport.NewDCTCP
+	Reno  = transport.NewReno
+	Cubic = transport.NewCubic
+)
+
+// DelayCC returns a Swift-like delay-based congestion control factory
+// targeting the given RTT (the §6 extension).
+func DelayCC(target sim.Time) transport.CCFactory { return transport.NewDelayCC(target) }
+
+// Gbps converts gigabits per second into the rate type used by Options.BT.
+func Gbps(g float64) sim.Rate { return sim.Gbps(g) }
+
+// Figure runners: each regenerates the rows/series of one evaluation
+// figure. See DESIGN.md for the experiment index.
+var (
+	RunFigure2  = testbed.RunFigure2
+	RunFigure3  = testbed.RunFigure3
+	RunFigure4  = testbed.RunFigure4
+	RunFigure7  = testbed.RunFigure7
+	RunFigure8  = testbed.RunFigure8
+	RunFigure9  = testbed.RunFigure9
+	RunFigure10 = testbed.RunFigure10
+	RunFigure11 = testbed.RunFigure11
+	RunFigure12 = testbed.RunFigure12
+	RunFigure13 = testbed.RunFigure13
+	RunFigure14 = testbed.RunFigure14
+	RunFigure15 = testbed.RunFigure15
+	RunFigure16 = testbed.RunFigure16
+	RunFigure17 = testbed.RunFigure17
+	RunFigure18 = testbed.RunFigure18
+	RunFigure19 = testbed.RunFigure19
+)
+
+// RunIOMMUStudy is the §6 extension experiment: IOMMU-induced host
+// congestion degrades throughput while the IIO occupancy signal stays
+// low (hostCC's blind spot); the IOTLB miss rate identifies it instead.
+var RunIOMMUStudy = testbed.RunIOMMUStudy
+
+// RunFutureMBAStudy is the §6 "future hardware" experiment: hostCC under
+// today's coarse 22 µs MBA versus a hypothetical fine-grained 1 µs
+// mechanism.
+var RunFutureMBAStudy = testbed.RunFutureMBAStudy
+
+// FutureMBARow is one row of the future-hardware study.
+type FutureMBARow = testbed.FutureMBARow

@@ -1,0 +1,54 @@
+package hostcc
+
+import "testing"
+
+// TestFacadeSmoke exercises the public API end to end: build, run,
+// and check the headline behaviour through the facade only.
+func TestFacadeSmoke(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Degree = 3
+	opts.HostCC = true
+	opts.MinRTO = 5 * msTime
+	opts.Warmup = 25 * msTime
+	opts.Measure = 8 * msTime
+	m := Run(opts)
+	if m.ThroughputGbps < 65 || m.ThroughputGbps > 90 {
+		t.Fatalf("facade run: throughput %.1f, want near B_T=80", m.ThroughputGbps)
+	}
+	if m.MarkedPct == 0 {
+		t.Fatal("facade run: hostCC inactive")
+	}
+}
+
+func TestFacadeCustomCC(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CC = Reno()
+	opts.MinRTO = 5 * msTime
+	opts.Warmup = 15 * msTime
+	opts.Measure = 6 * msTime
+	m := Run(opts)
+	if m.ThroughputGbps < 80 {
+		t.Fatalf("Reno uncongested: %.1f Gbps", m.ThroughputGbps)
+	}
+}
+
+func TestFacadeTestbedAccess(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Warmup = 2 * msTime
+	opts.Measure = 2 * msTime
+	tb := NewTestbed(opts)
+	if tb.Receiver == nil || tb.HCC == nil {
+		t.Fatal("testbed incomplete via facade")
+	}
+	tb.StartNetAppT()
+	m := tb.RunWindow()
+	if m.WindowMicros <= 0 {
+		t.Fatal("no measurement window")
+	}
+	if DCTCP == nil || Cubic == nil || DelayCC(1000) == nil {
+		t.Fatal("cc factories missing")
+	}
+	if Gbps(80) <= 0 {
+		t.Fatal("rate helper broken")
+	}
+}

@@ -1,0 +1,183 @@
+// Package apps implements the three evaluation workloads (§2.2):
+//
+//   - NetApp-T: iperf-like throughput application — long flows, one per
+//     sender/receiver core pair.
+//   - NetApp-L: netperf-like latency application — closed-loop RPCs of a
+//     configurable size, measuring completion-time percentiles.
+//   - MApp: MLC-like host-local memory traffic (provided by
+//     host.StartMApp; this package only re-exports the knob).
+package apps
+
+import (
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// NetAppTPort is the well-known port of the throughput application.
+const NetAppTPort = 5001
+
+// NetAppLPort is the well-known port of the latency application.
+const NetAppLPort = 5002
+
+// NetAppT runs long flows from one or more senders to a receiver.
+type NetAppT struct {
+	e         *sim.Engine
+	conns     []*transport.Conn
+	recvConns []*transport.Conn
+
+	delivered stats.Meter
+}
+
+// NewNetAppT creates the throughput app with flows spread round-robin
+// over the senders, and starts them (infinite sources). Flows use
+// distinct source ports, so the receiver steers each to its own RX core.
+func NewNetAppT(e *sim.Engine, senders []*host.Host, receiver *host.Host, flows int) *NetAppT {
+	if flows <= 0 {
+		panic("apps: NetAppT needs at least one flow")
+	}
+	if len(senders) == 0 {
+		panic("apps: NetAppT needs at least one sender")
+	}
+	t := &NetAppT{e: e}
+	receiver.EP.Listen(NetAppTPort, func(c *transport.Conn) {
+		t.recvConns = append(t.recvConns, c)
+		c.OnData(func(n int) { t.delivered.Add(int64(n)) })
+	})
+	for i := 0; i < flows; i++ {
+		s := senders[i%len(senders)]
+		c := s.EP.DialFrom(uint16(20000+i), receiver.ID(), NetAppTPort)
+		c.SetInfiniteSource(true)
+		t.conns = append(t.conns, c)
+	}
+	return t
+}
+
+// Conns returns the sender-side connections.
+func (t *NetAppT) Conns() []*transport.Conn { return t.conns }
+
+// MarkWindow begins a throughput measurement window.
+func (t *NetAppT) MarkWindow() {
+	t.delivered.Mark(t.e.Now())
+	for _, c := range t.recvConns {
+		c.DeliveredData.Mark()
+	}
+}
+
+// FlowShares returns each flow's delivered bytes since the last mark,
+// for fairness analysis (Jain's index).
+func (t *NetAppT) FlowShares() []float64 {
+	shares := make([]float64, 0, len(t.recvConns))
+	for _, c := range t.recvConns {
+		shares = append(shares, float64(c.DeliveredData.SinceMark()))
+	}
+	return shares
+}
+
+// Throughput returns application goodput since the last mark.
+func (t *NetAppT) Throughput() sim.Rate {
+	return t.delivered.RateSinceMark(t.e.Now())
+}
+
+// DeliveredBytes returns total receiver-side delivered bytes.
+func (t *NetAppT) DeliveredBytes() int64 { return t.delivered.Total() }
+
+// Retransmits sums retransmissions across flows.
+func (t *NetAppT) Retransmits() int64 {
+	var n int64
+	for _, c := range t.conns {
+		n += c.Retransmits.Total()
+	}
+	return n
+}
+
+// NetAppL issues closed-loop RPCs: the client sends a Size-byte request
+// through the (possibly congested) receiver datapath; the server replies
+// with a small response. Latency is request-send to response-received —
+// the netperf TCP_RR measurement of Figures 4, 12 and 15.
+type NetAppL struct {
+	e    *sim.Engine
+	conn *transport.Conn
+
+	size     int
+	respSize int
+	maxCount int
+
+	startAt   sim.Time
+	respGot   int
+	completed int
+	recording bool
+
+	// Latency holds completion times in nanoseconds.
+	Latency *stats.Histogram
+
+	onDone func()
+}
+
+// NewNetAppL creates the latency app between client and server hosts.
+// maxCount bounds the total RPCs issued (0 = unbounded); onDone fires
+// when maxCount completes.
+func NewNetAppL(e *sim.Engine, client, server *host.Host, size int, maxCount int, onDone func()) *NetAppL {
+	if size <= 0 {
+		panic("apps: non-positive RPC size")
+	}
+	l := &NetAppL{
+		e:        e,
+		size:     size,
+		respSize: 64,
+		maxCount: maxCount,
+		Latency:  stats.NewHistogram(30),
+		onDone:   onDone,
+	}
+	server.EP.Listen(NetAppLPort, func(c *transport.Conn) {
+		reqGot := 0
+		c.OnData(func(n int) {
+			reqGot += n
+			for reqGot >= l.size {
+				reqGot -= l.size
+				c.Send(l.respSize)
+			}
+		})
+	})
+	l.conn = client.EP.DialFrom(30000, server.ID(), NetAppLPort)
+	l.conn.OnData(func(n int) { l.onResponse(n) })
+	return l
+}
+
+// Start issues the first RPC.
+func (l *NetAppL) Start() { l.issue() }
+
+// SetRecording controls whether completions are recorded (off during
+// warmup).
+func (l *NetAppL) SetRecording(on bool) { l.recording = on }
+
+// Completed returns the number of finished RPCs.
+func (l *NetAppL) Completed() int { return l.completed }
+
+// Conn exposes the client connection (timeout diagnostics).
+func (l *NetAppL) Conn() *transport.Conn { return l.conn }
+
+func (l *NetAppL) issue() {
+	if l.maxCount > 0 && l.completed >= l.maxCount {
+		if l.onDone != nil {
+			l.onDone()
+		}
+		return
+	}
+	l.startAt = l.e.Now()
+	l.respGot = 0
+	l.conn.Send(l.size)
+}
+
+func (l *NetAppL) onResponse(n int) {
+	l.respGot += n
+	if l.respGot < l.respSize {
+		return
+	}
+	l.completed++
+	if l.recording {
+		l.Latency.Add(float64(l.e.Now() - l.startAt))
+	}
+	l.issue()
+}

@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// NetAppLOpenPort is the well-known port of the open-loop latency app.
+const NetAppLOpenPort = 5003
+
+// NetAppLOpen is an open-loop variant of the latency application:
+// requests arrive as a Poisson process at a configured rate and pipeline
+// on one connection, rather than waiting for the previous response
+// (closed loop). Open-loop measurement exposes queueing collapse —
+// latency grows without bound once the system cannot keep up — which the
+// closed-loop netperf-style NetApp-L hides.
+type NetAppLOpen struct {
+	e    *sim.Engine
+	conn *connRef
+
+	size     int
+	respSize int
+	rate     float64 // requests per second
+
+	pending []sim.Time // start time of each in-flight request (FIFO)
+	respBuf int
+
+	recording bool
+
+	// Latency holds completion times in nanoseconds.
+	Latency *stats.Histogram
+	// Issued and Completed count requests.
+	Issued    stats.Counter
+	Completed stats.Counter
+}
+
+// connRef defers connection use until construction is complete.
+type connRef struct{ send func(int) }
+
+// NewNetAppLOpen creates the open-loop app issuing size-byte requests at
+// the given rate (requests/second) from client to server.
+func NewNetAppLOpen(e *sim.Engine, client, server *host.Host, size int, rate float64) *NetAppLOpen {
+	if size <= 0 {
+		panic("apps: non-positive RPC size")
+	}
+	if rate <= 0 {
+		panic("apps: non-positive arrival rate")
+	}
+	l := &NetAppLOpen{
+		e:        e,
+		size:     size,
+		respSize: 64,
+		rate:     rate,
+		Latency:  stats.NewHistogram(30),
+	}
+	server.EP.Listen(NetAppLOpenPort, func(c *transport.Conn) {
+		reqGot := 0
+		c.OnData(func(n int) {
+			reqGot += n
+			for reqGot >= l.size {
+				reqGot -= l.size
+				c.Send(l.respSize)
+			}
+		})
+	})
+	conn := client.EP.DialFrom(31000, server.ID(), NetAppLOpenPort)
+	conn.OnData(l.onResponse)
+	l.conn = &connRef{send: conn.Send}
+	return l
+}
+
+// Start begins the Poisson arrival process.
+func (l *NetAppLOpen) Start() { l.scheduleNext() }
+
+// SetRecording controls whether completions are recorded.
+func (l *NetAppLOpen) SetRecording(on bool) { l.recording = on }
+
+// InFlight returns the number of outstanding requests.
+func (l *NetAppLOpen) InFlight() int { return len(l.pending) }
+
+func (l *NetAppLOpen) scheduleNext() {
+	gap := sim.Time(l.e.Rand().ExpFloat64() / l.rate * 1e9)
+	if gap < 1 {
+		gap = 1
+	}
+	l.e.After(gap, func() {
+		l.issue()
+		l.scheduleNext()
+	})
+}
+
+func (l *NetAppLOpen) issue() {
+	l.Issued.Inc(1)
+	l.pending = append(l.pending, l.e.Now())
+	l.conn.send(l.size)
+}
+
+func (l *NetAppLOpen) onResponse(n int) {
+	l.respBuf += n
+	for l.respBuf >= l.respSize && len(l.pending) > 0 {
+		l.respBuf -= l.respSize
+		start := l.pending[0]
+		l.pending = l.pending[1:]
+		l.Completed.Inc(1)
+		if l.recording {
+			l.Latency.Add(float64(l.e.Now() - start))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTest(capacity int, pollution float64) *DDIO {
+	return New(Config{CapacityBytes: capacity, PollutionProb: pollution}, rand.New(rand.NewSource(1)))
+}
+
+func TestInsertConsumeHit(t *testing.T) {
+	d := newTest(10000, 0)
+	id, evs := d.Insert(4000)
+	if len(evs) != 0 {
+		t.Fatalf("unexpected evictions: %v", evs)
+	}
+	if d.Used() != 4000 {
+		t.Fatalf("used = %d", d.Used())
+	}
+	if !d.Consume(id, 4000) {
+		t.Fatal("expected hit")
+	}
+	if d.Used() != 0 {
+		t.Fatalf("used = %d after consume", d.Used())
+	}
+	if d.HitRate() != 1 {
+		t.Fatalf("hit rate = %v", d.HitRate())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	d := newTest(10000, 0)
+	a, _ := d.Insert(4000)
+	b, _ := d.Insert(4000)
+	_, evs := d.Insert(4000) // needs 2000 more: evicts oldest (a)
+	if len(evs) != 1 || evs[0].Owner != a || evs[0].Bytes != 4000 {
+		t.Fatalf("evictions = %+v, want owner %d", evs, a)
+	}
+	if d.Consume(a, 4000) {
+		t.Fatal("evicted entry should miss")
+	}
+	if !d.Consume(b, 4000) {
+		t.Fatal("entry b should still hit")
+	}
+}
+
+func TestOversizedEntryCannotBeCached(t *testing.T) {
+	d := newTest(1000, 0)
+	id, evs := d.Insert(5000)
+	if len(evs) != 1 || evs[0].Owner != id {
+		t.Fatalf("oversized insert should self-evict, got %+v", evs)
+	}
+	if d.Consume(id, 5000) {
+		t.Fatal("oversized entry should miss")
+	}
+	if d.Used() != 0 {
+		t.Fatalf("used = %d", d.Used())
+	}
+}
+
+func TestPollutionEvictsImmediately(t *testing.T) {
+	d := newTest(1<<20, 1.0) // always polluted
+	id, evs := d.Insert(4000)
+	if len(evs) != 1 || evs[0].Owner != id {
+		t.Fatalf("polluted insert should evict itself, got %+v", evs)
+	}
+	if d.EvictionFraction() != 1 {
+		t.Fatalf("eviction fraction = %v", d.EvictionFraction())
+	}
+}
+
+func TestPollutionRateApproximate(t *testing.T) {
+	d := newTest(1<<30, 0.1) // huge pool: only pollution evicts
+	n := 20000
+	for i := 0; i < n; i++ {
+		d.Insert(64)
+	}
+	f := d.EvictionFraction()
+	if f < 0.08 || f > 0.12 {
+		t.Fatalf("eviction fraction = %v, want ~0.1", f)
+	}
+}
+
+func TestDoubleConsumeMisses(t *testing.T) {
+	d := newTest(10000, 0)
+	id, _ := d.Insert(100)
+	if !d.Consume(id, 100) {
+		t.Fatal("first consume should hit")
+	}
+	if d.Consume(id, 100) {
+		t.Fatal("second consume should miss")
+	}
+}
+
+// Property: used bytes never exceed capacity and never go negative, under
+// arbitrary insert/consume interleavings.
+func TestOccupancyBoundsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := newTest(64*1024, 0.05)
+		var live []EntryID
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op/3) % len(live)
+				d.Consume(live[i], 1024)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				size := int(op%8192) + 1
+				id, evs := d.Insert(size)
+				gone := false
+				for _, ev := range evs {
+					for j, l := range live {
+						if l == ev.Owner {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+					if ev.Owner == id {
+						gone = true
+					}
+				}
+				if !gone {
+					live = append(live, id)
+				}
+			}
+			if d.Used() < 0 || d.Used() > d.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no capacity":   {CapacityBytes: 0, PollutionProb: 0},
+		"bad pollution": {CapacityBytes: 1, PollutionProb: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(cfg, nil)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-size insert did not panic")
+			}
+		}()
+		newTest(100, 0).Insert(0)
+	}()
+}
+
+func TestHitRateMixed(t *testing.T) {
+	d := newTest(8000, 0)
+	a, _ := d.Insert(4000)
+	b, _ := d.Insert(4000)
+	d.Insert(4000) // evicts a
+	d.Consume(a, 4000)
+	d.Consume(b, 4000)
+	if hr := d.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", hr)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCalibrateSetsThresholdFromIdleOccupancy(t *testing.T) {
+	cfg := DefaultConfig(false)
+	e, fc, _, h := newRig(t, cfg)
+	fc.setOcc(65) // DDIO-off idle occupancy
+	fc.insertAtRate(sim.Gbps(103), sim.Microsecond)
+	h.Start()
+	var chosen float64
+	h.Calibrate(500*sim.Microsecond, 1.08, func(it float64) { chosen = it })
+	e.RunUntil(1 * sim.Millisecond)
+	h.Stop()
+	// 65 x 1.08 ~ 70.2: the paper's I_T.
+	if math.Abs(chosen-70.2) > 2 {
+		t.Fatalf("calibrated I_T = %.1f, want ~70", chosen)
+	}
+	if h.IT() != chosen {
+		t.Fatalf("IT() = %.1f, chosen %.1f", h.IT(), chosen)
+	}
+	// The default policy picked up the new threshold: occupancy just
+	// below it must not be congested.
+	fc.setOcc(chosen - 3)
+	e.RunUntil(e.Now() + 100*sim.Microsecond)
+	if h.Congested() {
+		t.Fatal("below calibrated threshold should not be congested")
+	}
+}
+
+func TestCalibrateDDIOMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(true) // starts at IT=50
+	e, fc, _, h := newRig(t, cfg)
+	fc.setOcc(45) // DDIO-on idle occupancy
+	fc.insertAtRate(sim.Gbps(103), sim.Microsecond)
+	h.Start()
+	var chosen float64
+	h.Calibrate(500*sim.Microsecond, 0 /* default margin */, func(it float64) { chosen = it })
+	e.RunUntil(1 * sim.Millisecond)
+	h.Stop()
+	// 45 x 1.1 ~ 49.5 ~ the paper's DDIO I_T of 50.
+	if math.Abs(chosen-49.5) > 2 {
+		t.Fatalf("calibrated DDIO I_T = %.1f, want ~50", chosen)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	cfg := DefaultConfig(false)
+	_, _, _, h := newRig(t, cfg)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("calibrate without running sampler did not panic")
+			}
+		}()
+		h.Calibrate(100, 1.1, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetIT(0) did not panic")
+			}
+		}()
+		h.SetIT(0)
+	}()
+	h.Start()
+	defer h.Stop()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero window did not panic")
+			}
+		}()
+		h.Calibrate(0, 1.1, nil)
+	}()
+}

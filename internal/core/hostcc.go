@@ -1,0 +1,341 @@
+// Package core implements hostCC, the paper's contribution: a congestion
+// control architecture that handles host congestion alongside network
+// fabric congestion (§3, §4). It embodies the three key ideas:
+//
+//  1. Host congestion signals: IIO occupancy (I_S) and PCIe bandwidth
+//     (B_S), sampled from hardware counters at sub-µs granularity via MSR
+//     reads that are off the NIC-to-memory datapath (§3.1, §4.1).
+//
+//  2. Sub-RTT host-local congestion response: a four-regime controller
+//     (Figure 6) that allocates host resources between network traffic
+//     and host-local traffic by adjusting Intel MBA throttle levels
+//     (§3.2, §4.2).
+//
+//  3. Network resource allocation at RTT granularity: when the host is
+//     congested, hostCC CE-marks inbound packets at the NetFilter hook
+//     position, so the unmodified network congestion control protocol
+//     (e.g. DCTCP) reduces the sender's rate exactly as it would for
+//     switch congestion (§3.3, §4.3).
+//
+// The module interacts with the host only through the same interfaces the
+// ~800 LOC Linux kernel module uses: MSR reads (with realistic latency),
+// MBA MSR writes (22 µs), and a receive hook.
+package core
+
+import (
+	"repro/internal/msr"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Mode selects which hostCC responses are active; the ablation of
+// Figure 18 exercises the partial modes.
+type Mode int
+
+// Modes.
+const (
+	// ModeFull runs both the host-local response and ECN echo (default).
+	ModeFull Mode = iota
+	// ModeEchoOnly only echoes host congestion to the network CC.
+	ModeEchoOnly
+	// ModeLocalOnly only runs the host-local MBA response.
+	ModeLocalOnly
+	// ModeOff disables hostCC (signals still sampled, for measurement).
+	ModeOff
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeEchoOnly:
+		return "echo-only"
+	case ModeLocalOnly:
+		return "local-only"
+	case ModeOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// LevelController abstracts the host resource allocation mechanism
+// (implemented by cpu.MBA). RequestLevel must tolerate repeated calls and
+// account for its own write latency.
+type LevelController interface {
+	RequestLevel(l int)
+	Level() int
+	NumLevels() int
+}
+
+// Config holds hostCC's two parameters plus mechanism constants (§5:
+// "hostCC has only two parameters B_T and I_T").
+type Config struct {
+	// IT is the IIO occupancy threshold: I_S > I_T indicates host
+	// congestion. Default 70 with DDIO disabled; 50 enabled (§5, §5.2).
+	IT float64
+	// BT is the target network bandwidth (default 80 Gbps).
+	BT sim.Rate
+	// PCIeOverhead converts B_T into its on-PCIe equivalent: with 4K MTU
+	// and default TLPs the measured B_S carries ~5% overhead (§5.4
+	// compares B_S against 84 Gbps for B_T = 80 Gbps).
+	PCIeOverhead float64
+	// WeightIS and WeightBS are the signal EWMA weights (1/8 and 1/256;
+	// §4.1 discusses the aggressiveness/delay trade-off).
+	WeightIS float64
+	WeightBS float64
+	// SampleInterval is the signal sampling period. Two MSR reads cost
+	// ~1.2 µs, so the default is 2 µs — still far below the ~44 µs RTT.
+	SampleInterval sim.Time
+	// Mode selects active responses.
+	Mode Mode
+	// Policy selects the host resource allocation policy; nil uses the
+	// paper's TargetBandwidthPolicy built from IT and BT (§3.2 leaves
+	// the policy pluggable).
+	Policy Policy
+	// UseDelaySignal switches congestion detection from the occupancy
+	// threshold to the host-delay signal computed via Little's law
+	// (ℓp + ℓm ≈ I_S × cacheline / B_S), the §3.1/§6 extension that
+	// lets hostCC pair with delay-based protocols.
+	UseDelaySignal bool
+	// DT is the host-delay threshold when UseDelaySignal is set.
+	DT sim.Time
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig(ddio bool) Config {
+	it := 70.0
+	if ddio {
+		it = 50.0
+	}
+	return Config{
+		IT:             it,
+		BT:             sim.Gbps(80),
+		PCIeOverhead:   1.05,
+		WeightIS:       1.0 / 8,
+		WeightBS:       1.0 / 256,
+		SampleInterval: 2 * sim.Microsecond,
+		Mode:           ModeFull,
+	}
+}
+
+// HostCC is one host's congestion-control module.
+type HostCC struct {
+	e   *sim.Engine
+	f   *msr.File
+	mba LevelController
+	cfg Config
+
+	isEWMA *stats.EWMA
+	bsEWMA *stats.EWMA
+
+	lastROCC   uint64
+	lastROCCAt sim.Time
+	lastRINS   uint64
+	lastRINSAt sim.Time
+	seeded     bool
+
+	running bool
+
+	// ReadLatency records every MSR read's latency (Figure 7).
+	ReadLatency *stats.Histogram
+
+	// Counters.
+	MarkedPackets stats.Counter
+	Samples       stats.Counter
+	LevelRaises   stats.Counter
+	LevelDrops    stats.Counter
+}
+
+// New creates a hostCC module reading signals from f and driving mba.
+func New(e *sim.Engine, f *msr.File, mba LevelController, cfg Config) *HostCC {
+	if f == nil {
+		panic("core: nil MSR file")
+	}
+	if cfg.Mode != ModeEchoOnly && cfg.Mode != ModeOff && mba == nil {
+		panic("core: host-local response requires a level controller")
+	}
+	if cfg.WeightIS <= 0 || cfg.WeightBS <= 0 {
+		panic("core: non-positive EWMA weights")
+	}
+	if cfg.SampleInterval <= 0 {
+		panic("core: non-positive sample interval")
+	}
+	if cfg.PCIeOverhead == 0 {
+		cfg.PCIeOverhead = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = TargetBandwidthPolicy{
+			IT:      cfg.IT,
+			BTBytes: float64(cfg.BT) * cfg.PCIeOverhead,
+		}
+	}
+	if cfg.UseDelaySignal && cfg.DT <= 0 {
+		panic("core: delay signal requires a positive DT")
+	}
+	return &HostCC{
+		e:           e,
+		f:           f,
+		mba:         mba,
+		cfg:         cfg,
+		isEWMA:      stats.NewEWMA(cfg.WeightIS),
+		bsEWMA:      stats.NewEWMA(cfg.WeightBS),
+		ReadLatency: stats.NewHistogram(30),
+	}
+}
+
+// Config returns the module configuration.
+func (h *HostCC) Config() Config { return h.cfg }
+
+// Start begins signal sampling and response.
+func (h *HostCC) Start() {
+	if h.running {
+		panic("core: hostCC started twice")
+	}
+	h.running = true
+	h.sample()
+}
+
+// Stop halts sampling after the in-flight sample completes.
+func (h *HostCC) Stop() { h.running = false }
+
+// sample performs one signal collection: two dependent MSR reads (ROCC,
+// then RINS) with TSC timestamps, exactly as §4.1 describes.
+func (h *HostCC) sample() {
+	if !h.running {
+		return
+	}
+	h.f.Read(msr.IIOOccupancy, func(rocc uint64, lat sim.Time) {
+		h.ReadLatency.Add(float64(lat))
+		tRocc := h.f.ReadTSC()
+		h.f.Read(msr.IIOInsertions, func(rins uint64, lat2 sim.Time) {
+			h.ReadLatency.Add(float64(lat2))
+			tRins := h.f.ReadTSC()
+			h.ingest(rocc, tRocc, rins, tRins)
+			h.e.After(h.cfg.SampleInterval, h.sample)
+		})
+	})
+}
+
+// ingest folds one counter snapshot into the signal EWMAs and triggers
+// the response.
+func (h *HostCC) ingest(rocc uint64, tRocc sim.Time, rins uint64, tRins sim.Time) {
+	h.Samples.Inc(1)
+	if h.seeded {
+		if dt := tRocc - h.lastROCCAt; dt > 0 {
+			// Average occupancy: ΔROCC / (Δt × F_IIO), §4.1.
+			is := float64(rocc-h.lastROCC) / (dt.Seconds() * msr.FIIOHz)
+			h.isEWMA.Update(is)
+		}
+		if dt := tRins - h.lastRINSAt; dt > 0 {
+			// PCIe bandwidth: insertion rate × cacheline size.
+			bs := float64(rins-h.lastRINS) * 64 / dt.Seconds()
+			h.bsEWMA.Update(bs)
+		}
+	}
+	h.lastROCC, h.lastROCCAt = rocc, tRocc
+	h.lastRINS, h.lastRINSAt = rins, tRins
+	h.seeded = true
+	h.respond()
+}
+
+// IS returns the filtered IIO occupancy signal.
+func (h *HostCC) IS() float64 { return h.isEWMA.Value() }
+
+// BS returns the filtered PCIe bandwidth signal (bytes/sec).
+func (h *HostCC) BS() sim.Rate { return sim.Rate(h.bsEWMA.Value()) }
+
+// HostDelay estimates the NIC-to-memory delay (ℓp + ℓm) from the two
+// signals via Little's law: average occupancy divided by insertion rate
+// (§3.1). Zero when no bandwidth signal is available yet.
+func (h *HostCC) HostDelay() sim.Time {
+	bs := h.bsEWMA.Value()
+	if bs <= 0 {
+		return 0
+	}
+	// IS lines × 64 bytes each, drained at bs bytes/sec.
+	return sim.Time(h.isEWMA.Value() * 64 / bs * 1e9)
+}
+
+// Congested reports whether the host congestion signal exceeds its
+// threshold (IIO occupancy > I_T, or host delay > D_T with the delay
+// signal enabled).
+func (h *HostCC) Congested() bool {
+	if h.cfg.UseDelaySignal {
+		return h.HostDelay() > h.cfg.DT
+	}
+	return h.IS() > h.cfg.IT
+}
+
+// targetBS is B_T expressed in on-PCIe bytes (incl. TLP overhead).
+func (h *HostCC) targetBS() sim.Rate {
+	return sim.Rate(float64(h.cfg.BT) * h.cfg.PCIeOverhead)
+}
+
+// BelowTarget reports whether network traffic is under its target
+// bandwidth (B_S < B_T).
+func (h *HostCC) BelowTarget() bool { return h.BS() < h.targetBS() }
+
+// Level returns the current host-local response level.
+func (h *HostCC) Level() int {
+	if h.mba == nil {
+		return 0
+	}
+	return h.mba.Level()
+}
+
+// respond applies the configured policy (by default the four regimes of
+// Figure 6) to the current signals.
+func (h *HostCC) respond() {
+	if h.cfg.Mode == ModeOff || h.cfg.Mode == ModeEchoOnly || h.mba == nil {
+		return
+	}
+	cur := h.mba.Level()
+	act := h.cfg.Policy.Decide(Signals{
+		IS:        h.IS(),
+		BSBytes:   float64(h.BS()),
+		Level:     cur,
+		NumLevels: h.mba.NumLevels(),
+	})
+	switch act {
+	case Raise:
+		// Regime 3: reduce host-local traffic's resources (more
+		// backpressure), in addition to the ECN echo.
+		if cur+1 < h.mba.NumLevels() {
+			h.mba.RequestLevel(cur + 1)
+			h.LevelRaises.Inc(1)
+		}
+	case Lower:
+		// Regime 1: network traffic met its target and the host is not
+		// congested — return resources to host-local traffic.
+		if cur > 0 {
+			h.mba.RequestLevel(cur - 1)
+			h.LevelDrops.Inc(1)
+		}
+	case Hold:
+		// Regime 2 (congested, target met): echo only; level unchanged.
+		// Regime 4 (not congested, below target): hold, letting network
+		// traffic grow into the target before host-local traffic does.
+	}
+}
+
+// ReceiveHook returns the NetFilter-position hook implementing the ECN
+// echo: while the host congestion signal exceeds I_T, inbound ECT packets
+// are CE-marked before transport delivery, exactly as a congested switch
+// would mark them (§4.3). Packets already CE-marked by the fabric pass
+// through unchanged.
+func (h *HostCC) ReceiveHook() func(*packet.Packet) {
+	return func(p *packet.Packet) {
+		if h.cfg.Mode == ModeOff || h.cfg.Mode == ModeLocalOnly {
+			return
+		}
+		if !p.IsData() || p.ECN != packet.ECT0 {
+			return
+		}
+		if h.Congested() {
+			p.ECN = packet.CE
+			p.MarkedByHost = true
+			h.MarkedPackets.Inc(1)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SenderGuard is the sender-side host-local congestion response (§3.2):
+// it ensures outbound network traffic is not starved of host resources by
+// host-local traffic, at sub-RTT granularity. It watches the transmit
+// rate and the NIC transmit backlog; when the sender cannot sustain the
+// target bandwidth while a backlog accumulates — the signature of
+// host-local traffic crowding out transmit DMA reads — it raises the
+// host-local response level, and it returns resources once the target is
+// met again.
+type SenderGuard struct {
+	e   *sim.Engine
+	mba LevelController
+	cfg SenderGuardConfig
+
+	txBytes func() int64 // cumulative transmitted bytes
+	backlog func() int   // NIC transmit queue depth in bytes
+
+	lastBytes int64
+	lastAt    sim.Time
+	rate      *stats.EWMA
+	ticker    *sim.Ticker
+
+	// LevelRaises / LevelDrops count response actions.
+	LevelRaises stats.Counter
+	LevelDrops  stats.Counter
+}
+
+// SenderGuardConfig parameterizes the guard.
+type SenderGuardConfig struct {
+	// BT is the target transmit bandwidth.
+	BT sim.Rate
+	// BacklogThreshold is the transmit queue depth treated as starvation
+	// evidence when the rate is below target.
+	BacklogThreshold int
+	// SampleInterval is the response period.
+	SampleInterval sim.Time
+	// Weight is the transmit-rate EWMA weight.
+	Weight float64
+}
+
+// DefaultSenderGuardConfig returns defaults matching the receiver side.
+func DefaultSenderGuardConfig() SenderGuardConfig {
+	return SenderGuardConfig{
+		BT:               sim.Gbps(80),
+		BacklogThreshold: 64 * 1024,
+		SampleInterval:   2 * sim.Microsecond,
+		Weight:           1.0 / 64,
+	}
+}
+
+// NewSenderGuard creates a guard reading the transmit side via the two
+// probes. It is started immediately.
+func NewSenderGuard(e *sim.Engine, mba LevelController, cfg SenderGuardConfig, txBytes func() int64, backlog func() int) *SenderGuard {
+	if mba == nil {
+		panic("core: SenderGuard requires a level controller")
+	}
+	if txBytes == nil || backlog == nil {
+		panic("core: SenderGuard requires probes")
+	}
+	if cfg.SampleInterval <= 0 {
+		panic("core: non-positive sample interval")
+	}
+	g := &SenderGuard{
+		e:       e,
+		mba:     mba,
+		cfg:     cfg,
+		txBytes: txBytes,
+		backlog: backlog,
+		rate:    stats.NewEWMA(cfg.Weight),
+		lastAt:  e.Now(),
+	}
+	g.ticker = sim.NewTicker(e, cfg.SampleInterval, g.tick)
+	return g
+}
+
+// Stop halts the guard.
+func (g *SenderGuard) Stop() { g.ticker.Stop() }
+
+// Rate returns the filtered transmit rate.
+func (g *SenderGuard) Rate() sim.Rate { return sim.Rate(g.rate.Value()) }
+
+func (g *SenderGuard) tick() {
+	now := g.e.Now()
+	cur := g.txBytes()
+	if dt := now - g.lastAt; dt > 0 {
+		g.rate.Update(float64(cur-g.lastBytes) / dt.Seconds())
+	}
+	g.lastBytes, g.lastAt = cur, now
+
+	starved := g.Rate() < g.cfg.BT && g.backlog() > g.cfg.BacklogThreshold
+	lvl := g.mba.Level()
+	switch {
+	case starved:
+		if lvl+1 < g.mba.NumLevels() {
+			g.mba.RequestLevel(lvl + 1)
+			g.LevelRaises.Inc(1)
+		}
+	case g.Rate() >= g.cfg.BT || g.backlog() == 0:
+		if lvl > 0 {
+			g.mba.RequestLevel(lvl - 1)
+			g.LevelDrops.Inc(1)
+		}
+	}
+}

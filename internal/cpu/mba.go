@@ -1,0 +1,146 @@
+// Package cpu models the compute side of the host: the MApp cores that
+// generate host-local CPU-to-memory traffic, the Memory Bandwidth
+// Allocation (MBA) mechanism hostCC uses to backpressure them, and the
+// network RX cores whose per-packet cost is coupled to memory latency.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/msr"
+	"repro/internal/sim"
+)
+
+// Level is an MBA throttle level. Higher levels add more latency to every
+// CPU memory access that misses L2, reducing the traffic a core can
+// generate: throughput ≈ (LFB × cacheline)/per-access-latency (§4.2).
+type Level struct {
+	// Delay is added to each MApp memory request.
+	Delay sim.Time
+	// Pause stops the MApp cores entirely. The paper emulates this
+	// "level 4" with SIGSTOP because real MBA's maximum latency is not
+	// enough backpressure to reach line rate (§4.2, footnote 5).
+	Pause bool
+}
+
+// MBAConfig parameterizes the throttling mechanism.
+type MBAConfig struct {
+	// Levels is the host-local response level table, mildest first.
+	// The default 5 levels are calibrated so NetApp-T throughput at 3x
+	// congestion steps ≈40/52/70/87/98 Gbps across levels 0-4 with DDIO
+	// off — the shape of the paper's Figure 9 (43/55/65/77/~100).
+	Levels []Level
+	// WriteLatency is the time an MBA MSR write takes to retire; ~22 µs
+	// on the paper's hardware — an MBA limitation hostCC must live with
+	// (§4.2, §6).
+	WriteLatency sim.Time
+}
+
+// DefaultMBAConfig returns the paper-calibrated level table.
+func DefaultMBAConfig() MBAConfig {
+	return MBAConfig{
+		Levels: []Level{
+			{Delay: 0},
+			{Delay: 260 * sim.Nanosecond},
+			{Delay: 700 * sim.Nanosecond},
+			{Delay: 1250 * sim.Nanosecond},
+			{Pause: true},
+		},
+		WriteLatency: 22 * sim.Microsecond,
+	}
+}
+
+// MBA is the memory-bandwidth-allocation control plane for one
+// class-of-service (the MApp cores; network cores are in a separate COS
+// and never throttled, as in §4.2).
+type MBA struct {
+	e   *sim.Engine
+	cfg MBAConfig
+
+	applied  int  // level currently in force
+	target   int  // most recently requested level
+	writing  bool // MSR write in flight
+	onChange []func(old, new int)
+
+	// Writes counts MSR writes performed (ablation metric).
+	Writes int64
+}
+
+// NewMBA creates the MBA controller and registers its throttle register
+// with the MSR file (writes then carry the modeled 22 µs latency).
+func NewMBA(e *sim.Engine, f *msr.File, cfg MBAConfig) *MBA {
+	if len(cfg.Levels) == 0 {
+		panic("cpu: MBA needs at least one level")
+	}
+	m := &MBA{e: e, cfg: cfg}
+	if f != nil {
+		f.RegisterWriter(msr.MBAThrottle, cfg.WriteLatency, func(v uint64) {
+			m.apply(int(v))
+		})
+	}
+	return m
+}
+
+// NumLevels returns the number of configured response levels.
+func (m *MBA) NumLevels() int { return len(m.cfg.Levels) }
+
+// Level returns the throttle level currently in force.
+func (m *MBA) Level() int { return m.applied }
+
+// Target returns the most recently requested level.
+func (m *MBA) Target() int { return m.target }
+
+// Delay returns the added per-request latency at the current level.
+func (m *MBA) Delay() sim.Time { return m.cfg.Levels[m.applied].Delay }
+
+// Paused reports whether the current level pauses the MApp.
+func (m *MBA) Paused() bool { return m.cfg.Levels[m.applied].Pause }
+
+// OnChange registers a callback invoked whenever the applied level
+// changes (the MApp uses this to park/resume cores).
+func (m *MBA) OnChange(fn func(old, new int)) {
+	m.onChange = append(m.onChange, fn)
+}
+
+// RequestLevel asks for a level change. The change takes effect after the
+// MBA MSR write latency. Requests arriving while a write is in flight are
+// coalesced: when the write retires, the latest target is written next.
+// This serialization is exactly why the 22 µs write cost bounds hostCC's
+// host-local response granularity (§6).
+func (m *MBA) RequestLevel(l int) {
+	if l < 0 || l >= len(m.cfg.Levels) {
+		panic(fmt.Sprintf("cpu: MBA level %d out of range [0,%d)", l, len(m.cfg.Levels)))
+	}
+	m.target = l
+	if m.writing || l == m.applied {
+		return
+	}
+	m.startWrite()
+}
+
+func (m *MBA) startWrite() {
+	m.writing = true
+	m.Writes++
+	want := m.target
+	m.e.After(m.cfg.WriteLatency, func() {
+		m.writing = false
+		m.apply(want)
+		if m.target != m.applied {
+			m.startWrite()
+		}
+	})
+}
+
+func (m *MBA) apply(l int) {
+	if l < 0 || l >= len(m.cfg.Levels) {
+		panic(fmt.Sprintf("cpu: applying MBA level %d out of range", l))
+	}
+	if l == m.applied {
+		return
+	}
+	old := m.applied
+	m.applied = l
+	for _, fn := range m.onChange {
+		fn(old, l)
+	}
+}

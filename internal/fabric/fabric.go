@@ -1,0 +1,197 @@
+// Package fabric models the network between hosts: rate/latency links and
+// an output-queued switch with drop-tail buffering and ECN marking. This
+// is the "classical" congestion point; hostCC's claim is that congestion
+// signals must also come from inside the host, and Figure 13 exercises
+// both points at once.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// LinkConfig parameterizes one unidirectional link.
+type LinkConfig struct {
+	Rate  sim.Rate // serialization rate
+	Delay sim.Time // propagation delay
+	// LossProb drops each packet independently with this probability
+	// (failure injection: corrupted frames / FCS errors). Zero for the
+	// lossless datacenter links of the evaluation.
+	LossProb float64
+}
+
+// DefaultLinkConfig returns a 100 Gbps link with propagation chosen so the
+// end-to-end base RTT lands near the paper's ~44 µs (the MBA write of
+// 22 µs is "2x smaller than our network RTT", §4.2).
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{Rate: sim.Gbps(100), Delay: 9 * sim.Microsecond}
+}
+
+// Link is a serializing link (lossless unless LossProb is set).
+type Link struct {
+	e         *sim.Engine
+	cfg       LinkConfig
+	busyUntil sim.Time
+	deliver   func(*packet.Packet)
+
+	Bytes stats.Meter
+	// Corrupted counts packets dropped by injected wire loss.
+	Corrupted stats.Counter
+}
+
+// NewLink creates a link delivering packets via deliver.
+func NewLink(e *sim.Engine, cfg LinkConfig, deliver func(*packet.Packet)) *Link {
+	if cfg.Rate <= 0 {
+		panic("fabric: non-positive link rate")
+	}
+	if deliver == nil {
+		panic("fabric: nil deliver")
+	}
+	return &Link{e: e, cfg: cfg, deliver: deliver}
+}
+
+// Send serializes and propagates one packet. Queueing happens in the
+// switch (output queues) or the NIC; the link itself drops only under
+// injected wire loss.
+func (l *Link) Send(p *packet.Packet) {
+	start := max(l.e.Now(), l.busyUntil)
+	done := start + l.cfg.Rate.TimeFor(p.WireLen())
+	l.busyUntil = done
+	l.Bytes.Add(int64(p.WireLen()))
+	if l.lost() {
+		return // serialized, then discarded by the receiver's FCS check
+	}
+	l.e.At(done+l.cfg.Delay, func() { l.deliver(p) })
+}
+
+func (l *Link) lost() bool {
+	if l.cfg.LossProb > 0 && l.e.Rand().Float64() < l.cfg.LossProb {
+		l.Corrupted.Inc(1)
+		return true
+	}
+	return false
+}
+
+// QueuedTime reports how long a packet sent now would wait to serialize.
+func (l *Link) QueuedTime() sim.Time {
+	d := l.busyUntil - l.e.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// SwitchConfig parameterizes the switch.
+type SwitchConfig struct {
+	// PortBufferBytes is the per-output-port buffer (drop-tail).
+	PortBufferBytes int
+	// ECNThresholdBytes is the instantaneous queue depth above which
+	// ECN-capable packets are marked CE (DCTCP-style marking, K).
+	ECNThresholdBytes int
+}
+
+// DefaultSwitchConfig returns DCTCP-appropriate marking for 100 Gbps.
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{
+		PortBufferBytes:   1 << 20,
+		ECNThresholdBytes: 80 * 1024,
+	}
+}
+
+// Switch is an output-queued switch: one queue + serializer per attached
+// output port, keyed by destination host.
+type Switch struct {
+	e     *sim.Engine
+	cfg   SwitchConfig
+	ports map[packet.HostID]*outPort
+
+	// Drops and Marks count switch-level drops and CE marks.
+	Drops stats.Counter
+	Marks stats.Counter
+}
+
+type outPort struct {
+	sw     *Switch
+	link   *Link
+	queue  []*packet.Packet
+	qBytes int
+	busy   bool
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(e *sim.Engine, cfg SwitchConfig) *Switch {
+	if cfg.PortBufferBytes <= 0 {
+		panic("fabric: non-positive switch buffer")
+	}
+	return &Switch{e: e, cfg: cfg, ports: make(map[packet.HostID]*outPort)}
+}
+
+// AttachPort connects the output port toward host id over the given link.
+func (s *Switch) AttachPort(id packet.HostID, link *Link) {
+	if _, dup := s.ports[id]; dup {
+		panic(fmt.Sprintf("fabric: duplicate port for host %d", id))
+	}
+	s.ports[id] = &outPort{sw: s, link: link}
+}
+
+// Inject delivers a packet into the switch (from an ingress link).
+func (s *Switch) Inject(p *packet.Packet) {
+	port, ok := s.ports[p.Flow.Dst]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no route to host %d", p.Flow.Dst))
+	}
+	port.enqueue(p)
+}
+
+func (o *outPort) enqueue(p *packet.Packet) {
+	if o.qBytes+p.WireLen() > o.sw.cfg.PortBufferBytes {
+		o.sw.Drops.Inc(1)
+		return
+	}
+	// DCTCP marking: mark on instantaneous queue depth at enqueue.
+	if o.qBytes > o.sw.cfg.ECNThresholdBytes && p.ECN == packet.ECT0 {
+		p.ECN = packet.CE
+		o.sw.Marks.Inc(1)
+	}
+	o.queue = append(o.queue, p)
+	o.qBytes += p.WireLen()
+	o.pump()
+}
+
+func (o *outPort) pump() {
+	if o.busy || len(o.queue) == 0 {
+		return
+	}
+	o.busy = true
+	p := o.queue[0]
+	o.queue = o.queue[1:]
+	o.qBytes -= p.WireLen()
+	// Hold the serializer for the packet's own transmission time, then
+	// hand it to the link (which adds propagation).
+	o.sw.e.After(o.link.cfg.Rate.TimeFor(p.WireLen()), func() {
+		o.link.deliver2(p)
+		o.busy = false
+		o.pump()
+	})
+}
+
+// deliver2 propagates a packet that has already been serialized by the
+// switch port (avoids double serialization).
+func (l *Link) deliver2(p *packet.Packet) {
+	l.Bytes.Add(int64(p.WireLen()))
+	if l.lost() {
+		return
+	}
+	l.e.After(l.cfg.Delay, func() { l.deliver(p) })
+}
+
+// QueueBytes returns the current queue depth toward host id.
+func (s *Switch) QueueBytes(id packet.HostID) int {
+	if p, ok := s.ports[id]; ok {
+		return p.qBytes
+	}
+	return 0
+}

@@ -1,0 +1,264 @@
+// Package iio models the Integrated IO controller: the other end of the
+// PCIe interconnect, which turns arriving TLPs into memory-system writes
+// and replenishes PCIe credits as those writes are issued (§2.1).
+//
+// The IIO is where hostCC's congestion signal lives: buffer occupancy
+// rises immediately — and only — when the memory controller is congested,
+// giving accurate time, location and reason (§3.1). The IIO maintains the
+// two hardware counters hostCC samples:
+//
+//   - ROCC: cumulative occupancy, incremented once per IIO clock tick
+//     (500 MHz), so (ΔROCC)/(Δt·F_IIO) is average occupancy, and
+//   - RINS: cumulative line insertions, so ΔRINS·64B/Δt is PCIe bandwidth.
+package iio
+
+import (
+	"repro/internal/cache"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/msr"
+	"repro/internal/packet"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the IIO.
+type Config struct {
+	// PipelineLatency is the fixed IIO processing + transfer time before
+	// a buffered write is issued to the memory controller. With an idle
+	// memory controller this is the whole of ℓm (residence in the IIO
+	// buffer), putting idle IIO occupancy at R×ℓm ≈ 65 lines for a
+	// ~103 Gbps PCIe stream (§3.1, Figure 8a). Memory congestion adds
+	// write-queue admission delay on top — that is how occupancy climbs
+	// toward the credit cap in Figure 8b.
+	PipelineLatency sim.Time
+}
+
+// DefaultConfig returns the paper-calibrated IIO.
+func DefaultConfig() Config {
+	return Config{PipelineLatency: 290 * sim.Nanosecond}
+}
+
+// Delivery is invoked once a packet's last write has completed and the
+// packet is visible to the CPU; the host wires it to the RX core pool.
+type Delivery func(pkt *packet.Packet, entry cache.EntryID, hasEntry bool)
+
+// IIO is the integrated IO controller of one host.
+type IIO struct {
+	e    *sim.Engine
+	cfg  Config
+	mc   *mem.Controller
+	ddio *cache.DDIO // nil = DDIO disabled
+	link *pcie.Link
+	out  Delivery
+
+	occLines int
+	occ      stats.TimeWeighted
+	rins     uint64
+
+	// Optional IOMMU on the DMA path: writes are gated on address
+	// translation, which happens *before* the transaction enters the IIO
+	// buffer — the blind spot §6 discusses (IOMMU congestion does not
+	// show up in IIO occupancy).
+	mmu      *iommu.IOMMU
+	gateBusy bool
+	pending  []*pcie.TLP
+
+	// Per-packet DMA state; TLPs of a packet arrive in order from the
+	// single DMA engine, so only the in-progress packet needs state.
+	curPkt      *packet.Packet
+	curEntry    cache.EntryID
+	curHasEntry bool
+	evictGate   bool // first write must wait for an eviction's admission
+	evictBytes  int
+}
+
+// New creates the IIO and registers its counters with the MSR file.
+func New(e *sim.Engine, cfg Config, mc *mem.Controller, ddio *cache.DDIO, f *msr.File, out Delivery) *IIO {
+	if mc == nil {
+		panic("iio: nil memory controller")
+	}
+	if out == nil {
+		panic("iio: nil delivery")
+	}
+	io := &IIO{e: e, cfg: cfg, mc: mc, ddio: ddio, out: out}
+	if f != nil {
+		f.RegisterReader(msr.IIOOccupancy, io.ROCC)
+		f.RegisterReader(msr.IIOInsertions, io.RINS)
+	}
+	return io
+}
+
+// SetLink attaches the PCIe link whose credits this IIO replenishes (the
+// link is constructed after the IIO because it delivers into it).
+func (io *IIO) SetLink(l *pcie.Link) { io.link = l }
+
+// SetIOMMU enables DMA address translation in front of the IIO buffer.
+func (io *IIO) SetIOMMU(u *iommu.IOMMU) { io.mmu = u }
+
+// OnTLP receives one TLP from the PCIe link. With an IOMMU attached, the
+// TLP first clears address translation (holding its PCIe credits but not
+// yet counting as IIO occupancy); TLPs arriving mid-translation queue in
+// order behind it.
+func (io *IIO) OnTLP(t *pcie.TLP) {
+	if io.gateBusy {
+		io.pending = append(io.pending, t)
+		return
+	}
+	io.admit(t)
+}
+
+// admit runs the translation gate for packet-leading TLPs, then processes.
+func (io *IIO) admit(t *pcie.TLP) {
+	if t.First && io.mmu != nil {
+		io.gateBusy = true
+		pages := (t.Pkt.WireLen() + io.mmu.Config().PageBytes - 1) / io.mmu.Config().PageBytes
+		io.translatePages(pages, func() {
+			io.gateBusy = false
+			io.processTLP(t)
+			io.drainPending()
+		})
+		return
+	}
+	io.processTLP(t)
+}
+
+// translatePages resolves n buffer pages sequentially.
+func (io *IIO) translatePages(n int, done func()) {
+	if n == 0 {
+		done()
+		return
+	}
+	io.mmu.Translate(io.mmu.NextBufferPage(), func() {
+		io.translatePages(n-1, done)
+	})
+}
+
+func (io *IIO) drainPending() {
+	for len(io.pending) > 0 && !io.gateBusy {
+		t := io.pending[0]
+		io.pending = io.pending[1:]
+		io.admit(t)
+	}
+}
+
+// processTLP performs the IIO's buffer and write-path work for one TLP.
+func (io *IIO) processTLP(t *pcie.TLP) {
+	io.rins += uint64(t.Lines)
+	io.setOcc(io.occLines + t.Lines)
+
+	if t.First {
+		io.startPacket(t.Pkt)
+	}
+
+	lines := t.Lines
+	release := func() {
+		io.setOcc(io.occLines - lines)
+		io.link.ReleaseCredits(lines)
+	}
+
+	if io.ddio != nil && io.curHasEntry {
+		io.ddioWrite(t, release)
+		return
+	}
+
+	// DDIO disabled — or the packet's lines were evicted on insertion
+	// (LLC pollution / oversize), in which case they are DRAM-bound and
+	// take the same memory-controller path, charged as eviction traffic.
+	// The IIO pipeline adds fixed latency before the write is issued; the
+	// credit is replenished when the write is admitted to the controller
+	// queue (§2.1 step 4); the packet is delivered to the CPU when its
+	// final write completes.
+	class := mem.ClassIIO
+	if io.ddio != nil {
+		class = mem.ClassEviction
+	}
+	req := mem.Request{
+		Size:    t.DataBytes,
+		Class:   class,
+		OnAdmit: release,
+	}
+	if t.Last {
+		pkt, entry, has := t.Pkt, io.curEntry, io.curHasEntry
+		req.OnComplete = func(sim.Time) { io.out(pkt, entry, has) }
+	}
+	io.e.After(io.cfg.PipelineLatency, func() { io.mc.Submit(req) })
+}
+
+// startPacket sets up DDIO bookkeeping for a new packet's DMA.
+func (io *IIO) startPacket(p *packet.Packet) {
+	io.curPkt = p
+	io.curHasEntry = false
+	io.evictGate = false
+	io.evictBytes = 0
+	if io.ddio == nil {
+		return
+	}
+	entry, evs := io.ddio.Insert(p.WireLen())
+	io.curEntry = entry
+	io.curHasEntry = true
+	for _, ev := range evs {
+		io.evictBytes += ev.Bytes
+		if ev.Owner == entry {
+			// The new entry itself was evicted (pollution or oversize):
+			// the CPU will take the DRAM path for this packet.
+			io.curHasEntry = false
+		}
+	}
+	io.evictGate = io.evictBytes > 0
+}
+
+// ddioWrite handles the DDIO-enabled write path for one TLP: LLC writes
+// are fast and bypass the memory controller unless an eviction must first
+// make room — in which case the write (and its credit) waits for the
+// eviction to be admitted, and the eviction burns memory write bandwidth
+// (§2.1). Under memory congestion this is the mechanism that drags the
+// DDIO-enabled case back to DDIO-disabled behaviour.
+func (io *IIO) ddioWrite(t *pcie.TLP, release func()) {
+	// Capture the packet's cache state now: by the time the deferred
+	// write completes, the next packet's DMA may already have begun.
+	pkt, entry, has := t.Pkt, io.curEntry, io.curHasEntry
+	if pkt != io.curPkt {
+		panic("iio: TLP arrived out of packet order")
+	}
+	finish := func() {
+		io.e.After(cache.WriteLatency, func() {
+			release()
+			if t.Last {
+				io.out(pkt, entry, has)
+			}
+		})
+	}
+	if t.First && io.evictGate {
+		bytes := io.evictBytes
+		io.mc.Submit(mem.Request{
+			Size:    bytes,
+			Class:   mem.ClassEviction,
+			OnAdmit: finish,
+		})
+		return
+	}
+	finish()
+}
+
+func (io *IIO) setOcc(lines int) {
+	if lines < 0 {
+		panic("iio: negative occupancy")
+	}
+	io.occLines = lines
+	io.occ.Set(io.e.Now(), float64(lines))
+}
+
+// Occupancy returns the instantaneous buffer occupancy in lines.
+func (io *IIO) Occupancy() int { return io.occLines }
+
+// ROCC returns the cumulative occupancy counter: the integral of
+// occupancy sampled at the IIO clock (one count per occupied line per
+// 2 ns tick).
+func (io *IIO) ROCC() uint64 {
+	return uint64(io.occ.Integral(io.e.Now()) / msr.TickNanos)
+}
+
+// RINS returns the cumulative line-insertion counter.
+func (io *IIO) RINS() uint64 { return io.rins }

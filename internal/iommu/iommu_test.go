@@ -1,0 +1,158 @@
+package iommu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newTestIOMMU(e *sim.Engine, entries, workingSet int) (*IOMMU, *mem.Controller) {
+	mc := mem.NewController(e, mem.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.IOTLBEntries = entries
+	cfg.WorkingSetPages = workingSet
+	return New(e, mc, cfg), mc
+}
+
+func TestHitAndMissAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	u, _ := newTestIOMMU(e, 16, 512)
+	done := 0
+	u.Translate(5, func() { done++ })
+	e.Run()
+	if u.Misses.Total() != 1 || u.Hits.Total() != 0 {
+		t.Fatalf("first access: hits=%d misses=%d", u.Hits.Total(), u.Misses.Total())
+	}
+	u.Translate(5, func() { done++ })
+	e.Run()
+	if u.Hits.Total() != 1 {
+		t.Fatalf("second access should hit: hits=%d", u.Hits.Total())
+	}
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	if u.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", u.MissRate())
+	}
+}
+
+func TestMissSlowerThanHitAndConsumesBandwidth(t *testing.T) {
+	e := sim.NewEngine(1)
+	u, mc := newTestIOMMU(e, 16, 512)
+	mc.MarkAll()
+	var missDone, hitDone sim.Time
+	u.Translate(7, func() { missDone = e.Now() })
+	e.Run()
+	start := e.Now()
+	u.Translate(7, func() { hitDone = e.Now() - start })
+	e.Run()
+	if missDone <= hitDone {
+		t.Fatalf("miss (%v) should be slower than hit (%v)", missDone, hitDone)
+	}
+	// 4 walk levels x 64B page-table reads.
+	if got := mc.BytesOf(mem.ClassOther); got != 4*64 {
+		t.Fatalf("walk read bytes = %d, want 256", got)
+	}
+	if u.WalkTime <= 0 {
+		t.Fatal("walk time not accounted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := sim.NewEngine(1)
+	u, _ := newTestIOMMU(e, 2, 512)
+	for _, p := range []uint64{1, 2, 3} { // 3 evicts 1
+		u.Translate(p, func() {})
+		e.Run()
+	}
+	if u.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", u.Resident())
+	}
+	u.Translate(2, func() {}) // still cached
+	e.Run()
+	if u.Hits.Total() != 1 {
+		t.Fatalf("page 2 should hit, hits=%d", u.Hits.Total())
+	}
+	u.Translate(1, func() {}) // evicted
+	e.Run()
+	if u.Misses.Total() != 4 {
+		t.Fatalf("page 1 should miss after eviction, misses=%d", u.Misses.Total())
+	}
+}
+
+func TestLRUOrderRefreshedByHits(t *testing.T) {
+	e := sim.NewEngine(1)
+	u, _ := newTestIOMMU(e, 2, 512)
+	for _, p := range []uint64{1, 2} {
+		u.Translate(p, func() {})
+		e.Run()
+	}
+	u.Translate(1, func() {}) // refresh 1; LRU victim becomes 2
+	e.Run()
+	u.Translate(3, func() {}) // evicts 2
+	e.Run()
+	u.Translate(1, func() {})
+	e.Run()
+	if u.Hits.Total() != 2 {
+		t.Fatalf("page 1 should still be resident, hits=%d", u.Hits.Total())
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// Working set >> IOTLB: a cyclic sweep must miss nearly always.
+	e := sim.NewEngine(1)
+	u, _ := newTestIOMMU(e, 64, 512)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 512; i++ {
+			u.Translate(u.NextBufferPage(), func() {})
+			e.Run()
+		}
+	}
+	if u.MissRate() < 0.99 {
+		t.Fatalf("cyclic sweep miss rate = %.3f, want ~1.0", u.MissRate())
+	}
+	// A working set that fits stays cached after the first round.
+	u2, _ := newTestIOMMU(e, 64, 32)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 32; i++ {
+			u2.Translate(u2.NextBufferPage(), func() {})
+			e.Run()
+		}
+	}
+	if u2.MissRate() > 0.3 {
+		t.Fatalf("fitting working set miss rate = %.3f, want 0.25 (cold misses only)", u2.MissRate())
+	}
+}
+
+func TestNextBufferPageCycles(t *testing.T) {
+	e := sim.NewEngine(1)
+	u, _ := newTestIOMMU(e, 4, 8)
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		seen[u.NextBufferPage()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("pages cycled over %d values, want 8", len(seen))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	mc := mem.NewController(e, mem.DefaultConfig())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad config did not panic")
+			}
+		}()
+		New(e, mc, Config{IOTLBEntries: 0, PageBytes: 4096, WalkLevels: 4})
+	}()
+	u := New(e, mc, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("nil done did not panic")
+		}
+	}()
+	u.Translate(1, nil)
+}

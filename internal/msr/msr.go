@@ -1,0 +1,133 @@
+// Package msr models the model-specific-register interface through which
+// hostCC observes the host (§4.1). Hardware counters — IIO occupancy
+// (ROCC) and IIO insertions (RINS) — are exposed as cumulative registers;
+// reading one costs ~600 ns, reading the TSC costs ~2 ns. Crucially, MSR
+// reads execute on the processor interconnect, outside the NIC-to-memory
+// datapath, so their latency is independent of host congestion — the
+// property Figure 7 demonstrates and the reason IIO occupancy is usable
+// as a congestion signal at all.
+package msr
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Address identifies a model-specific register.
+type Address uint32
+
+// Registers modeled in this reproduction.
+const (
+	// IIOOccupancy (ROCC) accumulates IIO buffer occupancy once per IIO
+	// clock tick; average occupancy over [t1,t2] is
+	// (ROCC(t2)-ROCC(t1)) / ((t2-t1) * F_IIO).
+	IIOOccupancy Address = 0x0C00
+	// IIOInsertions (RINS) counts cachelines inserted into the IIO; the
+	// insertion rate times the cacheline size is PCIe bandwidth.
+	IIOInsertions Address = 0x0C01
+	// MBAThrottle selects the MBA throttle level for the MApp
+	// class-of-service (see internal/cpu; writes take ~22 µs).
+	MBAThrottle Address = 0x0D50
+)
+
+// FIIOHz is the IIO clock frequency (500 MHz on the paper's servers).
+const FIIOHz = 500e6
+
+// TickNanos is the IIO clock period in nanoseconds.
+const TickNanos = 2
+
+// Latency model constants for register access (§4.1).
+const (
+	TSCReadLatency  = 2 * sim.Nanosecond
+	readLatencyBase = 450 * sim.Nanosecond
+	readLatencyMean = 130 * sim.Nanosecond // exponential tail above base
+	readLatencyMax  = 1200 * sim.Nanosecond
+)
+
+// File is the register file: a set of addressed counters with modeled
+// access latency.
+type File struct {
+	e       *sim.Engine
+	readers map[Address]func() uint64
+	writers map[Address]writer
+}
+
+type writer struct {
+	latency sim.Time
+	fn      func(uint64)
+}
+
+// NewFile returns an empty register file.
+func NewFile(e *sim.Engine) *File {
+	return &File{
+		e:       e,
+		readers: make(map[Address]func() uint64),
+		writers: make(map[Address]writer),
+	}
+}
+
+// RegisterReader attaches a counter provider to an address.
+func (f *File) RegisterReader(addr Address, fn func() uint64) {
+	if _, dup := f.readers[addr]; dup {
+		panic(fmt.Sprintf("msr: duplicate reader for %#x", uint32(addr)))
+	}
+	f.readers[addr] = fn
+}
+
+// RegisterWriter attaches a write handler with a given write latency.
+func (f *File) RegisterWriter(addr Address, latency sim.Time, fn func(uint64)) {
+	if _, dup := f.writers[addr]; dup {
+		panic(fmt.Sprintf("msr: duplicate writer for %#x", uint32(addr)))
+	}
+	f.writers[addr] = writer{latency: latency, fn: fn}
+}
+
+// readLatency draws one MSR read latency. The distribution is a base plus
+// an exponential tail, matching the ~0.45–1.2 µs range of Figure 7, and
+// does not depend on any datapath state.
+func (f *File) readLatency() sim.Time {
+	lat := readLatencyBase + sim.Time(f.e.Rand().ExpFloat64()*float64(readLatencyMean))
+	if lat > readLatencyMax {
+		lat = readLatencyMax
+	}
+	return lat
+}
+
+// Read samples the register and invokes done with the value and the read's
+// modeled latency once the read retires. The value is captured at retire
+// time (the counter keeps counting while the read executes).
+func (f *File) Read(addr Address, done func(val uint64, lat sim.Time)) {
+	fn, ok := f.readers[addr]
+	if !ok {
+		panic(fmt.Sprintf("msr: read of unregistered register %#x", uint32(addr)))
+	}
+	lat := f.readLatency()
+	f.e.After(lat, func() { done(fn(), lat) })
+}
+
+// Write stores val to the register, invoking done (optional) when the
+// write retires. MBA writes take ~22 µs (§4.2); ordinary MSR writes <1 µs.
+func (f *File) Write(addr Address, val uint64, done func()) {
+	w, ok := f.writers[addr]
+	if !ok {
+		panic(fmt.Sprintf("msr: write to unregistered register %#x", uint32(addr)))
+	}
+	f.e.After(w.latency, func() {
+		w.fn(val)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// ReadTSC returns the current timestamp counter as simulated time. The
+// ~2 ns cost is negligible and not modeled as an event; callers sampling
+// at sub-µs granularity account for it via the MSR read latency instead.
+func (f *File) ReadTSC() sim.Time { return f.e.Now() }
+
+// Has reports whether a reader is registered at addr.
+func (f *File) Has(addr Address) bool {
+	_, ok := f.readers[addr]
+	return ok
+}

@@ -1,0 +1,236 @@
+// Package nic models the network interface card.
+//
+// Receive side: arriving packets enter a small on-NIC SRAM buffer. A DMA
+// engine takes the head packet, fetches a receive descriptor, and issues
+// the packet's TLPs over the PCIe link as credits allow; the packet leaves
+// the buffer as soon as its DMA is initiated (PCIe is lossless, §2.1).
+// When credits or descriptors run out the buffer fills and arriving
+// packets are dropped — this is where host congestion becomes packet loss.
+//
+// Transmit side: a line-rate serializer feeding the fabric, optionally
+// charging the host's memory controller for the DMA reads.
+package nic
+
+import (
+	"repro/internal/mem"
+	"repro/internal/packet"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the NIC.
+type Config struct {
+	// RxBufferBytes is the on-NIC packet buffer (small SRAM). The paper
+	// observes worst-case NIC queueing delay of 60-100 µs at ~100 Gbps,
+	// implying roughly a megabyte.
+	RxBufferBytes int
+	// RxDescriptors is the receive descriptor pool; a descriptor is
+	// consumed when a packet's DMA starts and recycled when the CPU has
+	// processed the packet. Exhaustion (CPU bottleneck) stalls DMA.
+	RxDescriptors int
+	// LineRate is the Ethernet rate (100 Gbps).
+	LineRate sim.Rate
+	// TxBlockingReads makes the transmit path wait for the host memory
+	// read of each packet before serializing it, exposing sender-side
+	// host congestion to the transmit path (used by sender-side hostCC
+	// experiments). Off by default: reads are posted.
+	TxBlockingReads bool
+}
+
+// DefaultConfig returns the paper-calibrated NIC.
+func DefaultConfig() Config {
+	return Config{
+		RxBufferBytes: 1 << 20,
+		RxDescriptors: 1024,
+		LineRate:      sim.Gbps(100),
+	}
+}
+
+// NIC is one network interface.
+type NIC struct {
+	e    *sim.Engine
+	cfg  Config
+	link *pcie.Link
+	mc   *mem.Controller // transmit DMA reads; may be nil
+
+	// Receive state.
+	rxQ      []*packet.Packet
+	rxArrive []sim.Time // arrival time of each queued packet
+	rxBytes  int
+	descFree int
+	cur      []*pcie.TLP // remaining TLPs of the packet being DMA'd
+	waiting  bool        // a credit wakeup is registered
+
+	// Transmit state.
+	txQ     []*packet.Packet
+	txBusy  bool
+	txBytes int
+	out     func(*packet.Packet)
+
+	// Metrics.
+	Arrivals   stats.Counter
+	Drops      stats.Counter
+	TxSent     stats.Counter
+	rxOcc      stats.TimeWeighted
+	QueueDelay *stats.Histogram // ns spent in the rx buffer before DMA
+}
+
+// New creates a NIC. link is the PCIe path to the IIO; mc (optional)
+// is charged for transmit DMA reads; out forwards transmitted packets to
+// the attached fabric link.
+func New(e *sim.Engine, cfg Config, link *pcie.Link, mc *mem.Controller) *NIC {
+	if cfg.RxBufferBytes <= 0 || cfg.RxDescriptors <= 0 || cfg.LineRate <= 0 {
+		panic("nic: invalid config")
+	}
+	if link == nil {
+		panic("nic: nil PCIe link")
+	}
+	return &NIC{
+		e:          e,
+		cfg:        cfg,
+		link:       link,
+		mc:         mc,
+		descFree:   cfg.RxDescriptors,
+		QueueDelay: stats.NewHistogram(30),
+	}
+}
+
+// SetOutput attaches the transmit side to the fabric.
+func (n *NIC) SetOutput(out func(*packet.Packet)) { n.out = out }
+
+// Receive accepts a packet from the wire; it is dropped if the rx buffer
+// is full (the only loss point in the host network).
+func (n *NIC) Receive(p *packet.Packet) {
+	n.Arrivals.Inc(1)
+	if n.rxBytes+p.WireLen() > n.cfg.RxBufferBytes {
+		n.Drops.Inc(1)
+		return
+	}
+	n.rxQ = append(n.rxQ, p)
+	n.rxArrive = append(n.rxArrive, n.e.Now())
+	n.rxBytes += p.WireLen()
+	n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
+	n.pump()
+}
+
+// pump advances the DMA engine: it issues TLPs of the head packet while
+// credits allow, consuming a descriptor per packet.
+func (n *NIC) pump() {
+	for {
+		if len(n.cur) == 0 {
+			if len(n.rxQ) == 0 || n.descFree == 0 {
+				return
+			}
+			p := n.rxQ[0]
+			n.cur = n.link.Segment(p)
+		}
+		t := n.cur[0]
+		if !n.link.TrySend(t) {
+			if !n.waiting {
+				n.waiting = true
+				n.link.NotifyCredits(func() {
+					n.waiting = false
+					n.pump()
+				})
+			}
+			return
+		}
+		if t.First {
+			// DMA initiated: the packet leaves the NIC buffer and a
+			// descriptor is consumed.
+			n.QueueDelay.Add(float64(n.e.Now() - n.rxArrive[0]))
+			n.rxQ = n.rxQ[1:]
+			n.rxArrive = n.rxArrive[1:]
+			n.rxBytes -= t.Pkt.WireLen()
+			n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
+			n.descFree--
+		}
+		n.cur = n.cur[1:]
+	}
+}
+
+// ReleaseDescriptor recycles one rx descriptor once the CPU has processed
+// a packet (driver replenishment, §2.1 step 2).
+func (n *NIC) ReleaseDescriptor() {
+	if n.descFree >= n.cfg.RxDescriptors {
+		panic("nic: descriptor released without matching consume")
+	}
+	n.descFree++
+	n.pump()
+}
+
+// Transmit queues a packet for sending.
+func (n *NIC) Transmit(p *packet.Packet) {
+	n.txQ = append(n.txQ, p)
+	n.txBytes += p.WireLen()
+	n.txPump()
+}
+
+func (n *NIC) txPump() {
+	if n.txBusy || len(n.txQ) == 0 {
+		return
+	}
+	n.txBusy = true
+	p := n.txQ[0]
+	n.txQ = n.txQ[1:]
+	n.txBytes -= p.WireLen()
+
+	serialize := func() {
+		n.e.After(n.cfg.LineRate.TimeFor(p.WireLen()), func() {
+			n.TxSent.Inc(1)
+			if n.out != nil {
+				n.out(p)
+			}
+			n.txBusy = false
+			n.txPump()
+		})
+	}
+
+	if n.mc == nil {
+		serialize()
+		return
+	}
+	req := mem.Request{Size: p.WireLen(), Class: mem.ClassNetCopy}
+	if n.cfg.TxBlockingReads {
+		req.OnComplete = func(sim.Time) { serialize() }
+		n.mc.Submit(req)
+		return
+	}
+	n.mc.Submit(req) // posted read
+	serialize()
+}
+
+// RxQueuedBytes returns the current rx buffer occupancy.
+func (n *NIC) RxQueuedBytes() int { return n.rxBytes }
+
+// TxQueuedBytes returns bytes waiting in the transmit queue.
+func (n *NIC) TxQueuedBytes() int { return n.txBytes }
+
+// FreeDescriptors returns the available descriptor count.
+func (n *NIC) FreeDescriptors() int { return n.descFree }
+
+// DropRate returns lifetime drops/arrivals (use counters' Mark/SinceMark
+// for windowed rates).
+func (n *NIC) DropRate() float64 {
+	if n.Arrivals.Total() == 0 {
+		return 0
+	}
+	return float64(n.Drops.Total()) / float64(n.Arrivals.Total())
+}
+
+// WindowDropRate returns drops/arrivals since the counters were marked.
+func (n *NIC) WindowDropRate() float64 {
+	a := n.Arrivals.SinceMark()
+	if a == 0 {
+		return 0
+	}
+	return float64(n.Drops.SinceMark()) / float64(a)
+}
+
+// MarkWindow begins a measurement window on the NIC counters.
+func (n *NIC) MarkWindow() {
+	n.Arrivals.Mark()
+	n.Drops.Mark()
+	n.TxSent.Mark()
+}

@@ -1,0 +1,7 @@
+package packet
+
+import "repro/internal/sim"
+
+// timeFromWire converts a wire-encoded nanosecond timestamp back to
+// simulated time.
+func timeFromWire(v uint64) sim.Time { return sim.Time(int64(v)) }

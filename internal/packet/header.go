@@ -1,0 +1,120 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// WireHeaderLen is the encoded size of the simulated header format.
+//
+// The format is a compact fusion of the IPv4 and TCP fields the simulator
+// models (addresses, ports, seq/ack, flags, ECN, payload length,
+// timestamps), in network byte order:
+//
+//	offset  size  field
+//	0       2     magic "HC"
+//	2       1     version (1)
+//	3       1     ECN (low 2 bits)
+//	4       2     src host
+//	6       2     dst host
+//	8       2     src port
+//	10      2     dst port
+//	12      8     seq
+//	20      8     ack
+//	28      2     flags
+//	30      1     SACK block count (0-3)
+//	31      1     reserved
+//	32      4     payload length
+//	36      8     sent timestamp (ns)
+//	44      8     echo timestamp (ns)
+//	52      48    SACK blocks (3 x {lo, hi} uint64)
+const WireHeaderLen = 100
+
+const headerMagic = 0x4843 // "HC"
+
+// Errors returned by ParseHeader.
+var (
+	ErrShortHeader = errors.New("packet: buffer shorter than header")
+	ErrBadMagic    = errors.New("packet: bad header magic")
+	ErrBadVersion  = errors.New("packet: unsupported header version")
+)
+
+// MarshalHeader encodes p's header fields into buf, which must be at least
+// WireHeaderLen bytes; it returns the number of bytes written.
+func MarshalHeader(p *Packet, buf []byte) (int, error) {
+	if len(buf) < WireHeaderLen {
+		return 0, fmt.Errorf("packet: marshal buffer %d < %d: %w", len(buf), WireHeaderLen, ErrShortHeader)
+	}
+	be := binary.BigEndian
+	be.PutUint16(buf[0:], headerMagic)
+	buf[2] = 1
+	buf[3] = uint8(p.ECN) & 0x3
+	be.PutUint16(buf[4:], uint16(p.Flow.Src))
+	be.PutUint16(buf[6:], uint16(p.Flow.Dst))
+	be.PutUint16(buf[8:], p.Flow.SrcPort)
+	be.PutUint16(buf[10:], p.Flow.DstPort)
+	be.PutUint64(buf[12:], p.Seq)
+	be.PutUint64(buf[20:], p.Ack)
+	be.PutUint16(buf[28:], uint16(p.Flags))
+	if len(p.SACK) > MaxSackBlocks {
+		return 0, fmt.Errorf("packet: %d SACK blocks exceeds %d", len(p.SACK), MaxSackBlocks)
+	}
+	buf[30] = byte(len(p.SACK))
+	buf[31] = 0
+	be.PutUint32(buf[32:], uint32(p.PayloadLen))
+	be.PutUint64(buf[36:], uint64(p.SentAt))
+	be.PutUint64(buf[44:], uint64(p.EchoTS))
+	for i := 0; i < MaxSackBlocks; i++ {
+		off := 52 + 16*i
+		if i < len(p.SACK) {
+			be.PutUint64(buf[off:], p.SACK[i].Lo)
+			be.PutUint64(buf[off+8:], p.SACK[i].Hi)
+		} else {
+			be.PutUint64(buf[off:], 0)
+			be.PutUint64(buf[off+8:], 0)
+		}
+	}
+	return WireHeaderLen, nil
+}
+
+// ParseHeader decodes a header previously produced by MarshalHeader.
+func ParseHeader(buf []byte) (*Packet, error) {
+	if len(buf) < WireHeaderLen {
+		return nil, fmt.Errorf("packet: parse buffer %d < %d: %w", len(buf), WireHeaderLen, ErrShortHeader)
+	}
+	be := binary.BigEndian
+	if be.Uint16(buf[0:]) != headerMagic {
+		return nil, ErrBadMagic
+	}
+	if buf[2] != 1 {
+		return nil, fmt.Errorf("packet: version %d: %w", buf[2], ErrBadVersion)
+	}
+	p := &Packet{
+		ECN: ECN(buf[3] & 0x3),
+		Flow: FlowID{
+			Src:     HostID(be.Uint16(buf[4:])),
+			Dst:     HostID(be.Uint16(buf[6:])),
+			SrcPort: be.Uint16(buf[8:]),
+			DstPort: be.Uint16(buf[10:]),
+		},
+		Seq:        be.Uint64(buf[12:]),
+		Ack:        be.Uint64(buf[20:]),
+		Flags:      Flags(be.Uint16(buf[28:])),
+		PayloadLen: int(be.Uint32(buf[32:])),
+	}
+	p.SentAt = timeFromWire(be.Uint64(buf[36:]))
+	p.EchoTS = timeFromWire(be.Uint64(buf[44:]))
+	nSack := int(buf[30])
+	if nSack > MaxSackBlocks {
+		return nil, fmt.Errorf("packet: %d SACK blocks exceeds %d", nSack, MaxSackBlocks)
+	}
+	for i := 0; i < nSack; i++ {
+		off := 52 + 16*i
+		p.SACK = append(p.SACK, SackBlock{
+			Lo: be.Uint64(buf[off:]),
+			Hi: be.Uint64(buf[off+8:]),
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	p := &Packet{
+		Flow:       FlowID{Src: 3, Dst: 9, SrcPort: 4242, DstPort: 5001},
+		Seq:        1 << 40,
+		Ack:        77,
+		Flags:      FlagACK | FlagECE,
+		ECN:        CE,
+		SACK:       []SackBlock{{100, 200}, {300, 450}},
+		PayloadLen: 4026,
+		SentAt:     123456789,
+		EchoTS:     987654321,
+	}
+	buf := make([]byte, WireHeaderLen)
+	n, err := MarshalHeader(p, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != WireHeaderLen {
+		t.Fatalf("marshal wrote %d bytes, want %d", n, WireHeaderLen)
+	}
+	got, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MarkedByHost is sim metadata, not on the wire.
+	p2 := *p
+	p2.MarkedByHost = false
+	if !reflect.DeepEqual(got, &p2) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, &p2)
+	}
+}
+
+// Property: every representable packet header survives a round trip.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(src, dst, sp, dp uint16, seq, ack uint64, flags uint16, ecn uint8, plen uint32, sent, echo int64, nSack uint8, sackSeed uint64) bool {
+		p := &Packet{
+			Flow:       FlowID{Src: HostID(src), Dst: HostID(dst), SrcPort: sp, DstPort: dp},
+			Seq:        seq,
+			Ack:        ack,
+			Flags:      Flags(flags) & (FlagSYN | FlagACK | FlagFIN | FlagECE | FlagCWR | FlagPSH),
+			ECN:        ECN(ecn & 3),
+			PayloadLen: int(plen &^ (1 << 31)),
+			SentAt:     sim.Time(sent &^ (1 << 62)),
+			EchoTS:     sim.Time(echo &^ (1 << 62)),
+		}
+		for i := 0; i < int(nSack%4); i++ {
+			lo := sackSeed + uint64(i)*1000
+			p.SACK = append(p.SACK, SackBlock{Lo: lo, Hi: lo + 500})
+		}
+		if p.SentAt < 0 {
+			p.SentAt = -p.SentAt
+		}
+		if p.EchoTS < 0 {
+			p.EchoTS = -p.EchoTS
+		}
+		buf := make([]byte, WireHeaderLen)
+		if _, err := MarshalHeader(p, buf); err != nil {
+			return false
+		}
+		got, err := ParseHeader(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, err := ParseHeader(make([]byte, 10)); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("short buffer: err = %v", err)
+	}
+	buf := make([]byte, WireHeaderLen)
+	if _, err := ParseHeader(buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("zero buffer: err = %v", err)
+	}
+	p := &Packet{}
+	if _, err := MarshalHeader(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[2] = 99
+	if _, err := ParseHeader(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+	if _, err := MarshalHeader(p, make([]byte, 3)); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("short marshal buffer: err = %v", err)
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := FlowID{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20}
+	r := f.Reverse()
+	want := FlowID{Src: 2, Dst: 1, SrcPort: 20, DstPort: 10}
+	if r != want {
+		t.Fatalf("Reverse = %v, want %v", r, want)
+	}
+	if f.Reverse().Reverse() != f {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestPacketHelpers(t *testing.T) {
+	p := &Packet{Seq: 100, PayloadLen: 4026}
+	if p.End() != 4126 {
+		t.Fatalf("End = %d", p.End())
+	}
+	if !p.IsData() {
+		t.Fatal("data packet reported as non-data")
+	}
+	if p.WireLen() != 4026+HeaderLen {
+		t.Fatalf("WireLen = %d", p.WireLen())
+	}
+	ack := &Packet{Flags: FlagACK}
+	if ack.IsData() {
+		t.Fatal("pure ACK reported as data")
+	}
+	c := p.Clone()
+	c.Seq = 999
+	if p.Seq != 100 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := CE.String(); got != "CE" {
+		t.Errorf("CE.String() = %q", got)
+	}
+	if got := ECN(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("unknown ECN: %q", got)
+	}
+	f := FlagSYN | FlagACK
+	if got := f.String(); got != "SYN|ACK" {
+		t.Errorf("flags = %q", got)
+	}
+	if got := Flags(0).String(); got != "-" {
+		t.Errorf("no flags = %q", got)
+	}
+	p := &Packet{Flow: FlowID{Src: 1, Dst: 2}, Flags: FlagACK, ECN: ECT0}
+	if !strings.Contains(p.String(), "ACK") {
+		t.Errorf("packet string: %q", p.String())
+	}
+}

@@ -1,0 +1,157 @@
+// Package pcie models the peripheral interconnect between the NIC and the
+// IIO: a lossless link with credit-based flow control (§2.1).
+//
+// DMA is executed as Transaction Layer Packets (TLPs). The NIC may issue a
+// TLP only while enough credits are available; the IIO replenishes a TLP's
+// credits only once it has issued the corresponding write to the memory
+// system. When memory is congested, replenishment slows, credits run out,
+// the PCIe link goes idle, and the NIC buffer backs up — the middle of the
+// paper's domino effect.
+//
+// Credits are accounted in 64-byte-line units so that IIO occupancy (the
+// hostCC congestion signal) and the credit cap live on the same scale: the
+// paper's servers show occupancy ≈65 uncongested and ≈93 (the credit
+// limit) at saturation.
+package pcie
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the link. Defaults model PCIe 3.0 x16: 128 Gbps
+// raw, with 26 B of TLP header per 486 B payload (so a full TLP occupies
+// exactly eight 64 B lines, and ≈105 Gbps of PCIe bandwidth carries a
+// 100 Gbps packet stream — the ~103 Gbps "including PCIe overheads"
+// measured in Figure 8).
+type Config struct {
+	Rate        sim.Rate // raw link bandwidth
+	Latency     sim.Time // NIC-to-IIO propagation (ℓp)
+	TLPBytes    int      // max payload per TLP
+	TLPOverhead int      // header bytes per TLP
+	CreditLines int      // credit pool, in 64 B lines (P in §3.1)
+}
+
+// DefaultConfig returns the paper-calibrated link.
+func DefaultConfig() Config {
+	return Config{
+		Rate:        sim.Gbps(128),
+		Latency:     60 * sim.Nanosecond,
+		TLPBytes:    486,
+		TLPOverhead: 26,
+		CreditLines: 93,
+	}
+}
+
+// TLP is one transaction in flight from NIC to IIO.
+type TLP struct {
+	Pkt       *packet.Packet
+	DataBytes int  // packet bytes carried
+	WireBytes int  // DataBytes + header overhead
+	Lines     int  // credit lines consumed (ceil(WireBytes/64))
+	First     bool // first TLP of its packet
+	Last      bool // last TLP of its packet
+}
+
+// Link is the credit-flow-controlled NIC→IIO path.
+type Link struct {
+	e   *sim.Engine
+	cfg Config
+
+	credits   int
+	busyUntil sim.Time
+	deliver   func(*TLP)
+	waiters   []func()
+
+	// Stalls counts TLP issue attempts deferred for lack of credits.
+	Stalls stats.Counter
+	// Sent counts TLPs delivered to the IIO.
+	Sent stats.Counter
+}
+
+// NewLink creates a link delivering TLPs to the IIO via deliver.
+func NewLink(e *sim.Engine, cfg Config, deliver func(*TLP)) *Link {
+	if cfg.Rate <= 0 || cfg.TLPBytes <= 0 || cfg.CreditLines <= 0 {
+		panic("pcie: invalid config")
+	}
+	if deliver == nil {
+		panic("pcie: nil deliver")
+	}
+	return &Link{e: e, cfg: cfg, credits: cfg.CreditLines, deliver: deliver}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Credits returns the currently available credit lines.
+func (l *Link) Credits() int { return l.credits }
+
+// Segment splits a packet into TLPs.
+func (l *Link) Segment(p *packet.Packet) []*TLP {
+	total := p.WireLen()
+	var tlps []*TLP
+	for off := 0; off < total; off += l.cfg.TLPBytes {
+		data := min(l.cfg.TLPBytes, total-off)
+		wire := data + l.cfg.TLPOverhead
+		tlps = append(tlps, &TLP{
+			Pkt:       p,
+			DataBytes: data,
+			WireBytes: wire,
+			Lines:     (wire + 63) / 64,
+			First:     off == 0,
+			Last:      off+data >= total,
+		})
+	}
+	return tlps
+}
+
+// TrySend issues one TLP if credits allow, consuming its credits and
+// occupying the link for its serialization time. It reports whether the
+// TLP was accepted. On refusal the caller should wait for NotifyCredits.
+func (l *Link) TrySend(t *TLP) bool {
+	if t.Lines > l.cfg.CreditLines {
+		panic("pcie: TLP larger than the entire credit pool")
+	}
+	if l.credits < t.Lines {
+		l.Stalls.Inc(1)
+		return false
+	}
+	l.credits -= t.Lines
+	start := max(l.e.Now(), l.busyUntil)
+	txDone := start + l.cfg.Rate.TimeFor(t.WireBytes)
+	l.busyUntil = txDone
+	l.e.At(txDone+l.cfg.Latency, func() {
+		l.Sent.Inc(1)
+		l.deliver(t)
+	})
+	return true
+}
+
+// SerializerBusy reports whether the link is currently transmitting.
+func (l *Link) SerializerBusy() bool { return l.busyUntil > l.e.Now() }
+
+// ReleaseCredits returns lines to the pool (called by the IIO when a write
+// has been issued to memory) and wakes any waiters.
+func (l *Link) ReleaseCredits(lines int) {
+	if lines <= 0 {
+		panic("pcie: releasing non-positive credits")
+	}
+	l.credits += lines
+	if l.credits > l.cfg.CreditLines {
+		panic("pcie: credit pool overflow — release without matching consume")
+	}
+	if len(l.waiters) > 0 {
+		ws := l.waiters
+		l.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// NotifyCredits registers a one-shot callback invoked on the next credit
+// release (the NIC's DMA engine uses this to resume a stalled pump).
+func (l *Link) NotifyCredits(fn func()) {
+	l.waiters = append(l.waiters, fn)
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 10, 70} {
+		d := d
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 10, 30, 50, 70}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			e.After(10, step)
+		}
+	}
+	e.After(10, step)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("now = %v, want 50", e.Now())
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.At(100, func() { fired = true })
+	e.RunUntil(50)
+	if fired {
+		t.Fatal("event at 100 fired before deadline 50")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("now = %v, want 50", e.Now())
+	}
+	e.RunFor(50)
+	if !fired {
+		t.Fatal("event at 100 did not fire by 100")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", n)
+	}
+	e.Run() // resumes
+	if n != 2 {
+		t.Fatalf("ran %d events total, want 2", n)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var ts []Time
+		var step func()
+		step = func() {
+			ts = append(ts, e.Now())
+			if len(ts) < 100 {
+				e.After(Time(e.Rand().Intn(1000)), step)
+			}
+		}
+		e.After(0, step)
+		e.Run()
+		return ts
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs with same seed diverge at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of delays, events execute in nondecreasing time
+// order and the final clock equals the max delay.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var seen []Time
+		var maxD Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > maxD {
+				maxD = d
+			}
+			e.After(d, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+			return false
+		}
+		return len(delays) == 0 || e.Now() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(100)
+	e.At(50, func() { tm.Reset(200) }) // push deadline out
+	e.Run()
+	if fires != 1 {
+		t.Fatalf("timer fired %d times, want 1", fires)
+	}
+	if e.Now() != 250 {
+		t.Fatalf("fired at %v, want 250", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(100)
+	if !tm.Pending() {
+		t.Fatal("timer not pending after Reset")
+	}
+	e.At(50, func() {
+		if !tm.Stop() {
+			t.Error("Stop reported no pending firing")
+		}
+	})
+	e.Run()
+	if fires != 0 {
+		t.Fatalf("stopped timer fired %d times", fires)
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported a pending firing")
+	}
+}
+
+func TestTickerTicksAtInterval(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := NewTicker(e, 10, func() { ticks = append(ticks, e.Now()) })
+	e.At(35, func() { tk.Stop() })
+	e.Run()
+	want := []Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	r := Gbps(100)
+	if got := r.Gbps(); got != 100 {
+		t.Fatalf("Gbps roundtrip = %v", got)
+	}
+	if got := r.GBps(); got != 12.5 {
+		t.Fatalf("100Gbps = %v GBps, want 12.5", got)
+	}
+	// 4KB at 100 Gbps is 327.68ns; TimeFor rounds up.
+	if d := r.TimeFor(4096); d != 328 {
+		t.Fatalf("TimeFor(4096) = %v, want 328", d)
+	}
+	if b := r.BytesIn(1 * Microsecond); b != 12500 {
+		t.Fatalf("BytesIn(1us) = %v, want 12500", b)
+	}
+	if d := Rate(0).TimeFor(1); d < Time(1)<<61 {
+		t.Fatalf("zero rate should yield huge time, got %v", d)
+	}
+}
+
+func TestTimeFormattingAndConversions(t *testing.T) {
+	cases := []struct {
+		t Time
+		s string
+	}{
+		{500, "500ns"},
+		{13200, "13.2us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.s {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.s)
+		}
+	}
+	if FromDuration(5*time.Millisecond) != 5*Millisecond {
+		t.Error("FromDuration mismatch")
+	}
+	if (2 * Millisecond).Micros() != 2000 {
+		t.Error("Micros mismatch")
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Series is a named time series of (time, value) points; the deep-dive
+// figures (8, 18, 19) are plotted from these.
+type Series struct {
+	Name   string
+	Times  []sim.Time
+	Values []float64
+}
+
+// Append adds one point; times must be nondecreasing.
+func (s *Series) Append(t sim.Time, v float64) {
+	if n := len(s.Times); n > 0 && t < s.Times[n-1] {
+		panic("stats: Series time went backwards")
+	}
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the last value recorded at or before t (0 if none).
+func (s *Series) At(t sim.Time) float64 {
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Values[i-1]
+}
+
+// MinMax returns the extremes of the recorded values.
+func (s *Series) MinMax() (lo, hi float64) {
+	if len(s.Values) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.Values[0], s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean of recorded values.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// FractionAbove reports the fraction of points with value > threshold.
+func (s *Series) FractionAbove(threshold float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.Values {
+		if v > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Values))
+}
+
+// WriteCSV writes "time_us,value" rows, for offline plotting.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time_us,%s\n", s.Name); err != nil {
+		return err
+	}
+	for i := range s.Times {
+		if _, err := fmt.Fprintf(w, "%.3f,%g\n", s.Times[i].Micros(), s.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recorder samples a set of named probes on a fixed tick and accumulates
+// one Series per probe.
+type Recorder struct {
+	ticker *sim.Ticker
+	probes []probe
+}
+
+type probe struct {
+	series *Series
+	fn     func() float64
+}
+
+// NewRecorder creates a recorder ticking every interval.
+func NewRecorder(e *sim.Engine, interval sim.Time) *Recorder {
+	r := &Recorder{}
+	r.ticker = sim.NewTicker(e, interval, func() {
+		now := e.Now()
+		for _, p := range r.probes {
+			p.series.Append(now, p.fn())
+		}
+	})
+	return r
+}
+
+// Track registers a probe and returns its series.
+func (r *Recorder) Track(name string, fn func() float64) *Series {
+	s := &Series{Name: name}
+	r.probes = append(r.probes, probe{series: s, fn: fn})
+	return s
+}
+
+// Stop halts sampling.
+func (r *Recorder) Stop() { r.ticker.Stop() }

@@ -1,0 +1,59 @@
+// Package sweep runs independent simulations in parallel. Every
+// experiment in this repository is a self-contained deterministic
+// simulation (its own engine, hosts and RNG), so parameter sweeps are
+// embarrassingly parallel; the figure runners use this package to fan out
+// across cores while keeping results in deterministic order.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(0..n-1) using up to workers goroutines (workers <= 0
+// selects NumCPU) and returns the results in index order. fn must be safe
+// to call concurrently for distinct indices — trivially true for
+// independent simulations.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Map2 evaluates a two-axis sweep (the common figure shape: parameter ×
+// variant), returning results in row-major order.
+func Map2[T any](rows, cols, workers int, fn func(r, c int) T) []T {
+	return Map(rows*cols, workers, func(i int) T {
+		return fn(i/cols, i%cols)
+	})
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	got := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapActuallyParallel(t *testing.T) {
+	// Each task sleeps ~2ms; 16 tasks on 4 workers must finish far sooner
+	// than the 32ms a serial run would take.
+	start := time.Now()
+	var calls int64
+	Map(16, 4, func(i int) int {
+		atomic.AddInt64(&calls, 1)
+		time.Sleep(2 * time.Millisecond)
+		return i
+	})
+	if calls != 16 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if el := time.Since(start); el > 24*time.Millisecond {
+		t.Fatalf("took %v; 4 workers should need ~8ms", el)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if got := Map(0, 4, func(int) int { return 1 }); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	got := Map(3, 100, func(i int) int { return i }) // workers > n
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	got = Map(5, 1, func(i int) int { return i }) // serial path
+	for i, v := range got {
+		if v != i {
+			t.Fatal("serial path wrong")
+		}
+	}
+	got = Map(4, -1, func(i int) int { return i }) // auto workers
+	if len(got) != 4 {
+		t.Fatal("auto workers wrong")
+	}
+}
+
+func TestMap2RowMajor(t *testing.T) {
+	got := Map2(3, 4, 4, func(r, c int) [2]int { return [2]int{r, c} })
+	if len(got) != 12 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, rc := range got {
+		if rc[0] != i/4 || rc[1] != i%4 {
+			t.Fatalf("index %d = %v", i, rc)
+		}
+	}
+}
+
+// Property: Map equals the serial evaluation for any n and worker count.
+func TestMapMatchesSerialProperty(t *testing.T) {
+	f := func(n, workers uint8) bool {
+		nn := int(n % 64)
+		fn := func(i int) int { return i*31 + 7 }
+		par := Map(nn, int(workers%8), fn)
+		for i := 0; i < nn; i++ {
+			if par[i] != fn(i) {
+				return false
+			}
+		}
+		return len(par) == nn || (nn == 0 && par == nil)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

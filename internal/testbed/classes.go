@@ -1,0 +1,11 @@
+package testbed
+
+import "repro/internal/mem"
+
+// Memory accounting class aliases, for readability in Collect.
+const (
+	memClassIIO     = mem.ClassIIO
+	memClassEvict   = mem.ClassEviction
+	memClassNetCopy = mem.ClassNetCopy
+	memClassMApp    = mem.ClassMApp
+)

@@ -1,0 +1,77 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// This file implements the "future hardware" study motivated by §6:
+// "Existing tools for host resource allocation are insufficient" — Intel
+// MBA offers coarse non-linear levels and its MSR writes take ~22 µs. The
+// paper observes (§5.1) that this coarseness makes hostCC over-backpressure
+// the MApp (total memory utilization drops when switching levels 3→4).
+// The study compares today's MBA against a hypothetical finer mechanism:
+// more, linearly spaced levels and ~1 µs writes.
+
+// MBAVariant describes one host-resource-allocation mechanism.
+type MBAVariant struct {
+	Name         string
+	Levels       []cpu.Level
+	WriteLatency sim.Time
+}
+
+// TodayMBA is the paper's mechanism: 5 coarse levels, 22 µs writes.
+func TodayMBA() MBAVariant {
+	return MBAVariant{
+		Name:         "today (coarse, 22us)",
+		Levels:       cpu.DefaultMBAConfig().Levels,
+		WriteLatency: cpu.DefaultMBAConfig().WriteLatency,
+	}
+}
+
+// FutureMBA is the §6 wish: 10 linearly spaced levels and 1 µs writes.
+func FutureMBA() MBAVariant {
+	levels := make([]cpu.Level, 10)
+	for i := 0; i < 9; i++ {
+		levels[i] = cpu.Level{Delay: sim.Time(i) * 400 * sim.Nanosecond}
+	}
+	levels[9] = cpu.Level{Pause: true}
+	return MBAVariant{
+		Name:         "future (fine, 1us)",
+		Levels:       levels,
+		WriteLatency: 1 * sim.Microsecond,
+	}
+}
+
+// FutureMBARow is one variant's outcome.
+type FutureMBARow struct {
+	Variant string
+	M       Metrics
+}
+
+func (r FutureMBARow) String() string {
+	return fmt.Sprintf("%-22s tput=%6.1fG drop=%8.4f%% memMApp=%.2f memTotal=%.2f",
+		r.Variant, r.M.ThroughputGbps, r.M.DropRatePct, r.M.MemUtilMApp, r.M.MemUtilTotal)
+}
+
+// RunFutureMBAStudy runs hostCC at 3x host congestion under each MBA
+// variant. Finer-grained allocation should hold the same network target
+// while leaving more bandwidth to the MApp (higher MApp and total memory
+// utilization) — quantifying how much the 22 µs/coarse-level limitation
+// costs today.
+func RunFutureMBAStudy(s Scale) []FutureMBARow {
+	var rows []FutureMBARow
+	for _, v := range []MBAVariant{TodayMBA(), FutureMBA()} {
+		opts := s.throughputOpts()
+		opts.Degree = 3
+		opts.HostCC = true
+		opts.mba = &cpu.MBAConfig{Levels: v.Levels, WriteLatency: v.WriteLatency}
+		tb := New(opts)
+		tb.StartNetAppT()
+		m := tb.RunWindow()
+		rows = append(rows, FutureMBARow{Variant: v.Name, M: m})
+	}
+	return rows
+}

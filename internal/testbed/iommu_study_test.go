@@ -1,0 +1,43 @@
+package testbed
+
+import "testing"
+
+func TestIOMMUStudyShowsTheBlindSpot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows := RunIOMMUStudy(ScaleBench)
+	byEntries := map[int]IOMMURow{}
+	for _, r := range rows {
+		byEntries[r.IOTLBEntries] = r
+	}
+	off, thrashed, big := byEntries[0], byEntries[32], byEntries[1024]
+
+	// An undersized IOTLB degrades throughput substantially.
+	if thrashed.M.ThroughputGbps > off.M.ThroughputGbps*0.8 {
+		t.Errorf("thrashed IOTLB throughput %.1f vs baseline %.1f: no degradation",
+			thrashed.M.ThroughputGbps, off.M.ThroughputGbps)
+	}
+	// ... while the IIO occupancy signal goes DOWN, not up: stock hostCC
+	// cannot see this congestion (§6).
+	if thrashed.M.AvgIS >= off.M.AvgIS {
+		t.Errorf("thrashed IS %.1f should be below baseline %.1f (the blind spot)",
+			thrashed.M.AvgIS, off.M.AvgIS)
+	}
+	if thrashed.M.AvgIS > 65 {
+		t.Errorf("thrashed IS %.1f would cross the I_T threshold; blind spot not reproduced",
+			thrashed.M.AvgIS)
+	}
+	// The candidate signal identifies it.
+	if thrashed.MissRate < 0.9 {
+		t.Errorf("thrashed miss rate %.2f, want ~1.0", thrashed.MissRate)
+	}
+	// A large-enough IOTLB restores line rate.
+	if big.M.ThroughputGbps < off.M.ThroughputGbps*0.97 {
+		t.Errorf("large IOTLB throughput %.1f vs baseline %.1f",
+			big.M.ThroughputGbps, off.M.ThroughputGbps)
+	}
+	if big.MissRate > 0.05 {
+		t.Errorf("large IOTLB miss rate %.3f, want ~0", big.MissRate)
+	}
+}

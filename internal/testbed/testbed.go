@@ -1,0 +1,314 @@
+// Package testbed wires hosts, fabric, applications and hostCC into the
+// paper's experimental setups and provides one runner per evaluation
+// figure. Every figure in §2 and §5 has a corresponding Run function
+// returning typed rows; the bench harness at the repository root and
+// cmd/hostcc-bench both print them.
+package testbed
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fabric"
+	"repro/internal/host"
+	"repro/internal/iommu"
+	"repro/internal/msr"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Options selects one experimental configuration.
+type Options struct {
+	Seed    int64
+	MTU     int
+	DDIO    bool
+	Flows   int     // NetApp-T flows
+	Senders int     // sending hosts (2 for incast)
+	Degree  float64 // degree of host congestion (MApp units at receiver)
+
+	// CC is the network congestion control (nil = DCTCP).
+	CC transport.CCFactory
+
+	// HostCC enables the hostCC module; Mode refines it for ablations.
+	HostCC bool
+	Mode   core.Mode
+	IT     float64  // 0 = paper default (70 / 50 with DDIO)
+	BT     sim.Rate // 0 = paper default (80 Gbps)
+
+	// FixedLevel, when >= 0, disables the dynamic response and hard-codes
+	// the MBA level (the Figure 9 calibration experiment).
+	FixedLevel int
+
+	// MinRTO overrides the transport's minimum RTO (0 keeps the Linux
+	// default of 200 ms). Throughput experiments lower it so the startup
+	// transient settles within an affordable warmup.
+	MinRTO sim.Time
+
+	// Ablation overrides (0 keeps the paper defaults): the I_S EWMA
+	// weight (§4.1), the signal sampling interval, and the MBA MSR write
+	// latency (§6 discusses the 22 µs hardware limitation).
+	SignalWeightIS  float64
+	SampleInterval  sim.Time
+	MBAWriteLatency sim.Time
+
+	// WireLossProb injects independent random packet loss on every
+	// fabric link (failure injection; 0 for the paper's lossless links).
+	WireLossProb float64
+
+	Warmup  sim.Time
+	Measure sim.Time
+
+	// iommu, when set, enables DMA translation at the receiver (used by
+	// the IOMMU study; see iommu_study.go).
+	iommu *iommu.Config
+	// mba, when set, replaces the receiver's MBA mechanism (used by the
+	// future-hardware study; see futuremba_study.go).
+	mba *cpu.MBAConfig
+}
+
+// DefaultOptions returns the baseline single-sender setup.
+func DefaultOptions() Options {
+	return Options{
+		Seed:       42,
+		MTU:        4096,
+		Flows:      4,
+		Senders:    1,
+		FixedLevel: -1,
+		Warmup:     4 * sim.Millisecond,
+		Measure:    16 * sim.Millisecond,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.MTU == 0 {
+		o.MTU = d.MTU
+	}
+	if o.Flows == 0 {
+		o.Flows = d.Flows
+	}
+	if o.Senders == 0 {
+		o.Senders = d.Senders
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.Measure == 0 {
+		o.Measure = d.Measure
+	}
+	return o
+}
+
+// Testbed is one constructed experiment.
+type Testbed struct {
+	E        *sim.Engine
+	Opts     Options
+	Receiver *host.Host
+	Senders  []*host.Host
+	Sw       *fabric.Switch
+	HCC      *core.HostCC
+	NetT     *apps.NetAppT
+
+	// Window bookkeeping for exact signal averages.
+	winStart   sim.Time
+	winROCC    uint64
+	winRINS    uint64
+	winMarked  int64
+	winSwDrops int64
+}
+
+// receiverID is the receiver's host ID; senders are 2, 3, ...
+const receiverID packet.HostID = 1
+
+// New builds the testbed: hosts, bidirectional links through one switch,
+// hostCC on the receiver (in ModeOff when disabled, so signals are still
+// measured), and the receiver-side MApp at the requested degree.
+func New(opts Options) *Testbed {
+	opts = opts.withDefaults()
+	e := sim.NewEngine(opts.Seed)
+	tb := &Testbed{E: e, Opts: opts}
+
+	tcfg := transport.DefaultConfig(opts.MTU)
+	if opts.CC != nil {
+		tcfg.CC = opts.CC
+	}
+	if opts.MinRTO > 0 {
+		tcfg.MinRTO = opts.MinRTO
+		tcfg.InitialRTO = opts.MinRTO
+	}
+
+	mkHost := func(id packet.HostID) *host.Host {
+		hcfg := host.DefaultConfig(id, opts.MTU, opts.DDIO)
+		hcfg.Transport = tcfg
+		if opts.MBAWriteLatency > 0 {
+			hcfg.MBA.WriteLatency = opts.MBAWriteLatency
+		}
+		if id == receiverID && opts.iommu != nil {
+			hcfg.IOMMU = *opts.iommu
+		}
+		if id == receiverID && opts.mba != nil {
+			hcfg.MBA = *opts.mba
+		}
+		return host.New(e, hcfg)
+	}
+
+	tb.Receiver = mkHost(receiverID)
+	for i := 0; i < opts.Senders; i++ {
+		tb.Senders = append(tb.Senders, mkHost(receiverID+1+packet.HostID(i)))
+	}
+
+	// Topology: every host connects to the single switch.
+	tb.Sw = fabric.NewSwitch(e, fabric.DefaultSwitchConfig())
+	lcfg := fabric.DefaultLinkConfig()
+	lcfg.LossProb = opts.WireLossProb
+	attach := func(h *host.Host) {
+		up := fabric.NewLink(e, lcfg, tb.Sw.Inject)
+		h.SetOutput(up.Send)
+		down := fabric.NewLink(e, lcfg, h.ReceiveFromWire)
+		tb.Sw.AttachPort(h.ID(), down)
+	}
+	attach(tb.Receiver)
+	for _, s := range tb.Senders {
+		attach(s)
+	}
+
+	// hostCC on the receiver. When disabled we still run the module in
+	// ModeOff so every experiment measures I_S and B_S identically.
+	ccfg := core.DefaultConfig(opts.DDIO)
+	if opts.IT > 0 {
+		ccfg.IT = opts.IT
+	}
+	if opts.BT > 0 {
+		ccfg.BT = opts.BT
+	}
+	if opts.SignalWeightIS > 0 {
+		ccfg.WeightIS = opts.SignalWeightIS
+	}
+	if opts.SampleInterval > 0 {
+		ccfg.SampleInterval = opts.SampleInterval
+	}
+	ccfg.Mode = core.ModeOff
+	if opts.HostCC {
+		ccfg.Mode = core.ModeFull
+		if opts.Mode != core.ModeFull {
+			ccfg.Mode = opts.Mode
+		}
+	}
+	tb.HCC = core.New(e, tb.Receiver.MSR, tb.Receiver.MBA, ccfg)
+	tb.Receiver.AddReceiveHook(tb.HCC.ReceiveHook())
+	tb.HCC.Start()
+
+	// Host-local traffic at the receiver.
+	if opts.Degree > 0 {
+		tb.Receiver.StartMApp(opts.Degree)
+	}
+
+	// Hard-coded response level (Figure 9).
+	if opts.FixedLevel >= 0 {
+		tb.Receiver.MBA.RequestLevel(opts.FixedLevel)
+	}
+
+	return tb
+}
+
+// StartNetAppT launches the throughput flows.
+func (tb *Testbed) StartNetAppT() *apps.NetAppT {
+	if tb.NetT != nil {
+		panic("testbed: NetApp-T already started")
+	}
+	tb.NetT = apps.NewNetAppT(tb.E, tb.Senders, tb.Receiver, tb.Opts.Flows)
+	return tb.NetT
+}
+
+// StartNetAppL launches the latency app from the first sender.
+func (tb *Testbed) StartNetAppL(size, maxCount int, onDone func()) *apps.NetAppL {
+	l := apps.NewNetAppL(tb.E, tb.Senders[0], tb.Receiver, size, maxCount, onDone)
+	l.Start()
+	return l
+}
+
+// MarkWindow begins the measurement window.
+func (tb *Testbed) MarkWindow() {
+	tb.Receiver.MarkWindow()
+	for _, s := range tb.Senders {
+		s.MarkWindow()
+	}
+	if tb.NetT != nil {
+		tb.NetT.MarkWindow()
+	}
+	tb.winStart = tb.E.Now()
+	tb.winROCC = tb.Receiver.IIO.ROCC()
+	tb.winRINS = tb.Receiver.IIO.RINS()
+	tb.winMarked = tb.HCC.MarkedPackets.Total()
+	tb.winSwDrops = tb.Sw.Drops.Total()
+}
+
+// Metrics summarizes one measurement window.
+type Metrics struct {
+	ThroughputGbps float64 // NetApp-T goodput
+	DropRatePct    float64 // receiver NIC drops / arrivals
+	SwitchDropPct  float64 // switch drops / NIC arrivals (incast runs)
+
+	MemUtilNet   float64 // network-side memory bandwidth / theoretical
+	MemUtilMApp  float64 // MApp memory bandwidth / theoretical
+	MemUtilTotal float64
+
+	MAppGBps     float64 // MApp memory bandwidth
+	MAppTputGbps float64 // MApp application throughput (1.33 B/B, §4.2)
+
+	AvgIS     float64 // window-average IIO occupancy (lines)
+	AvgBSGbps float64 // window-average PCIe bandwidth
+
+	MarkedPct    float64 // packets CE-marked by hostCC / NIC arrivals
+	ResponseLvl  int     // MBA level at window end
+	NetTimeouts  int64   // RTOs across NetApp-T flows
+	NetRetx      int64   // retransmissions across NetApp-T flows
+	WindowMicros float64
+}
+
+// Collect computes metrics for the window opened by MarkWindow.
+func (tb *Testbed) Collect() Metrics {
+	now := tb.E.Now()
+	dt := now - tb.winStart
+	m := Metrics{WindowMicros: dt.Micros()}
+	if tb.NetT != nil {
+		m.ThroughputGbps = tb.NetT.Throughput().Gbps()
+		m.NetRetx = tb.NetT.Retransmits()
+		for _, c := range tb.NetT.Conns() {
+			m.NetTimeouts += c.Timeouts.Total()
+		}
+	}
+	m.DropRatePct = tb.Receiver.NIC.WindowDropRate() * 100
+
+	arrivals := tb.Receiver.NIC.Arrivals.SinceMark()
+	if arrivals > 0 {
+		m.SwitchDropPct = float64(tb.Sw.Drops.Total()-tb.winSwDrops) / float64(arrivals) * 100
+		m.MarkedPct = float64(tb.HCC.MarkedPackets.Total()-tb.winMarked) / float64(arrivals) * 100
+	}
+
+	mc := tb.Receiver.MC
+	m.MemUtilNet = mc.UtilizationOf(memClassIIO) + mc.UtilizationOf(memClassEvict) + mc.UtilizationOf(memClassNetCopy)
+	m.MemUtilMApp = mc.UtilizationOf(memClassMApp)
+	m.MemUtilTotal = mc.TotalUtilization()
+	m.MAppGBps = mc.RateOf(memClassMApp).GBps()
+	m.MAppTputGbps = m.MAppGBps * 8 / 1.33
+
+	if dt > 0 {
+		m.AvgIS = float64(tb.Receiver.IIO.ROCC()-tb.winROCC) / (dt.Seconds() * msr.FIIOHz)
+		m.AvgBSGbps = float64(tb.Receiver.IIO.RINS()-tb.winRINS) * 64 * 8 / dt.Seconds() / 1e9
+	}
+	m.ResponseLvl = tb.Receiver.MBA.Level()
+	return m
+}
+
+// RunWindow performs the standard warmup + measurement cycle.
+func (tb *Testbed) RunWindow() Metrics {
+	tb.E.RunUntil(tb.Opts.Warmup)
+	tb.MarkWindow()
+	tb.E.RunFor(tb.Opts.Measure)
+	return tb.Collect()
+}

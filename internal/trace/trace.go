@@ -1,0 +1,178 @@
+// Package trace provides packet capture for the simulated network: a
+// bounded in-memory log of wire-format packet records that can be
+// attached to any point of the datapath (host receive hooks, fabric
+// links), serialized to an io.Writer, and parsed back. It is the
+// simulator's analogue of tcpdump, built on the packet package's wire
+// codec.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Record is one captured packet with its capture timestamp.
+type Record struct {
+	At  sim.Time
+	Pkt *packet.Packet
+}
+
+// PacketLog is a bounded ring of captured packets.
+type PacketLog struct {
+	e    *sim.Engine
+	cap  int
+	ring []Record
+	next int
+	full bool
+
+	// Captured counts all packets ever captured (including overwritten).
+	Captured int64
+}
+
+// NewPacketLog creates a log retaining the most recent capacity packets.
+func NewPacketLog(e *sim.Engine, capacity int) *PacketLog {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &PacketLog{e: e, cap: capacity, ring: make([]Record, 0, capacity)}
+}
+
+// Capture records one packet (cloned, so later mutation by the datapath
+// does not alter the log).
+func (l *PacketLog) Capture(p *packet.Packet) {
+	l.Captured++
+	r := Record{At: l.e.Now(), Pkt: p.Clone()}
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, r)
+		return
+	}
+	l.ring[l.next] = r
+	l.next = (l.next + 1) % l.cap
+	l.full = true
+}
+
+// Hook returns a capture function usable as a host receive hook.
+func (l *PacketLog) Hook() func(*packet.Packet) { return l.Capture }
+
+// Records returns the retained packets in capture order.
+func (l *PacketLog) Records() []Record {
+	if !l.full {
+		return append([]Record(nil), l.ring...)
+	}
+	out := make([]Record, 0, l.cap)
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Len returns the number of retained packets.
+func (l *PacketLog) Len() int { return len(l.ring) }
+
+// magic identifies a serialized packet log stream.
+var magic = [4]byte{'H', 'C', 'P', '1'}
+
+// WriteTo serializes the retained records: a 4-byte magic, then for each
+// record an 8-byte timestamp followed by the wire-format header.
+func (l *PacketLog) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	m, err := w.Write(magic[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	var ts [8]byte
+	buf := make([]byte, packet.WireHeaderLen)
+	for _, r := range l.Records() {
+		binary.BigEndian.PutUint64(ts[:], uint64(r.At))
+		m, err = w.Write(ts[:])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		if _, err := packet.MarshalHeader(r.Pkt, buf); err != nil {
+			return n, err
+		}
+		m, err = w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ErrBadStream reports a malformed serialized log.
+var ErrBadStream = errors.New("trace: malformed packet log stream")
+
+// Read parses a stream produced by WriteTo.
+func Read(r io.Reader) ([]Record, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadStream
+	}
+	var out []Record
+	var ts [8]byte
+	buf := make([]byte, packet.WireHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, ts[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: reading timestamp: %w", err)
+		}
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		p, err := packet.ParseHeader(buf)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, Record{At: sim.Time(binary.BigEndian.Uint64(ts[:])), Pkt: p})
+	}
+}
+
+// Summary aggregates a capture for quick inspection.
+type Summary struct {
+	Packets  int
+	Data     int
+	Acks     int
+	CEMarked int
+	Bytes    int64
+	First    sim.Time
+	Last     sim.Time
+}
+
+// Summarize computes aggregate statistics over records.
+func Summarize(recs []Record) Summary {
+	var s Summary
+	for i, r := range recs {
+		s.Packets++
+		s.Bytes += int64(r.Pkt.WireLen())
+		if r.Pkt.IsData() {
+			s.Data++
+		} else if r.Pkt.Flags.Has(packet.FlagACK) {
+			s.Acks++
+		}
+		if r.Pkt.ECN == packet.CE {
+			s.CEMarked++
+		}
+		if i == 0 {
+			s.First = r.At
+		}
+		s.Last = r.At
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d pkts (%d data, %d acks, %d CE) %dB over %v",
+		s.Packets, s.Data, s.Acks, s.CEMarked, s.Bytes, s.Last-s.First)
+}

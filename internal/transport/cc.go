@@ -1,0 +1,116 @@
+// Package transport implements a byte-stream reliable transport with
+// pluggable congestion control, modeled on the Linux TCP machinery the
+// paper evaluates: window-based sending, cumulative ACKs with duplicate-ACK
+// fast retransmit, a minimum retransmission timeout of 200 ms (the source
+// of the paper's P99.9 latency cliff), tail loss probes (which rescue
+// multi-packet RPCs), and ECN echo.
+//
+// hostCC composes with the transport exactly as it does with Linux: it
+// never touches transport state, it only CE-marks packets before delivery,
+// and the transport's ECN machinery does the rest (§4.3).
+package transport
+
+import (
+	"repro/internal/sim"
+)
+
+// AckEvent describes one cumulative ACK arrival to a congestion controller.
+type AckEvent struct {
+	Bytes  int      // newly acknowledged bytes
+	Marked bool     // ECN-echo set on this ACK
+	RTT    sim.Time // RTT sample carried by this ACK (0 if none)
+	AckSeq uint64   // cumulative sequence acknowledged
+	SndNxt uint64   // highest sequence sent so far
+	Flight int      // bytes in flight after this ACK
+}
+
+// LossEvent distinguishes how a loss was detected.
+type LossEvent int
+
+// Loss kinds.
+const (
+	LossFastRetransmit LossEvent = iota // triple duplicate ACK
+	LossTimeout                         // retransmission timeout
+)
+
+// CongestionControl computes the congestion window. Implementations are
+// per-connection and single-threaded (driven by the event loop).
+type CongestionControl interface {
+	// Name identifies the algorithm ("dctcp", "reno", ...).
+	Name() string
+	// OnAck processes a cumulative ACK.
+	OnAck(ev AckEvent)
+	// OnLoss processes a loss detection event.
+	OnLoss(l LossEvent)
+	// Cwnd returns the current congestion window in bytes.
+	Cwnd() int
+}
+
+// CCFactory constructs a congestion controller for one connection.
+type CCFactory func(e *sim.Engine, mss int) CongestionControl
+
+// reno implements TCP New Reno-style AIMD: slow start to ssthresh, then
+// one MSS per RTT of additive increase; halve on loss.
+type reno struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+	acc      int // fractional congestion-avoidance accumulator
+}
+
+// NewReno returns a Reno congestion controller factory.
+func NewReno() CCFactory {
+	return func(_ *sim.Engine, mss int) CongestionControl {
+		return newReno(mss)
+	}
+}
+
+func newReno(mss int) *reno {
+	return &reno{
+		mss:      mss,
+		cwnd:     10 * mss,
+		ssthresh: 1 << 30,
+	}
+}
+
+func (r *reno) Name() string { return "reno" }
+func (r *reno) Cwnd() int    { return r.cwnd }
+
+func (r *reno) OnAck(ev AckEvent) {
+	if ev.Bytes <= 0 {
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		// Slow start: grow by the bytes acknowledged.
+		r.cwnd += ev.Bytes
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: one MSS per cwnd of acknowledged bytes.
+	r.acc += ev.Bytes
+	if r.acc >= r.cwnd {
+		r.acc -= r.cwnd
+		r.cwnd += r.mss
+	}
+}
+
+func (r *reno) OnLoss(l LossEvent) {
+	switch l {
+	case LossFastRetransmit:
+		r.ssthresh = maxInt(r.cwnd/2, 2*r.mss)
+		r.cwnd = r.ssthresh
+	case LossTimeout:
+		r.ssthresh = maxInt(r.cwnd/2, 2*r.mss)
+		r.cwnd = r.mss
+	}
+	r.acc = 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRenoSlowStartToCongestionAvoidance(t *testing.T) {
+	r := newReno(1000)
+	r.ssthresh = 20_000
+	start := r.Cwnd() // 10 MSS
+	// Slow start: cwnd grows by acked bytes until ssthresh.
+	r.OnAck(AckEvent{Bytes: 5000, AckSeq: 5000, SndNxt: 20000})
+	if r.Cwnd() != start+5000 {
+		t.Fatalf("slow start growth: %d", r.Cwnd())
+	}
+	r.OnAck(AckEvent{Bytes: 50_000, AckSeq: 60000, SndNxt: 80000})
+	if r.Cwnd() != 20_000 {
+		t.Fatalf("slow start must clamp at ssthresh: %d", r.Cwnd())
+	}
+	// Congestion avoidance: ~1 MSS per cwnd of acked bytes.
+	before := r.Cwnd()
+	r.OnAck(AckEvent{Bytes: before, AckSeq: 100_000, SndNxt: 120_000})
+	if r.Cwnd() != before+1000 {
+		t.Fatalf("CA growth: %d -> %d", before, r.Cwnd())
+	}
+	// Zero-byte ACKs are ignored.
+	c := r.Cwnd()
+	r.OnAck(AckEvent{Bytes: 0})
+	if r.Cwnd() != c {
+		t.Fatal("zero-byte ack changed cwnd")
+	}
+}
+
+func TestDCTCPSingleReductionPerWindow(t *testing.T) {
+	d := NewDCTCP()(nil, 1000).(*dctcp)
+	d.cwnd = 100_000
+	d.ssthresh = 100_000
+	d.alpha = 0.5
+	d.windowEnd = 0
+	// First marked ACK crosses the window boundary: one reduction.
+	d.OnAck(AckEvent{Bytes: 1000, Marked: true, AckSeq: 1000, SndNxt: 100_000})
+	after := d.Cwnd()
+	if after >= 100_000 {
+		t.Fatalf("no reduction: %d", after)
+	}
+	// Further marked ACKs within the same window: no further reduction.
+	d.OnAck(AckEvent{Bytes: 1000, Marked: true, AckSeq: 2000, SndNxt: 100_000})
+	d.OnAck(AckEvent{Bytes: 1000, Marked: true, AckSeq: 3000, SndNxt: 100_000})
+	if d.Cwnd() != after {
+		t.Fatalf("multiple reductions in one window: %d -> %d", after, d.Cwnd())
+	}
+}
+
+func TestDCTCPReductionProportionalToAlpha(t *testing.T) {
+	// alpha near 0: tiny reduction. alpha near 1: halving.
+	mild := NewDCTCP()(nil, 1000).(*dctcp)
+	mild.cwnd, mild.ssthresh, mild.alpha = 100_000, 100_000, 0.1
+	mild.OnAck(AckEvent{Bytes: 1000, Marked: true, AckSeq: 1000, SndNxt: 100_000})
+
+	severe := NewDCTCP()(nil, 1000).(*dctcp)
+	severe.cwnd, severe.ssthresh, severe.alpha = 100_000, 100_000, 1.0
+	severe.OnAck(AckEvent{Bytes: 1000, Marked: true, AckSeq: 1000, SndNxt: 100_000})
+
+	if mild.Cwnd() <= severe.Cwnd() {
+		t.Fatalf("mild alpha cut more (%d) than severe (%d)", mild.Cwnd(), severe.Cwnd())
+	}
+	if severe.Cwnd() < 49_000 || severe.Cwnd() > 51_000 {
+		t.Fatalf("alpha=1 should halve: %d", severe.Cwnd())
+	}
+	// alpha is EWMA-updated with the fully marked window (F=1) before the
+	// reduction: 0.9375*0.1 + 0.0625 = 0.156 -> ~7.8% cut.
+	if mild.Cwnd() < 91_000 {
+		t.Fatalf("alpha=0.1 should cut ~8%%: %d", mild.Cwnd())
+	}
+}
+
+func TestCubicTimeBasedGrowth(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCubic()(e, 1000).(*cubic)
+	c.cwnd, c.ssthresh = 80_000, 40_000
+	c.OnLoss(LossFastRetransmit)
+	w1 := c.Cwnd()
+	// Feed identical ACK patterns at two different elapsed times; growth
+	// must be larger later (cubic in time, not acks).
+	seq := uint64(0)
+	feed := func() int {
+		before := c.Cwnd()
+		for i := 0; i < 10; i++ {
+			seq += 10_000
+			c.OnAck(AckEvent{Bytes: 10_000, AckSeq: seq, SndNxt: seq + 10_000})
+		}
+		return c.Cwnd() - before
+	}
+	e.RunFor(10 * sim.Millisecond)
+	g1 := feed()
+	e.RunFor(300 * sim.Millisecond)
+	g2 := feed()
+	if g2 <= g1 {
+		t.Fatalf("cubic growth not increasing with time: %d then %d (w after loss %d)", g1, g2, w1)
+	}
+}
+
+func TestDelayCCValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive target did not panic")
+		}
+	}()
+	NewDelayCC(0)
+}
+
+func TestDelayCCDecreaseRateLimited(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewDelayCC(100*sim.Microsecond)(e, 1000).(*delayCC)
+	d.cwnd = 100_000
+	// Two over-target ACKs back to back: only one decrease per RTT.
+	d.OnAck(AckEvent{Bytes: 1000, RTT: 400 * sim.Microsecond})
+	w := d.Cwnd()
+	d.OnAck(AckEvent{Bytes: 1000, RTT: 400 * sim.Microsecond})
+	if d.Cwnd() != w {
+		t.Fatalf("second decrease within the same RTT: %d -> %d", w, d.Cwnd())
+	}
+	if w >= 100_000 {
+		t.Fatal("no decrease on over-target RTT")
+	}
+	// Decrease magnitude is capped at 50%.
+	if w < 50_000 {
+		t.Fatalf("decrease exceeded cap: %d", w)
+	}
+}
+
+func TestDelayCCLossResponses(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewDelayCC(100*sim.Microsecond)(e, 1000).(*delayCC)
+	d.cwnd = 100_000
+	d.OnLoss(LossFastRetransmit)
+	if d.Cwnd() != 50_000 {
+		t.Fatalf("fast loss: %d", d.Cwnd())
+	}
+	d.OnLoss(LossTimeout)
+	if d.Cwnd() != 1000 {
+		t.Fatalf("timeout: %d", d.Cwnd())
+	}
+}

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// cubic implements CUBIC (the Linux default), provided as an additional
+// baseline: hostCC integrates with any ECN- or loss-based protocol (§4.3).
+// Window growth follows W(t) = C(t-K)^3 + Wmax in MSS units, with the
+// standard beta = 0.7 multiplicative decrease.
+type cubic struct {
+	e   *sim.Engine
+	mss int
+
+	cwnd     int
+	ssthresh int
+
+	wMax       float64  // window before the last reduction, in MSS
+	epochStart sim.Time // time of the last reduction
+	k          float64  // time (s) to regain wMax
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC factory.
+func NewCubic() CCFactory {
+	return func(e *sim.Engine, mss int) CongestionControl {
+		return &cubic{e: e, mss: mss, cwnd: 10 * mss, ssthresh: 1 << 30}
+	}
+}
+
+func (c *cubic) Name() string { return "cubic" }
+func (c *cubic) Cwnd() int    { return c.cwnd }
+
+func (c *cubic) OnAck(ev AckEvent) {
+	if ev.Bytes <= 0 {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += ev.Bytes
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	if c.epochStart == 0 {
+		// First congestion-avoidance ACK of this epoch.
+		c.epochStart = c.e.Now()
+		if c.wMax == 0 {
+			c.wMax = float64(c.cwnd) / float64(c.mss)
+			c.k = 0
+		}
+	}
+	t := (c.e.Now() - c.epochStart).Seconds()
+	target := cubicC*math.Pow(t-c.k, 3) + c.wMax // in MSS
+	cur := float64(c.cwnd) / float64(c.mss)
+	if target > cur {
+		// Approach the cubic target over the next RTT's worth of ACKs.
+		inc := (target - cur) / cur * float64(ev.Bytes)
+		c.cwnd += int(inc)
+	} else {
+		// TCP-friendly floor: at least Reno-rate growth.
+		c.cwnd += int(float64(c.mss) * float64(ev.Bytes) / float64(c.cwnd) * 0.3)
+	}
+}
+
+func (c *cubic) OnLoss(l LossEvent) {
+	c.wMax = float64(c.cwnd) / float64(c.mss)
+	c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+	c.epochStart = 0
+	c.ssthresh = maxInt(int(float64(c.cwnd)*cubicBeta), 2*c.mss)
+	if l == LossTimeout {
+		c.cwnd = c.mss
+	} else {
+		c.cwnd = c.ssthresh
+	}
+}

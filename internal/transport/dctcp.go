@@ -1,0 +1,79 @@
+package transport
+
+import "repro/internal/sim"
+
+// dctcp implements DCTCP (Alizadeh et al., SIGCOMM 2010), the congestion
+// control protocol the paper evaluates hostCC with. It maintains an EWMA
+// of the fraction of ECN-marked bytes per window,
+//
+//	alpha <- (1-g)*alpha + g*F,  g = 1/16
+//
+// and on a window containing marks reduces cwnd by alpha/2. Because hostCC
+// echoes host congestion through the same ECN bits a switch would use, an
+// unmodified DCTCP responds to host congestion at RTT granularity — the
+// paper's third key idea (§3.3, §4.3).
+type dctcp struct {
+	reno // growth behaviour and loss response are Reno's
+
+	g     float64
+	alpha float64
+
+	windowEnd   uint64 // next window boundary (snd_nxt at last update)
+	ackedBytes  int
+	markedBytes int
+	sawMark     bool
+}
+
+// DCTCPGain is the default EWMA gain g.
+const DCTCPGain = 1.0 / 16
+
+// NewDCTCP returns a DCTCP factory with the default gain.
+func NewDCTCP() CCFactory { return NewDCTCPWithGain(DCTCPGain) }
+
+// NewDCTCPWithGain returns a DCTCP factory with a custom EWMA gain
+// (used by ablation benchmarks).
+func NewDCTCPWithGain(g float64) CCFactory {
+	return func(_ *sim.Engine, mss int) CongestionControl {
+		return &dctcp{reno: *newReno(mss), g: g}
+	}
+}
+
+func (d *dctcp) Name() string { return "dctcp" }
+
+// Alpha exposes the congestion estimate (diagnostics and tests).
+func (d *dctcp) Alpha() float64 { return d.alpha }
+
+func (d *dctcp) OnAck(ev AckEvent) {
+	if ev.Bytes > 0 {
+		d.ackedBytes += ev.Bytes
+		if ev.Marked {
+			d.markedBytes += ev.Bytes
+			d.sawMark = true
+		}
+	}
+
+	// Window rollover: one alpha update and at most one reduction per RTT.
+	if ev.AckSeq >= d.windowEnd {
+		if d.ackedBytes > 0 {
+			f := float64(d.markedBytes) / float64(d.ackedBytes)
+			d.alpha = (1-d.g)*d.alpha + d.g*f
+		}
+		if d.sawMark {
+			cw := float64(d.cwnd) * (1 - d.alpha/2)
+			d.cwnd = maxInt(int(cw), 2*d.mss)
+			d.ssthresh = d.cwnd
+		}
+		d.windowEnd = ev.SndNxt
+		d.ackedBytes, d.markedBytes, d.sawMark = 0, 0, false
+		if d.windowEnd <= ev.AckSeq {
+			// Nothing in flight: next window starts at the next send.
+			d.windowEnd = ev.AckSeq + 1
+		}
+	}
+
+	// Growth: DCTCP grows exactly like Reno between reductions, but a
+	// marked window must not also grow.
+	if !d.sawMark {
+		d.reno.OnAck(ev)
+	}
+}
