@@ -1,0 +1,36 @@
+# Tier-1 verification: everything here must stay green.
+#
+#   make verify     build + full test suite (the tier-1 gate)
+#   make race       race-detector job (short mode: the figure-scale
+#                   simulations are pure compute on one goroutine and
+#                   would take >10 min under the detector for no extra
+#                   race coverage; -short keeps the concurrent paths —
+#                   sweeps, meters — under the detector in ~2 min)
+#   make chaos      fault-injection suite only
+#   make bench      regenerate the quick-scale figures
+
+GO ?= go
+
+.PHONY: all build test verify race chaos bench vet
+
+all: verify race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify: build vet test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+chaos:
+	$(GO) test ./internal/faults/ ./internal/testbed/ -run 'TestChaos' -count=1
+
+bench:
+	$(GO) run ./cmd/hostcc-bench -fig all -scale quick

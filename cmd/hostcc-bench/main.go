@@ -5,8 +5,11 @@
 //
 //	hostcc-bench -fig 10 -scale quick
 //	hostcc-bench -fig all -scale default
+//	hostcc-bench -chaos link-flap
+//	hostcc-bench -chaos all
 //
 // Figures: 2 3 4 7 8 9 10 11 12 13 14 15 16 17 18 19 (or "all").
+// Chaos scenarios: see `hostcc-bench -chaos list`.
 package main
 
 import (
@@ -24,7 +27,14 @@ import (
 func main() {
 	fig := flag.String("fig", "10", "figure number to regenerate, or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: bench, quick, default, paper")
+	chaos := flag.String("chaos", "", "run a chaos scenario ('list' to enumerate, 'all' for every one) and print recovery metrics")
+	seed := flag.Int64("seed", 42, "simulation seed (chaos runs)")
 	flag.Parse()
+
+	if *chaos != "" {
+		runChaos(*chaos, *seed)
+		return
+	}
 
 	scale, ok := map[string]hostcc.Scale{
 		"bench":   testbed.ScaleBench,
@@ -90,6 +100,35 @@ func main() {
 		start := time.Now()
 		run(scale)
 		fmt.Printf("  [figure %s regenerated in %.1fs at scale %q]\n\n", f, time.Since(start).Seconds(), *scaleName)
+	}
+}
+
+func runChaos(name string, seed int64) {
+	if name == "list" {
+		for _, s := range hostcc.ChaosScenarios() {
+			fmt.Println(s)
+		}
+		return
+	}
+	scenarios := []string{name}
+	if name == "all" {
+		scenarios = hostcc.ChaosScenarios()
+	}
+	fmt.Printf("== Chaos — fault injection and recovery (seed %d)\n", seed)
+	for _, sc := range scenarios {
+		start := time.Now()
+		r, err := hostcc.RunChaos(hostcc.ChaosConfig{Scenario: sc, Seed: seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   %s\n", r)
+		if r.WatchdogTrips > 0 {
+			fmt.Printf("     watchdog: state=%s trips=%d rearms=%d failed-samples=%d\n",
+				r.WatchdogState, r.WatchdogTrips, r.WatchdogRearms, r.FailedSamples)
+		}
+		fmt.Printf("     [%.1fs, %d invariant checks, %d fault events]\n",
+			time.Since(start).Seconds(), r.InvariantChecks, r.FaultEvents)
 	}
 }
 

@@ -34,6 +34,7 @@ package hostcc
 
 import (
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/transport"
@@ -141,3 +142,65 @@ var RunFutureMBAStudy = testbed.RunFutureMBAStudy
 
 // FutureMBARow is one row of the future-hardware study.
 type FutureMBARow = testbed.FutureMBARow
+
+// Fault injection and chaos testing (see internal/faults and DESIGN.md
+// "Fault model & graceful degradation").
+type (
+	// FaultPlan is a deterministic fault-injection scenario: a set of
+	// injections scheduled on the simulation clock.
+	FaultPlan = faults.Plan
+	// FaultInjection is one scheduled fault (one-shot, periodic, or
+	// probabilistic).
+	FaultInjection = faults.Injection
+	// FaultKind selects the hardware seam a fault targets.
+	FaultKind = faults.Kind
+	// ChaosConfig parameterizes one chaos run.
+	ChaosConfig = testbed.ChaosConfig
+	// ChaosResult reports baseline/fault/recovery goodput and failsafe
+	// activity for one chaos run.
+	ChaosResult = testbed.ChaosResult
+	// WatchdogConfig parameterizes hostCC's failsafe (Options.Watchdog).
+	WatchdogConfig = core.WatchdogConfig
+)
+
+// Fault plan constructors.
+var (
+	FaultOneShot       = faults.OneShot
+	FaultPeriodic      = faults.Periodic
+	FaultProbabilistic = faults.Probabilistic
+	BuiltinFaultPlan   = faults.Builtin
+)
+
+// Fault kinds (the hardware seam each fault targets).
+const (
+	FaultMSRStale   = faults.MSRStale
+	FaultMSRFail    = faults.MSRFail
+	FaultMSRLatency = faults.MSRLatency
+	FaultMBADrop    = faults.MBADrop
+	FaultMBADelay   = faults.MBADelay
+	FaultNICDrop    = faults.NICDrop
+	FaultLinkFlap   = faults.LinkFlap
+	FaultPCIeStall  = faults.PCIeStall
+	FaultMAppStall  = faults.MAppStall
+	FaultMAppBurst  = faults.MAppBurst
+)
+
+// Millisecond/Microsecond re-exports for building fault plans without
+// importing internal packages.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// DefaultWatchdogConfig returns the default failsafe parameters for
+// Options.Watchdog.
+func DefaultWatchdogConfig() WatchdogConfig { return core.DefaultWatchdogConfig() }
+
+// RunChaos executes one fault scenario against a loaded testbed with the
+// watchdog armed and invariant checking on, returning recovery metrics.
+// The run is deterministic from the config (seed included).
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) { return testbed.RunChaos(cfg) }
+
+// ChaosScenarios lists the built-in fault scenario names accepted by
+// ChaosConfig.Scenario and `hostcc-bench -chaos`.
+func ChaosScenarios() []string { return testbed.ChaosScenarios() }

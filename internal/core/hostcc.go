@@ -23,6 +23,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/msr"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -100,6 +102,70 @@ type Config struct {
 	UseDelaySignal bool
 	// DT is the host-delay threshold when UseDelaySignal is set.
 	DT sim.Time
+	// Watchdog, when non-nil, arms the signal/actuation failsafe (see
+	// watchdog.go). The zero WatchdogConfig selects all defaults.
+	Watchdog *WatchdogConfig
+}
+
+// Validate reports the first invalid parameter of the configuration. New
+// clamps these same parameters (see Sanitize), so an invalid Config is
+// usable but silently differs from what was asked — callers that care
+// should Validate first.
+func (c Config) Validate() error {
+	if c.SampleInterval <= 0 {
+		return fmt.Errorf("core: SampleInterval %v must be positive (zero would busy-loop the event queue)", c.SampleInterval)
+	}
+	if c.IT <= 0 {
+		return fmt.Errorf("core: IT %v must be positive", c.IT)
+	}
+	if c.BT <= 0 {
+		return fmt.Errorf("core: BT %v must be positive", c.BT)
+	}
+	if c.WeightIS <= 0 || c.WeightIS > 1 {
+		return fmt.Errorf("core: WeightIS %v outside (0,1]", c.WeightIS)
+	}
+	if c.WeightBS <= 0 || c.WeightBS > 1 {
+		return fmt.Errorf("core: WeightBS %v outside (0,1]", c.WeightBS)
+	}
+	if c.PCIeOverhead < 1 {
+		return fmt.Errorf("core: PCIeOverhead %v below 1", c.PCIeOverhead)
+	}
+	if c.UseDelaySignal && c.DT <= 0 {
+		return fmt.Errorf("core: delay signal requires a positive DT, got %v", c.DT)
+	}
+	return nil
+}
+
+// Sanitize returns a copy with every invalid parameter clamped to its
+// paper default, plus the validation error (nil when nothing needed
+// clamping). A zero or negative SampleInterval would busy-loop the event
+// queue; zero thresholds would pin the controller in one regime — New
+// refuses to construct a module that does either.
+func (c Config) Sanitize() (Config, error) {
+	err := c.Validate()
+	d := DefaultConfig(false)
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = d.SampleInterval
+	}
+	if c.IT <= 0 {
+		c.IT = d.IT
+	}
+	if c.BT <= 0 {
+		c.BT = d.BT
+	}
+	if c.WeightIS <= 0 || c.WeightIS > 1 {
+		c.WeightIS = d.WeightIS
+	}
+	if c.WeightBS <= 0 || c.WeightBS > 1 {
+		c.WeightBS = d.WeightBS
+	}
+	if c.PCIeOverhead < 1 {
+		c.PCIeOverhead = d.PCIeOverhead
+	}
+	if c.UseDelaySignal && c.DT <= 0 {
+		c.UseDelaySignal = false
+	}
+	return c, err
 }
 
 // DefaultConfig returns the paper's default parameters.
@@ -137,17 +203,24 @@ type HostCC struct {
 
 	running bool
 
+	// wd is the signal/actuation failsafe (nil when not configured).
+	wd *Watchdog
+
 	// ReadLatency records every MSR read's latency (Figure 7).
 	ReadLatency *stats.Histogram
 
 	// Counters.
 	MarkedPackets stats.Counter
 	Samples       stats.Counter
+	FailedSamples stats.Counter
 	LevelRaises   stats.Counter
 	LevelDrops    stats.Counter
 }
 
 // New creates a hostCC module reading signals from f and driving mba.
+// Invalid Config parameters (zero or negative SampleInterval, IT, BT,
+// weights) are clamped to the paper defaults — see Config.Sanitize; use
+// Validate to detect them before construction.
 func New(e *sim.Engine, f *msr.File, mba LevelController, cfg Config) *HostCC {
 	if f == nil {
 		panic("core: nil MSR file")
@@ -155,25 +228,14 @@ func New(e *sim.Engine, f *msr.File, mba LevelController, cfg Config) *HostCC {
 	if cfg.Mode != ModeEchoOnly && cfg.Mode != ModeOff && mba == nil {
 		panic("core: host-local response requires a level controller")
 	}
-	if cfg.WeightIS <= 0 || cfg.WeightBS <= 0 {
-		panic("core: non-positive EWMA weights")
-	}
-	if cfg.SampleInterval <= 0 {
-		panic("core: non-positive sample interval")
-	}
-	if cfg.PCIeOverhead == 0 {
-		cfg.PCIeOverhead = 1
-	}
+	cfg, _ = cfg.Sanitize()
 	if cfg.Policy == nil {
 		cfg.Policy = TargetBandwidthPolicy{
 			IT:      cfg.IT,
 			BTBytes: float64(cfg.BT) * cfg.PCIeOverhead,
 		}
 	}
-	if cfg.UseDelaySignal && cfg.DT <= 0 {
-		panic("core: delay signal requires a positive DT")
-	}
-	return &HostCC{
+	h := &HostCC{
 		e:           e,
 		f:           f,
 		mba:         mba,
@@ -182,7 +244,14 @@ func New(e *sim.Engine, f *msr.File, mba LevelController, cfg Config) *HostCC {
 		bsEWMA:      stats.NewEWMA(cfg.WeightBS),
 		ReadLatency: stats.NewHistogram(30),
 	}
+	if cfg.Watchdog != nil {
+		h.wd = newWatchdog(e, mba, *cfg.Watchdog)
+	}
+	return h
 }
+
+// Watchdog returns the failsafe, or nil when not configured.
+func (h *HostCC) Watchdog() *Watchdog { return h.wd }
 
 // Config returns the module configuration.
 func (h *HostCC) Config() Config { return h.cfg }
@@ -193,23 +262,41 @@ func (h *HostCC) Start() {
 		panic("core: hostCC started twice")
 	}
 	h.running = true
+	if h.wd != nil {
+		h.wd.start()
+	}
 	h.sample()
 }
 
 // Stop halts sampling after the in-flight sample completes.
-func (h *HostCC) Stop() { h.running = false }
+func (h *HostCC) Stop() {
+	h.running = false
+	if h.wd != nil {
+		h.wd.stop()
+	}
+}
 
 // sample performs one signal collection: two dependent MSR reads (ROCC,
-// then RINS) with TSC timestamps, exactly as §4.1 describes.
+// then RINS) with TSC timestamps, exactly as §4.1 describes. A failed
+// read aborts the sample — no partial snapshot is folded into the signal
+// state — and the failure is reported to the watchdog (when armed).
 func (h *HostCC) sample() {
 	if !h.running {
 		return
 	}
-	h.f.Read(msr.IIOOccupancy, func(rocc uint64, lat sim.Time) {
+	h.f.Read(msr.IIOOccupancy, func(rocc uint64, lat sim.Time, err error) {
 		h.ReadLatency.Add(float64(lat))
+		if err != nil {
+			h.sampleFailed()
+			return
+		}
 		tRocc := h.f.ReadTSC()
-		h.f.Read(msr.IIOInsertions, func(rins uint64, lat2 sim.Time) {
+		h.f.Read(msr.IIOInsertions, func(rins uint64, lat2 sim.Time, err error) {
 			h.ReadLatency.Add(float64(lat2))
+			if err != nil {
+				h.sampleFailed()
+				return
+			}
 			tRins := h.f.ReadTSC()
 			h.ingest(rocc, tRocc, rins, tRins)
 			h.e.After(h.cfg.SampleInterval, h.sample)
@@ -217,10 +304,23 @@ func (h *HostCC) sample() {
 	})
 }
 
+// sampleFailed accounts one failed signal collection and keeps the
+// sampling loop alive: the signal EWMAs are left untouched and the next
+// sample is scheduled normally (the kernel module's rdmsr wrapper does
+// the same — a fault is logged, the sample skipped).
+func (h *HostCC) sampleFailed() {
+	h.FailedSamples.Inc(1)
+	if h.wd != nil {
+		h.wd.noteReadFailure()
+	}
+	h.e.After(h.cfg.SampleInterval, h.sample)
+}
+
 // ingest folds one counter snapshot into the signal EWMAs and triggers
 // the response.
 func (h *HostCC) ingest(rocc uint64, tRocc sim.Time, rins uint64, tRins sim.Time) {
 	h.Samples.Inc(1)
+	moved := !h.seeded || rocc != h.lastROCC || rins != h.lastRINS
 	if h.seeded {
 		if dt := tRocc - h.lastROCCAt; dt > 0 {
 			// Average occupancy: ΔROCC / (Δt × F_IIO), §4.1.
@@ -236,6 +336,12 @@ func (h *HostCC) ingest(rocc uint64, tRocc sim.Time, rins uint64, tRins sim.Time
 	h.lastROCC, h.lastROCCAt = rocc, tRocc
 	h.lastRINS, h.lastRINSAt = rins, tRins
 	h.seeded = true
+	if h.wd != nil {
+		// Counters that stop moving while the filtered bandwidth says
+		// traffic was flowing are a stuck sensor, not an idle host.
+		loaded := h.bsEWMA.Value() > h.wd.cfg.LoadFloorBytes
+		h.wd.noteSample(moved, loaded)
+	}
 	h.respond()
 }
 
@@ -285,9 +391,14 @@ func (h *HostCC) Level() int {
 }
 
 // respond applies the configured policy (by default the four regimes of
-// Figure 6) to the current signals.
+// Figure 6) to the current signals. While the watchdog is in fallback the
+// policy is bypassed: its inputs are exactly the signals the watchdog
+// distrusts, so the level stays pinned at the conservative fallback.
 func (h *HostCC) respond() {
 	if h.cfg.Mode == ModeOff || h.cfg.Mode == ModeEchoOnly || h.mba == nil {
+		return
+	}
+	if h.wd != nil && h.wd.State() == WatchdogFallback {
 		return
 	}
 	cur := h.mba.Level()
@@ -302,14 +413,14 @@ func (h *HostCC) respond() {
 		// Regime 3: reduce host-local traffic's resources (more
 		// backpressure), in addition to the ECN echo.
 		if cur+1 < h.mba.NumLevels() {
-			h.mba.RequestLevel(cur + 1)
+			h.requestLevel(cur + 1)
 			h.LevelRaises.Inc(1)
 		}
 	case Lower:
 		// Regime 1: network traffic met its target and the host is not
 		// congested — return resources to host-local traffic.
 		if cur > 0 {
-			h.mba.RequestLevel(cur - 1)
+			h.requestLevel(cur - 1)
 			h.LevelDrops.Inc(1)
 		}
 	case Hold:
@@ -317,6 +428,16 @@ func (h *HostCC) respond() {
 		// Regime 4 (not congested, below target): hold, letting network
 		// traffic grow into the target before host-local traffic does.
 	}
+}
+
+// requestLevel issues a level change and registers the intent with the
+// watchdog for actuation read-back (a silently dropped MBA write is
+// re-issued with backoff).
+func (h *HostCC) requestLevel(l int) {
+	if h.wd != nil {
+		h.wd.noteRequest(l)
+	}
+	h.mba.RequestLevel(l)
 }
 
 // ReceiveHook returns the NetFilter-position hook implementing the ECN

@@ -270,13 +270,12 @@ func TestEWMAWeightsDifferentTimescales(t *testing.T) {
 func TestValidation(t *testing.T) {
 	e := sim.NewEngine(1)
 	f := msr.NewFile(e)
-	cases := map[string]func(){
-		"nil msr":     func() { New(e, nil, &fakeMBA{nLevels: 5}, DefaultConfig(false)) },
-		"nil mba":     func() { New(e, f, nil, DefaultConfig(false)) },
-		"bad weights": func() { c := DefaultConfig(false); c.WeightIS = 0; New(e, f, &fakeMBA{nLevels: 5}, c) },
-		"bad sample":  func() { c := DefaultConfig(false); c.SampleInterval = 0; New(e, f, &fakeMBA{nLevels: 5}, c) },
+	// Missing hardware is a programmer error and still panics.
+	panics := map[string]func(){
+		"nil msr": func() { New(e, nil, &fakeMBA{nLevels: 5}, DefaultConfig(false)) },
+		"nil mba": func() { New(e, f, nil, DefaultConfig(false)) },
 	}
-	for name, fn := range cases {
+	for name, fn := range panics {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -285,6 +284,29 @@ func TestValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+	// Bad numeric parameters are clamped to defaults instead of panicking
+	// (Validate reports them; Sanitize repairs them).
+	d := DefaultConfig(false)
+	clamped := map[string]struct {
+		mutate func(*Config)
+		check  func(Config) bool
+	}{
+		"bad weights": {func(c *Config) { c.WeightIS = 0 }, func(c Config) bool { return c.WeightIS == d.WeightIS }},
+		"bad sample":  {func(c *Config) { c.SampleInterval = 0 }, func(c Config) bool { return c.SampleInterval == d.SampleInterval }},
+		"bad IT":      {func(c *Config) { c.IT = -1 }, func(c Config) bool { return c.IT == d.IT }},
+		"bad BT":      {func(c *Config) { c.BT = -1 }, func(c Config) bool { return c.BT == d.BT }},
+	}
+	for name, tc := range clamped {
+		c := DefaultConfig(false)
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid config", name)
+		}
+		h := New(e, f, &fakeMBA{nLevels: 5}, c)
+		if !tc.check(h.Config()) {
+			t.Errorf("%s: New did not clamp to default (%+v)", name, h.Config())
+		}
 	}
 	// Echo-only mode tolerates a nil controller.
 	cfg := DefaultConfig(false)
@@ -322,13 +344,3 @@ func TestSenderGuardRespondsToStarvation(t *testing.T) {
 	}
 }
 
-func TestModeString(t *testing.T) {
-	for m, s := range map[Mode]string{
-		ModeFull: "full", ModeEchoOnly: "echo-only",
-		ModeLocalOnly: "local-only", ModeOff: "off", Mode(9): "unknown",
-	} {
-		if m.String() != s {
-			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), s)
-		}
-	}
-}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// InvariantProbes supplies the datapath counters the checker audits. Any
+// nil probe disables its invariant, so a checker can be wired against a
+// partially instrumented testbed.
+type InvariantProbes struct {
+	// NIC packet conservation: every arrival is either dropped (buffer
+	// full or injected fault), still buffered, or had its DMA initiated.
+	NICArrivals   func() int64
+	NICDrops      func() int64
+	NICFaultDrops func() int64
+	NICQueued     func() int
+	NICDMAStarted func() int64
+
+	// PCIe credit accounting: available plus sequestered (fault-stalled)
+	// credits never exceed the pool, and never go negative.
+	PCIeCredits func() (avail, sequestered, cap int)
+
+	// MBA level bounds.
+	MBALevel  func() int
+	MBALevels func() int
+}
+
+// InvariantChecker audits conservation laws of the host datapath while a
+// simulation runs — chiefly under fault injection, where a bug in a fault
+// seam (a lost credit, a double-counted packet) would otherwise corrupt
+// the model silently and make every chaos result meaningless. A violation
+// calls OnViolation; the default panics, because a model that broke its
+// own accounting cannot produce trustworthy numbers from that point on.
+type InvariantChecker struct {
+	e     *sim.Engine
+	every sim.Time
+	p     InvariantProbes
+
+	ticker *sim.Ticker
+
+	// OnViolation handles a violated invariant (default: panic).
+	OnViolation func(string)
+	// Violations records every violation message (also when OnViolation
+	// is overridden).
+	Violations []string
+	// Checks counts completed audit passes.
+	Checks stats.Counter
+}
+
+// NewInvariantChecker creates a checker auditing every `every` of
+// simulated time once started.
+func NewInvariantChecker(e *sim.Engine, every sim.Time, p InvariantProbes) *InvariantChecker {
+	if every <= 0 {
+		panic("core: non-positive invariant check interval")
+	}
+	return &InvariantChecker{e: e, every: every, p: p}
+}
+
+// Start begins periodic auditing.
+func (c *InvariantChecker) Start() {
+	if c.ticker != nil {
+		panic("core: invariant checker started twice")
+	}
+	c.ticker = sim.NewTicker(c.e, c.every, func() { c.Check() })
+}
+
+// Stop halts periodic auditing.
+func (c *InvariantChecker) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// Check runs one audit pass immediately.
+func (c *InvariantChecker) Check() {
+	c.Checks.Inc(1)
+	if c.p.NICArrivals != nil && c.p.NICDrops != nil && c.p.NICQueued != nil && c.p.NICDMAStarted != nil {
+		arr := c.p.NICArrivals()
+		drops := c.p.NICDrops()
+		var faultDrops int64
+		if c.p.NICFaultDrops != nil {
+			faultDrops = c.p.NICFaultDrops()
+		}
+		queued := int64(c.p.NICQueued())
+		dma := c.p.NICDMAStarted()
+		if arr != drops+faultDrops+queued+dma {
+			c.violate(fmt.Sprintf(
+				"packet conservation: arrivals %d != drops %d + fault-drops %d + queued %d + dma-started %d",
+				arr, drops, faultDrops, queued, dma))
+		}
+	}
+	if c.p.PCIeCredits != nil {
+		avail, seq, cap := c.p.PCIeCredits()
+		if avail < 0 || seq < 0 {
+			c.violate(fmt.Sprintf("pcie credits negative: avail %d sequestered %d", avail, seq))
+		}
+		if avail+seq > cap {
+			c.violate(fmt.Sprintf("pcie credit overflow: avail %d + sequestered %d > cap %d", avail, seq, cap))
+		}
+	}
+	if c.p.MBALevel != nil && c.p.MBALevels != nil {
+		l, n := c.p.MBALevel(), c.p.MBALevels()
+		if l < 0 || l >= n {
+			c.violate(fmt.Sprintf("mba level %d outside [0,%d)", l, n))
+		}
+	}
+}
+
+func (c *InvariantChecker) violate(msg string) {
+	msg = fmt.Sprintf("invariant violated at %v: %s", c.e.Now(), msg)
+	c.Violations = append(c.Violations, msg)
+	if c.OnViolation != nil {
+		c.OnViolation(msg)
+		return
+	}
+	panic("core: " + msg)
+}

@@ -104,15 +104,14 @@ func TestDelaySignalCongestionDetection(t *testing.T) {
 
 func TestDelaySignalRequiresDT(t *testing.T) {
 	cfg := DefaultConfig(false)
-	cfg.UseDelaySignal = true
-	e := sim.NewEngine(1)
-	_ = e
-	defer func() {
-		if recover() == nil {
-			t.Error("delay signal without DT did not panic")
-		}
-	}()
-	newRig(t, cfg)
+	cfg.UseDelaySignal = true // DT left zero
+	if err := cfg.Validate(); err == nil {
+		t.Error("delay signal without DT passed Validate")
+	}
+	_, _, _, h := newRig(t, cfg)
+	if h.Config().UseDelaySignal {
+		t.Error("Sanitize left the delay signal enabled with DT = 0")
+	}
 }
 
 func TestActionString(t *testing.T) {

@@ -51,7 +51,10 @@ type MApp struct {
 	cfg MAppConfig
 
 	running bool
-	parked  int // cores idled by an MBA pause level
+	parked  int // cores idled by an MBA pause level or an injected stall
+
+	stalled bool    // fault injection: all cores parked
+	burst   float64 // fault injection: issue-overhead divisor (0 or 1 = off)
 }
 
 // NewMApp creates the traffic generator. mba may be nil (never throttled).
@@ -70,6 +73,30 @@ func NewMApp(e *sim.Engine, mc *mem.Controller, mba *MBA, cfg MAppConfig) *MApp 
 		mba.OnChange(func(_, _ int) { a.resumeParked() })
 	}
 	return a
+}
+
+// Stall parks every core as its in-flight request completes (fault
+// injection: the MApp hits a lock, a page fault storm, or is scheduled
+// out). Resume restarts the parked cores.
+func (a *MApp) Stall() { a.stalled = true }
+
+// Resume clears an injected stall and restarts parked cores.
+func (a *MApp) Resume() {
+	if !a.stalled {
+		return
+	}
+	a.stalled = false
+	a.resumeParked()
+}
+
+// SetBurst scales the MApp's issue aggressiveness: factor > 1 divides the
+// per-iteration issue overhead, modeling a phase change to a hotter access
+// pattern (fault injection). Factor <= 1 restores the calibrated rate.
+func (a *MApp) SetBurst(factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	a.burst = factor
 }
 
 // RequestBytes is the per-iteration request size of one core: a full
@@ -94,7 +121,7 @@ func (a *MApp) coreIssue() {
 	if !a.running {
 		return
 	}
-	if a.mba != nil && a.mba.Paused() {
+	if a.stalled || (a.mba != nil && a.mba.Paused()) {
 		a.parked++
 		return
 	}
@@ -105,6 +132,9 @@ func (a *MApp) coreIssue() {
 		Weight:     a.cfg.LFB,
 		OnComplete: func(sim.Time) {
 			delay := a.cfg.IssueOverhead
+			if a.burst > 1 {
+				delay = sim.Time(float64(delay) / a.burst)
+			}
 			if a.mba != nil {
 				delay += a.mba.Delay()
 			}
@@ -118,7 +148,7 @@ func (a *MApp) coreIssue() {
 }
 
 func (a *MApp) resumeParked() {
-	if a.mba.Paused() || a.parked == 0 {
+	if a.stalled || (a.mba != nil && a.mba.Paused()) || a.parked == 0 {
 		return
 	}
 	n := a.parked

@@ -50,6 +50,18 @@ func DefaultMBAConfig() MBAConfig {
 	}
 }
 
+// WriteFault perturbs one MBA MSR write (fault injection). The zero value
+// is a healthy write.
+type WriteFault struct {
+	// Drop makes the write retire without taking effect — the hardware
+	// silently ignores the new level and the control plane is not told
+	// (real MBA provides no completion status; a dropped CLOS update is
+	// only observable by reading the level back).
+	Drop bool
+	// ExtraLatency is added to the write's retire latency.
+	ExtraLatency sim.Time
+}
+
 // MBA is the memory-bandwidth-allocation control plane for one
 // class-of-service (the MApp cores; network cores are in a separate COS
 // and never throttled, as in §4.2).
@@ -62,8 +74,13 @@ type MBA struct {
 	writing  bool // MSR write in flight
 	onChange []func(old, new int)
 
+	// writeFault, when set, is consulted once per MSR write.
+	writeFault func() WriteFault
+
 	// Writes counts MSR writes performed (ablation metric).
 	Writes int64
+	// LostWrites counts writes silently dropped by fault injection.
+	LostWrites int64
 }
 
 // NewMBA creates the MBA controller and registers its throttle register
@@ -118,12 +135,30 @@ func (m *MBA) RequestLevel(l int) {
 	m.startWrite()
 }
 
+// SetWriteFault installs the write-fault hook (nil removes it).
+func (m *MBA) SetWriteFault(fn func() WriteFault) { m.writeFault = fn }
+
 func (m *MBA) startWrite() {
 	m.writing = true
 	m.Writes++
 	want := m.target
-	m.e.After(m.cfg.WriteLatency, func() {
+	var fault WriteFault
+	if m.writeFault != nil {
+		fault = m.writeFault()
+	}
+	m.e.After(m.cfg.WriteLatency+fault.ExtraLatency, func() {
 		m.writing = false
+		if fault.Drop {
+			// The hardware ate the write. Retry only if a newer target
+			// arrived while it was in flight (the driver's coalescing
+			// queue); an unchanged target is lost silently — recovering
+			// it is the watchdog's job (core.Watchdog read-back).
+			m.LostWrites++
+			if m.target != want {
+				m.startWrite()
+			}
+			return
+		}
 		m.apply(want)
 		if m.target != m.applied {
 			m.startWrite()

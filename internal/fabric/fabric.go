@@ -36,10 +36,13 @@ type Link struct {
 	cfg       LinkConfig
 	busyUntil sim.Time
 	deliver   func(*packet.Packet)
+	down      bool // fault injection: link flapped down
 
 	Bytes stats.Meter
 	// Corrupted counts packets dropped by injected wire loss.
 	Corrupted stats.Counter
+	// FlapDrops counts packets lost while the link was flapped down.
+	FlapDrops stats.Counter
 }
 
 // NewLink creates a link delivering packets via deliver.
@@ -68,12 +71,26 @@ func (l *Link) Send(p *packet.Packet) {
 }
 
 func (l *Link) lost() bool {
+	if l.down {
+		l.FlapDrops.Inc(1)
+		return true
+	}
 	if l.cfg.LossProb > 0 && l.e.Rand().Float64() < l.cfg.LossProb {
 		l.Corrupted.Inc(1)
 		return true
 	}
 	return false
 }
+
+// SetDown flaps the link (fault injection): while down, every packet
+// handed to the link is lost — the signal is gone, so frames in flight at
+// flap time are lost by the receiver's loss-of-signal squelch too, which
+// this model folds into the send-time check. Flapping affects only loss,
+// not serialization state.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports whether the link is flapped down.
+func (l *Link) IsDown() bool { return l.down }
 
 // QueuedTime reports how long a packet sent now would wait to serialize.
 func (l *Link) QueuedTime() sim.Time {

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Built-in scenarios: each is a Plan template parameterized by the fault
+// window (open at `at`, clear at `at+dur`). They are the chaos suite's
+// vocabulary and the vocabulary of `hostcc-bench -chaos <name>`.
+var builtins = map[string]func(at, dur sim.Time) Plan{
+	// msr-stale: the IIO counters stop counting — every read returns the
+	// previous snapshot. hostCC's occupancy signal decays to zero and the
+	// controller would hand all resources back to the MApp unless the
+	// watchdog notices the frozen counters and falls back.
+	"msr-stale": func(at, dur sim.Time) Plan {
+		return Plan{Name: "msr-stale", Injections: []Injection{
+			OneShot(MSRStale, at, dur),
+		}}
+	},
+	// msr-fail: rdmsr faults outright; samples abort with ErrReadFailed.
+	"msr-fail": func(at, dur sim.Time) Plan {
+		return Plan{Name: "msr-fail", Injections: []Injection{
+			OneShot(MSRFail, at, dur),
+		}}
+	},
+	// msr-latency: 20 µs contention spikes on a third of reads — the
+	// signal stays correct but arrives late and the sampling rate drops.
+	"msr-latency": func(at, dur sim.Time) Plan {
+		return Plan{Name: "msr-latency", Injections: []Injection{
+			Probabilistic(MSRLatency, at, dur, 1.0/3).WithMagnitude(float64(20 * sim.Microsecond)),
+		}}
+	},
+	// mba-drop: the hardware silently ignores every MBA level write; the
+	// host-local response is frozen at its pre-fault level.
+	"mba-drop": func(at, dur sim.Time) Plan {
+		return Plan{Name: "mba-drop", Injections: []Injection{
+			OneShot(MBADrop, at, dur),
+		}}
+	},
+	// link-flap: every fabric link drops carrier for the window; all
+	// in-flight traffic is lost and transports must recover by RTO.
+	"link-flap": func(at, dur sim.Time) Plan {
+		return Plan{Name: "link-flap", Injections: []Injection{
+			OneShot(LinkFlap, at, dur),
+		}}
+	},
+	// credit-stall: PCIe credit replenishment wedges; the NIC DMA engine
+	// starves, the NIC buffer fills, and arrivals are shed at the only
+	// loss point in the host network.
+	"credit-stall": func(at, dur sim.Time) Plan {
+		return Plan{Name: "credit-stall", Injections: []Injection{
+			OneShot(PCIeStall, at, dur),
+		}}
+	},
+	// nic-drop: the NIC sheds 30% of arriving packets (PHY-level burst
+	// loss) — transport-visible loss without any host congestion.
+	"nic-drop": func(at, dur sim.Time) Plan {
+		return Plan{Name: "nic-drop", Injections: []Injection{
+			Probabilistic(NICDrop, at, dur, 0.3),
+		}}
+	},
+	// mapp-stall: the MApp parks (lock, page-fault storm) and later
+	// resumes — the congestion the controller was throttling vanishes
+	// and reappears.
+	"mapp-stall": func(at, dur sim.Time) Plan {
+		return Plan{Name: "mapp-stall", Injections: []Injection{
+			OneShot(MAppStall, at, dur),
+		}}
+	},
+	// mapp-burst: the MApp triples its issue aggressiveness — a sudden
+	// phase change the host-local response must absorb.
+	"mapp-burst": func(at, dur sim.Time) Plan {
+		return Plan{Name: "mapp-burst", Injections: []Injection{
+			OneShot(MAppBurst, at, dur).WithMagnitude(3),
+		}}
+	},
+	// storm: everything flaky at once — latency spikes on reads, a third
+	// of MBA writes dropped, 10% NIC loss — none total, all overlapping.
+	"storm": func(at, dur sim.Time) Plan {
+		return Plan{Name: "storm", Injections: []Injection{
+			Probabilistic(MSRLatency, at, dur, 0.25).WithMagnitude(float64(10 * sim.Microsecond)),
+			Probabilistic(MBADrop, at, dur, 1.0/3),
+			Probabilistic(NICDrop, at, dur, 0.1),
+		}}
+	},
+}
+
+// Builtin returns the named built-in scenario with its fault window
+// opening at `at` and clearing at `at+dur`.
+func Builtin(name string, at, dur sim.Time) (Plan, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("faults: unknown scenario %q (have %v)", name, BuiltinNames())
+	}
+	return mk(at, dur), nil
+}
+
+// BuiltinNames lists the built-in scenario names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -9,10 +9,18 @@
 package msr
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
 )
+
+// ErrReadFailed is reported by Read when the register access itself fails
+// (on real hardware: a GP fault from rdmsr, a hung PECI transaction, or an
+// uncore counter that stopped responding). Callers must distinguish a
+// failed read from a merely slow one: a slow read still carries a valid
+// counter snapshot, a failed read carries nothing.
+var ErrReadFailed = errors.New("msr: register read failed")
 
 // Address identifies a model-specific register.
 type Address uint32
@@ -45,12 +53,36 @@ const (
 	readLatencyMax  = 1200 * sim.Nanosecond
 )
 
+// ReadFault perturbs one register read (fault injection). The zero value
+// is a healthy read.
+type ReadFault struct {
+	// ExtraLatency is added to the modeled read latency (interconnect
+	// contention spike, SMI storm).
+	ExtraLatency sim.Time
+	// Stale makes the read return the value of the previous successful
+	// read of the same register instead of a fresh snapshot (a counter
+	// that stopped counting, or a cached PECI response).
+	Stale bool
+	// Fail makes the read complete with ErrReadFailed and no value.
+	Fail bool
+}
+
 // File is the register file: a set of addressed counters with modeled
 // access latency.
 type File struct {
 	e       *sim.Engine
 	readers map[Address]func() uint64
 	writers map[Address]writer
+
+	// readFault, when set, is consulted on every Read (fault injection;
+	// see internal/faults). It must be deterministic given engine state.
+	readFault func(Address) ReadFault
+	lastRead  map[Address]uint64 // last successfully returned values
+
+	// FailedReads counts reads that completed with ErrReadFailed.
+	FailedReads int64
+	// StaleReads counts reads that returned a stale snapshot.
+	StaleReads int64
 }
 
 type writer struct {
@@ -61,11 +93,16 @@ type writer struct {
 // NewFile returns an empty register file.
 func NewFile(e *sim.Engine) *File {
 	return &File{
-		e:       e,
-		readers: make(map[Address]func() uint64),
-		writers: make(map[Address]writer),
+		e:        e,
+		readers:  make(map[Address]func() uint64),
+		writers:  make(map[Address]writer),
+		lastRead: make(map[Address]uint64),
 	}
 }
+
+// SetReadFault installs the read-fault hook (nil removes it). The hook is
+// invoked once per Read, before the read is scheduled.
+func (f *File) SetReadFault(fn func(Address) ReadFault) { f.readFault = fn }
 
 // RegisterReader attaches a counter provider to an address.
 func (f *File) RegisterReader(addr Address, fn func() uint64) {
@@ -96,14 +133,34 @@ func (f *File) readLatency() sim.Time {
 
 // Read samples the register and invokes done with the value and the read's
 // modeled latency once the read retires. The value is captured at retire
-// time (the counter keeps counting while the read executes).
-func (f *File) Read(addr Address, done func(val uint64, lat sim.Time)) {
+// time (the counter keeps counting while the read executes). err is nil
+// for a healthy read and ErrReadFailed when the access itself failed — a
+// failed read carries no value and callers must not fold val into any
+// signal state.
+func (f *File) Read(addr Address, done func(val uint64, lat sim.Time, err error)) {
 	fn, ok := f.readers[addr]
 	if !ok {
 		panic(fmt.Sprintf("msr: read of unregistered register %#x", uint32(addr)))
 	}
-	lat := f.readLatency()
-	f.e.After(lat, func() { done(fn(), lat) })
+	var fault ReadFault
+	if f.readFault != nil {
+		fault = f.readFault(addr)
+	}
+	lat := f.readLatency() + fault.ExtraLatency
+	f.e.After(lat, func() {
+		switch {
+		case fault.Fail:
+			f.FailedReads++
+			done(0, lat, ErrReadFailed)
+		case fault.Stale:
+			f.StaleReads++
+			done(f.lastRead[addr], lat, nil)
+		default:
+			v := fn()
+			f.lastRead[addr] = v
+			done(v, lat, nil)
+		}
+	})
 }
 
 // Write stores val to the register, invoking done (optional) when the

@@ -16,7 +16,7 @@ func TestReadReturnsCounterValueAtRetire(t *testing.T) {
 	e.At(100, func() { counter = 99 })
 	var got uint64
 	var lat sim.Time
-	f.Read(IIOOccupancy, func(v uint64, l sim.Time) { got, lat = v, l })
+	f.Read(IIOOccupancy, func(v uint64, l sim.Time, _ error) { got, lat = v, l })
 	e.Run()
 	if got != 99 {
 		t.Fatalf("read value = %d, want retire-time 99", got)
@@ -33,7 +33,7 @@ func TestReadLatencyDistribution(t *testing.T) {
 	var lats []sim.Time
 	var issue func()
 	issue = func() {
-		f.Read(IIOInsertions, func(_ uint64, l sim.Time) {
+		f.Read(IIOInsertions, func(_ uint64, l sim.Time, _ error) {
 			lats = append(lats, l)
 			if len(lats) < 2000 {
 				issue()
@@ -85,7 +85,7 @@ func TestUnregisteredAccessPanics(t *testing.T) {
 				t.Error("read of unregistered register did not panic")
 			}
 		}()
-		f.Read(Address(0xFFFF), func(uint64, sim.Time) {})
+		f.Read(Address(0xFFFF), func(uint64, sim.Time, error) {})
 	}()
 	func() {
 		defer func() {

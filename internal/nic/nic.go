@@ -68,9 +68,16 @@ type NIC struct {
 	txBytes int
 	out     func(*packet.Packet)
 
+	// rxFault, when set, is consulted per arriving packet; returning
+	// true drops it before buffer admission (fault injection: PHY-level
+	// burst loss, a resetting MAC).
+	rxFault func(*packet.Packet) bool
+
 	// Metrics.
 	Arrivals   stats.Counter
 	Drops      stats.Counter
+	FaultDrops stats.Counter // drops forced by the rx fault hook
+	DMAStarted stats.Counter // packets whose DMA has been initiated
 	TxSent     stats.Counter
 	rxOcc      stats.TimeWeighted
 	QueueDelay *stats.Histogram // ns spent in the rx buffer before DMA
@@ -103,6 +110,10 @@ func (n *NIC) SetOutput(out func(*packet.Packet)) { n.out = out }
 // is full (the only loss point in the host network).
 func (n *NIC) Receive(p *packet.Packet) {
 	n.Arrivals.Inc(1)
+	if n.rxFault != nil && n.rxFault(p) {
+		n.FaultDrops.Inc(1)
+		return
+	}
 	if n.rxBytes+p.WireLen() > n.cfg.RxBufferBytes {
 		n.Drops.Inc(1)
 		return
@@ -139,6 +150,7 @@ func (n *NIC) pump() {
 		if t.First {
 			// DMA initiated: the packet leaves the NIC buffer and a
 			// descriptor is consumed.
+			n.DMAStarted.Inc(1)
 			n.QueueDelay.Add(float64(n.e.Now() - n.rxArrive[0]))
 			n.rxQ = n.rxQ[1:]
 			n.rxArrive = n.rxArrive[1:]
@@ -201,8 +213,15 @@ func (n *NIC) txPump() {
 	serialize()
 }
 
+// SetRxFault installs the receive fault hook (nil removes it).
+func (n *NIC) SetRxFault(fn func(*packet.Packet) bool) { n.rxFault = fn }
+
 // RxQueuedBytes returns the current rx buffer occupancy.
 func (n *NIC) RxQueuedBytes() int { return n.rxBytes }
+
+// RxQueuedPackets returns the number of packets buffered awaiting DMA,
+// including the one whose DMA is in progress (invariant accounting).
+func (n *NIC) RxQueuedPackets() int { return len(n.rxQ) }
 
 // TxQueuedBytes returns bytes waiting in the transmit queue.
 func (n *NIC) TxQueuedBytes() int { return n.txBytes }

@@ -64,6 +64,11 @@ type Link struct {
 	deliver   func(*TLP)
 	waiters   []func()
 
+	// Credit-stall fault injection: while engaged, credits released by
+	// the IIO are sequestered instead of returning to the pool.
+	stalled        bool
+	stalledCredits int
+
 	// Stalls counts TLP issue attempts deferred for lack of credits.
 	Stalls stats.Counter
 	// Sent counts TLPs delivered to the IIO.
@@ -132,10 +137,19 @@ func (l *Link) TrySend(t *TLP) bool {
 func (l *Link) SerializerBusy() bool { return l.busyUntil > l.e.Now() }
 
 // ReleaseCredits returns lines to the pool (called by the IIO when a write
-// has been issued to memory) and wakes any waiters.
+// has been issued to memory) and wakes any waiters. While a credit stall
+// is engaged (fault injection) the lines are sequestered instead; they
+// return to the pool when the stall clears.
 func (l *Link) ReleaseCredits(lines int) {
 	if lines <= 0 {
 		panic("pcie: releasing non-positive credits")
+	}
+	if l.stalled {
+		l.stalledCredits += lines
+		if l.credits+l.stalledCredits > l.cfg.CreditLines {
+			panic("pcie: credit pool overflow — release without matching consume")
+		}
+		return
 	}
 	l.credits += lines
 	if l.credits > l.cfg.CreditLines {
@@ -155,3 +169,26 @@ func (l *Link) ReleaseCredits(lines int) {
 func (l *Link) NotifyCredits(fn func()) {
 	l.waiters = append(l.waiters, fn)
 }
+
+// SetStall engages or clears a replenishment stall (fault injection: a
+// wedged IIO credit return path). While engaged, released credits are
+// sequestered, the pool drains as the NIC keeps issuing, and DMA stops
+// when it hits zero — the domino effect of §2.1 forced from the middle.
+// Clearing the stall returns the sequestered credits and wakes waiters.
+func (l *Link) SetStall(on bool) {
+	if l.stalled == on {
+		return
+	}
+	l.stalled = on
+	if !on && l.stalledCredits > 0 {
+		n := l.stalledCredits
+		l.stalledCredits = 0
+		l.ReleaseCredits(n)
+	}
+}
+
+// CreditStalled reports whether a replenishment stall is engaged.
+func (l *Link) CreditStalled() bool { return l.stalled }
+
+// SequesteredCredits returns credits withheld by an engaged stall.
+func (l *Link) SequesteredCredits() int { return l.stalledCredits }

@@ -1,0 +1,186 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// chaosRTT is the nominal base RTT of the testbed topology (4 × 9 µs
+// propagation plus serialization and host turnaround) used to express
+// recovery times in RTTs, the unit the acceptance criterion is stated in.
+const chaosRTT = 44 * sim.Microsecond
+
+// ChaosConfig parameterizes one chaos run: a fault scenario injected into
+// a loaded testbed, with throughput tracked through the fault and out the
+// other side.
+type ChaosConfig struct {
+	// Scenario names a built-in fault scenario (faults.BuiltinNames), or
+	// set Plan for a custom one.
+	Scenario string
+	// Plan overrides Scenario with an explicit fault plan. Its window
+	// should open at FaultAt and clear by FaultAt+FaultFor for the
+	// recovery accounting to be meaningful.
+	Plan *faults.Plan
+
+	Seed int64
+	// Degree of host congestion at the receiver (default 2x).
+	Degree float64
+	// FaultAt / FaultFor position the fault window (defaults: 6 ms into
+	// the run, lasting 600 µs ≈ 14 RTTs).
+	FaultAt  sim.Time
+	FaultFor sim.Time
+	// RecoveryRTTBudget bounds how long after the fault clears the run
+	// keeps probing for recovery (default 50 RTTs, the acceptance bar).
+	RecoveryRTTBudget int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.FaultAt == 0 {
+		c.FaultAt = 6 * sim.Millisecond
+	}
+	if c.FaultFor == 0 {
+		c.FaultFor = 600 * sim.Microsecond
+	}
+	if c.RecoveryRTTBudget == 0 {
+		c.RecoveryRTTBudget = 50
+	}
+	return c
+}
+
+// ChaosResult reports how the system rode through one fault scenario.
+type ChaosResult struct {
+	Scenario string
+	Seed     int64
+
+	// BaselineGbps is fault-free NetApp-T goodput before the fault;
+	// FaultGbps the goodput during the fault window; FinalGbps the
+	// goodput over the last probe window.
+	BaselineGbps float64
+	FaultGbps    float64
+	FinalGbps    float64
+
+	// Recovered reports whether goodput returned to ≥90% of baseline
+	// within the recovery budget after the fault cleared; RecoveryRTTs
+	// is when (in RTTs after clearing; -1 if it never did).
+	Recovered    bool
+	RecoveryRTTs float64
+
+	// Failsafe activity during the run.
+	WatchdogTrips  int64
+	WatchdogRearms int64
+	WatchdogState  string
+	TripReason     string
+	MBARetries     int64
+	FailedSamples  int64
+
+	// Fault and audit bookkeeping.
+	FaultEvents     int
+	InvariantChecks int64
+	Violations      []string
+}
+
+// RunChaos executes one chaos scenario: build a loaded testbed with the
+// watchdog armed and the invariant checker auditing, measure a fault-free
+// baseline, open the fault window, and probe goodput in 5-RTT windows
+// after it clears until goodput reaches 90% of baseline or the budget
+// runs out. The entire run — fault timing, probabilistic drops, transport
+// behavior — is a deterministic function of cfg.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	plan := cfg.Plan
+	if plan == nil {
+		p, err := faults.Builtin(cfg.Scenario, cfg.FaultAt, cfg.FaultFor)
+		if err != nil {
+			return ChaosResult{}, err
+		}
+		plan = &p
+	}
+	wd := core.DefaultWatchdogConfig()
+	opts := DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.HostCC = true
+	opts.Degree = cfg.Degree
+	// A 1 ms MinRTO keeps RTO-driven recovery (link flaps kill every
+	// in-flight packet) well inside the 50-RTT acceptance window; the
+	// Linux 200 ms default would dwarf any host-side effect.
+	opts.MinRTO = sim.Millisecond
+	opts.Faults = plan
+	opts.Watchdog = &wd
+	opts.Invariants = true
+
+	tb := New(opts)
+	res := ChaosResult{Scenario: plan.Name, Seed: cfg.Seed}
+	// Collect violations instead of panicking so the result reports them
+	// (the chaos tests assert the list is empty — still a loud failure).
+	tb.Inv.OnViolation = func(string) {}
+
+	tb.StartNetAppT()
+
+	// Fault-free baseline: warmup, then measure up to the fault window.
+	tb.E.RunUntil(opts.Warmup)
+	tb.MarkWindow()
+	tb.E.RunUntil(cfg.FaultAt)
+	res.BaselineGbps = tb.NetT.Throughput().Gbps()
+
+	// Through the fault window.
+	tb.NetT.MarkWindow()
+	tb.E.RunUntil(cfg.FaultAt + cfg.FaultFor)
+	res.FaultGbps = tb.NetT.Throughput().Gbps()
+
+	// Probe recovery in 5-RTT windows after the fault clears.
+	const probeRTTs = 5
+	probe := probeRTTs * chaosRTT
+	target := 0.9 * res.BaselineGbps
+	res.RecoveryRTTs = -1
+	for rtts := 0; rtts < cfg.RecoveryRTTBudget; rtts += probeRTTs {
+		tb.NetT.MarkWindow()
+		tb.E.RunFor(probe)
+		res.FinalGbps = tb.NetT.Throughput().Gbps()
+		if res.FinalGbps >= target {
+			res.Recovered = true
+			res.RecoveryRTTs = float64(rtts + probeRTTs)
+			break
+		}
+	}
+
+	if w := tb.HCC.Watchdog(); w != nil {
+		res.WatchdogTrips = w.Trips.Total()
+		res.WatchdogRearms = w.Rearms.Total()
+		res.WatchdogState = w.State().String()
+		res.TripReason = w.Reason()
+		res.MBARetries = w.Retries.Total()
+	}
+	res.FailedSamples = tb.HCC.FailedSamples.Total()
+	res.FaultEvents = len(tb.Injector.Events)
+	tb.Inv.Check() // one final audit at quiescence
+	res.InvariantChecks = tb.Inv.Checks.Total()
+	res.Violations = tb.Inv.Violations
+	tb.HCC.Stop()
+	tb.Inv.Stop()
+	return res, nil
+}
+
+// ChaosScenarios returns the built-in scenario names (the vocabulary of
+// RunChaos and `hostcc-bench -chaos`).
+func ChaosScenarios() []string { return faults.BuiltinNames() }
+
+// String renders the result as a one-line summary.
+func (r ChaosResult) String() string {
+	rec := "did NOT recover"
+	if r.Recovered {
+		rec = fmt.Sprintf("recovered in %.0f RTTs", r.RecoveryRTTs)
+	}
+	return fmt.Sprintf(
+		"%s: baseline %.1f Gbps, during fault %.1f Gbps, %s (final %.1f Gbps); watchdog trips=%d rearms=%d retries=%d; violations=%d",
+		r.Scenario, r.BaselineGbps, r.FaultGbps, rec, r.FinalGbps,
+		r.WatchdogTrips, r.WatchdogRearms, r.MBARetries, len(r.Violations))
+}

@@ -1,0 +1,155 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestChaosGracefulDegradation is the acceptance suite: for each core
+// fault scenario the system must keep its invariants, avoid deadlock (the
+// run completing at all), and return to ≥90% of fault-free goodput within
+// 50 RTTs of the fault clearing.
+func TestChaosGracefulDegradation(t *testing.T) {
+	cases := []struct {
+		scenario string
+		// wantTrip: the watchdog must trip (signal-path faults) and then
+		// re-arm once the signal returns.
+		wantTrip bool
+		// wantRetries: the read-back loop must re-issue at least one
+		// silently dropped MBA write.
+		wantRetries bool
+	}{
+		{"msr-stale", true, false},
+		{"mba-drop", false, true},
+		{"link-flap", false, false},
+		{"credit-stall", false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.scenario, func(t *testing.T) {
+			r, err := RunChaos(ChaosConfig{Scenario: c.scenario, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Violations) != 0 {
+				t.Fatalf("invariant violations: %v", r.Violations)
+			}
+			if r.BaselineGbps < 30 {
+				t.Fatalf("implausible baseline %.1f Gbps", r.BaselineGbps)
+			}
+			if !r.Recovered {
+				t.Fatalf("did not recover to 90%% of %.1f Gbps within 50 RTTs (final %.1f): %s",
+					r.BaselineGbps, r.FinalGbps, r)
+			}
+			if r.RecoveryRTTs > 50 {
+				t.Fatalf("recovery took %.0f RTTs, budget 50", r.RecoveryRTTs)
+			}
+			if c.wantTrip {
+				if r.WatchdogTrips == 0 {
+					t.Error("signal fault did not trip the watchdog")
+				}
+				if r.WatchdogRearms == 0 || r.WatchdogState != "armed" {
+					t.Errorf("watchdog did not re-arm after the signal returned (state %q, rearms %d)",
+						r.WatchdogState, r.WatchdogRearms)
+				}
+			}
+			if c.wantRetries && r.MBARetries == 0 {
+				t.Error("dropped MBA writes were never re-issued by the read-back loop")
+			}
+			if r.FaultEvents == 0 {
+				t.Error("no fault window transitions recorded — injector not armed?")
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic: a chaos run is a pure function of its config —
+// same seed, same scenario, bit-identical result. Uses the storm scenario
+// because it exercises the most RNG draws (three probabilistic injectors).
+func TestChaosDeterministic(t *testing.T) {
+	run := func() ChaosResult {
+		r, err := RunChaos(ChaosConfig{Scenario: "storm", Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestChaosAllScenarios runs every built-in scenario end to end: no
+// panics, no invariant violations, and the injector actually fired.
+func TestChaosAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	for _, sc := range ChaosScenarios() {
+		t.Run(sc, func(t *testing.T) {
+			r, err := RunChaos(ChaosConfig{Scenario: sc, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Violations) != 0 {
+				t.Fatalf("invariant violations: %v", r.Violations)
+			}
+			if r.FaultEvents == 0 {
+				t.Fatal("no fault events recorded")
+			}
+			if r.InvariantChecks == 0 {
+				t.Fatal("invariant checker never ran")
+			}
+		})
+	}
+}
+
+// TestChaosMSRFailKeepsThroughput: with every MSR read failing, the
+// watchdog's conservative fallback must keep network goodput up (it
+// over-throttles the MApp; the alternative — a controller acting on a
+// decayed-to-zero signal — would hand the host to the MApp and tank
+// network throughput). Degradation is graceful by construction.
+func TestChaosMSRFailKeepsThroughput(t *testing.T) {
+	r, err := RunChaos(ChaosConfig{Scenario: "msr-fail", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FailedSamples == 0 {
+		t.Fatal("no failed samples — fault not injected")
+	}
+	if r.FaultGbps < 0.9*r.BaselineGbps {
+		t.Fatalf("goodput during MSR blackout %.1f Gbps fell below 90%% of baseline %.1f",
+			r.FaultGbps, r.BaselineGbps)
+	}
+	if r.WatchdogTrips == 0 {
+		t.Fatal("sustained read failures did not trip the watchdog")
+	}
+}
+
+// TestChaosCustomPlan: RunChaos accepts an explicit plan in place of a
+// built-in scenario name.
+func TestChaosCustomPlan(t *testing.T) {
+	p := faults.Plan{Name: "custom", Injections: []faults.Injection{
+		faults.OneShot(faults.MSRStale, 6*sim.Millisecond, 300*sim.Microsecond),
+		faults.Probabilistic(faults.NICDrop, 6*sim.Millisecond, 300*sim.Microsecond, 0.05),
+	}}
+	r, err := RunChaos(ChaosConfig{Plan: &p, Seed: 5, FaultFor: 300 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != "custom" {
+		t.Errorf("scenario = %q, want custom", r.Scenario)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", r.Violations)
+	}
+}
+
+func TestChaosUnknownScenario(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{Scenario: "no-such-fault"}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/iommu"
 	"repro/internal/msr"
@@ -55,6 +56,21 @@ type Options struct {
 	// WireLossProb injects independent random packet loss on every
 	// fabric link (failure injection; 0 for the paper's lossless links).
 	WireLossProb float64
+
+	// Faults, when non-nil, arms a fault-injection plan against the
+	// receiver's hardware seams (internal/faults). The plan's events run
+	// on the testbed engine, so the whole chaotic run is reproducible
+	// from Seed.
+	Faults *faults.Plan
+
+	// Watchdog enables hostCC's failsafe with the given config (nil
+	// disables it, the pre-hardening behavior).
+	Watchdog *core.WatchdogConfig
+
+	// Invariants runs the datapath invariant checker during the run;
+	// violations panic (a chaotic run that broke conservation laws has
+	// no valid results).
+	Invariants bool
 
 	Warmup  sim.Time
 	Measure sim.Time
@@ -113,6 +129,14 @@ type Testbed struct {
 	HCC      *core.HostCC
 	NetT     *apps.NetAppT
 
+	// Links holds every fabric link (receiver first, then senders; up
+	// link before down link) — the LinkFlap fault seam.
+	Links []*fabric.Link
+	// Injector is the armed fault injector (nil without Options.Faults).
+	Injector *faults.Injector
+	// Inv is the invariant checker (nil without Options.Invariants).
+	Inv *core.InvariantChecker
+
 	// Window bookkeeping for exact signal averages.
 	winStart   sim.Time
 	winROCC    uint64
@@ -170,6 +194,7 @@ func New(opts Options) *Testbed {
 		h.SetOutput(up.Send)
 		down := fabric.NewLink(e, lcfg, h.ReceiveFromWire)
 		tb.Sw.AttachPort(h.ID(), down)
+		tb.Links = append(tb.Links, up, down)
 	}
 	attach(tb.Receiver)
 	for _, s := range tb.Senders {
@@ -198,6 +223,7 @@ func New(opts Options) *Testbed {
 			ccfg.Mode = opts.Mode
 		}
 	}
+	ccfg.Watchdog = opts.Watchdog
 	tb.HCC = core.New(e, tb.Receiver.MSR, tb.Receiver.MBA, ccfg)
 	tb.Receiver.AddReceiveHook(tb.HCC.ReceiveHook())
 	tb.HCC.Start()
@@ -210,6 +236,39 @@ func New(opts Options) *Testbed {
 	// Hard-coded response level (Figure 9).
 	if opts.FixedLevel >= 0 {
 		tb.Receiver.MBA.RequestLevel(opts.FixedLevel)
+	}
+
+	// Fault injection against the receiver's hardware seams. Armed last
+	// so the MApp (if any) exists.
+	if opts.Faults != nil {
+		tb.Injector = faults.MustNewInjector(e, *opts.Faults, faults.Seams{
+			MSR:   tb.Receiver.MSR,
+			MBA:   tb.Receiver.MBA,
+			NIC:   tb.Receiver.NIC,
+			PCIe:  tb.Receiver.Link,
+			Links: tb.Links,
+			MApp:  tb.Receiver.MApp(),
+		})
+		tb.Injector.Arm()
+	}
+
+	// Invariant checker: audits packet conservation, PCIe credit
+	// accounting, and MBA level bounds every ~sample interval.
+	if opts.Invariants {
+		nic, link, mba := tb.Receiver.NIC, tb.Receiver.Link, tb.Receiver.MBA
+		tb.Inv = core.NewInvariantChecker(e, ccfg.SampleInterval, core.InvariantProbes{
+			NICArrivals:   func() int64 { return nic.Arrivals.Total() },
+			NICDrops:      func() int64 { return nic.Drops.Total() },
+			NICFaultDrops: func() int64 { return nic.FaultDrops.Total() },
+			NICQueued:     nic.RxQueuedPackets,
+			NICDMAStarted: func() int64 { return nic.DMAStarted.Total() },
+			PCIeCredits: func() (int, int, int) {
+				return link.Credits(), link.SequesteredCredits(), link.Config().CreditLines
+			},
+			MBALevel:  mba.Level,
+			MBALevels: mba.NumLevels,
+		})
+		tb.Inv.Start()
 	}
 
 	return tb

@@ -111,6 +111,7 @@ type Conn struct {
 	recoverSeq     uint64
 	recoveryEpoch  int
 	highSacked     uint64
+	lostBelow      uint64
 	srtt, rttvar   sim.Time
 	rtoBackoff     int
 	rtoTimer       *sim.Timer
@@ -446,7 +447,7 @@ func (c *Conn) sackRetransmit() bool {
 		if s.sacked {
 			continue
 		}
-		if s.epoch == c.recoveryEpoch || s.seq >= c.highSacked {
+		if s.epoch == c.recoveryEpoch || (s.seq >= c.highSacked && s.seq >= c.lostBelow) {
 			pipe += s.len
 		}
 	}
@@ -455,7 +456,7 @@ func (c *Conn) sackRetransmit() bool {
 		if pipe >= c.effCwnd() {
 			break
 		}
-		if s.sacked || s.epoch == c.recoveryEpoch || s.seq >= c.highSacked {
+		if s.sacked || s.epoch == c.recoveryEpoch || (s.seq >= c.highSacked && s.seq >= c.lostBelow) {
 			continue
 		}
 		s.epoch = c.recoveryEpoch
@@ -475,6 +476,11 @@ func (c *Conn) onRTO() {
 	c.rtoBackoff++
 	c.inRecovery = true
 	c.recoverSeq = c.sndNxt
+	// RFC 6675 after a timeout: the whole flight is deemed lost, not just
+	// the head. Without this, a flight wiped out in one event (link flap)
+	// with no SACKs above it recovers one segment per backed-off RTO.
+	// sackRetransmit re-sends the lost range ACK-clocked as cwnd reopens.
+	c.lostBelow = c.sndNxt
 	c.recoveryEpoch++
 	c.lastEpochBump = c.e.Now()
 	c.dupAcks = 0
