@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race chaos bench vet
+.PHONY: all build test verify race chaos bench vet staticcheck replay
 
 all: verify race
 
@@ -21,10 +21,23 @@ build:
 test:
 	$(GO) test ./...
 
-verify: build vet test
+verify: build vet staticcheck test
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when installed, skip with a
+# notice otherwise (CI images without it must not fail the gate).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Determinism gate: golden digests, checkpoint replay, sentinel.
+replay:
+	$(GO) test ./internal/testbed/ -run 'TestGoldenDigest|TestReplay|TestSentinel|TestDivergence|TestCheckpoint' -count=1
 
 race:
 	$(GO) test -race -short ./...

@@ -7,6 +7,8 @@
 //	hostcc-bench -fig all -scale default
 //	hostcc-bench -chaos link-flap
 //	hostcc-bench -chaos all
+//	hostcc-bench -chaos credit-stall -checkpoint run.ckpt -verify-replay
+//	hostcc-bench -resume run.ckpt
 //
 // Figures: 2 3 4 7 8 9 10 11 12 13 14 15 16 17 18 19 (or "all").
 // Chaos scenarios: see `hostcc-bench -chaos list`.
@@ -21,19 +23,36 @@ import (
 	"time"
 
 	hostcc "repro"
+	"repro/internal/sim"
 	"repro/internal/testbed"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hostcc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	fig := flag.String("fig", "10", "figure number to regenerate, or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: bench, quick, default, paper")
 	chaos := flag.String("chaos", "", "run a chaos scenario ('list' to enumerate, 'all' for every one) and print recovery metrics")
 	seed := flag.Int64("seed", 42, "simulation seed (chaos runs)")
+	checkpoint := flag.String("checkpoint", "", "with -chaos: record digest frames and write checkpoints to this file")
+	checkpointEvery := flag.Uint64("checkpoint-every", 100_000, "with -checkpoint: processed events between checkpoint captures")
+	resume := flag.String("resume", "", "resume a chaos run from a checkpoint file (verified replay)")
+	verifyReplay := flag.Bool("verify-replay", false, "with -chaos and -checkpoint: replay from the written checkpoint afterwards and verify digests")
 	flag.Parse()
 
+	if *resume != "" {
+		return resumeChaos(*resume)
+	}
 	if *chaos != "" {
-		runChaos(*chaos, *seed)
-		return
+		return runChaos(*chaos, *seed, *checkpoint, *checkpointEvery, *verifyReplay)
+	}
+	if *checkpoint != "" || *verifyReplay {
+		return fmt.Errorf("-checkpoint and -verify-replay require -chaos <scenario>")
 	}
 
 	scale, ok := map[string]hostcc.Scale{
@@ -43,8 +62,7 @@ func main() {
 		"paper":   hostcc.ScalePaper,
 	}[*scaleName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q (have bench, quick, default, paper)", *scaleName)
 	}
 
 	runners := map[string]func(hostcc.Scale){
@@ -92,44 +110,82 @@ func main() {
 		figs = strings.Split(*fig, ",")
 	}
 	for _, f := range figs {
-		run, ok := runners[strings.TrimSpace(f)]
+		runFig, ok := runners[strings.TrimSpace(f)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
-			os.Exit(2)
+			return fmt.Errorf("unknown figure %q", f)
 		}
 		start := time.Now()
-		run(scale)
+		runFig(scale)
 		fmt.Printf("  [figure %s regenerated in %.1fs at scale %q]\n\n", f, time.Since(start).Seconds(), *scaleName)
 	}
+	return nil
 }
 
-func runChaos(name string, seed int64) {
+func runChaos(name string, seed int64, checkpoint string, checkpointEvery uint64, verifyReplay bool) error {
 	if name == "list" {
 		for _, s := range hostcc.ChaosScenarios() {
 			fmt.Println(s)
 		}
-		return
+		return nil
 	}
 	scenarios := []string{name}
 	if name == "all" {
 		scenarios = hostcc.ChaosScenarios()
+		if checkpoint != "" {
+			return fmt.Errorf("-checkpoint records one run; use it with a single scenario, not 'all'")
+		}
 	}
 	fmt.Printf("== Chaos — fault injection and recovery (seed %d)\n", seed)
 	for _, sc := range scenarios {
 		start := time.Now()
-		r, err := hostcc.RunChaos(hostcc.ChaosConfig{Scenario: sc, Seed: seed})
+		cfg := hostcc.ChaosConfig{Scenario: sc, Seed: seed}
+		if checkpoint != "" {
+			cfg.CheckpointPath = checkpoint
+			cfg.CheckpointEvery = checkpointEvery
+			cfg.DigestEvery = 500 * sim.Microsecond
+		}
+		r, err := hostcc.RunChaos(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fmt.Errorf("chaos %s: %w", sc, err)
 		}
 		fmt.Printf("   %s\n", r)
 		if r.WatchdogTrips > 0 {
 			fmt.Printf("     watchdog: state=%s trips=%d rearms=%d failed-samples=%d\n",
 				r.WatchdogState, r.WatchdogTrips, r.WatchdogRearms, r.FailedSamples)
 		}
+		if r.Checkpoints > 0 {
+			fmt.Printf("     checkpoint: %s (%d captures, %d digest frames, final digest %#x)\n",
+				checkpoint, r.Checkpoints, r.Frames, r.Digest)
+		}
 		fmt.Printf("     [%.1fs, %d invariant checks, %d fault events]\n",
 			time.Since(start).Seconds(), r.InvariantChecks, r.FaultEvents)
+		if verifyReplay {
+			if r.Checkpoints == 0 {
+				return fmt.Errorf("chaos %s: -verify-replay set but no checkpoint was written (is -checkpoint set and -checkpoint-every low enough?)", sc)
+			}
+			if err := resumeChaos(checkpoint); err != nil {
+				return fmt.Errorf("chaos %s: %w", sc, err)
+			}
+		}
 	}
+	return nil
+}
+
+func resumeChaos(path string) error {
+	start := time.Now()
+	rep, err := hostcc.ResumeChaos(path)
+	if err != nil {
+		return fmt.Errorf("resume %s: %w", path, err)
+	}
+	if !rep.Verified {
+		return fmt.Errorf("resume %s: replay diverged from recorded digests: %s", path, rep.Divergence)
+	}
+	fmt.Printf("== Replay of %s verified: %d digest frames matched [%.1fs]\n", path, rep.FramesChecked, time.Since(start).Seconds())
+	fmt.Printf("   %s\n", rep.Result)
+	if rep.Result.Stall != nil {
+		fmt.Printf("   %s\n", rep.Result.Stall)
+	}
+	return nil
 }
 
 func atoi(s string) int {

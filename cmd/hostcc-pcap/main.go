@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	hostcc "repro"
 	"repro/internal/sim"
@@ -20,6 +21,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hostcc-pcap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	out := flag.String("out", "", "write a capture to this file")
 	read := flag.String("read", "", "read and summarize a capture file")
 	degree := flag.Float64("degree", 3, "degree of host congestion")
@@ -30,16 +38,15 @@ func main() {
 
 	switch {
 	case *read != "":
-		summarize(*read)
+		return summarize(*read)
 	case *out != "":
-		capture(*out, *degree, *withCC, *ms, *keep)
+		return capture(*out, *degree, *withCC, *ms, *keep)
 	default:
-		fmt.Fprintln(os.Stderr, "need -out or -read")
-		os.Exit(2)
+		return fmt.Errorf("need -out or -read")
 	}
 }
 
-func capture(path string, degree float64, withCC bool, ms, keep int) {
+func capture(path string, degree float64, withCC bool, ms, keep int) error {
 	opts := hostcc.DefaultOptions()
 	opts.Degree = degree
 	opts.HostCC = withCC
@@ -57,40 +64,46 @@ func capture(path string, degree float64, withCC bool, ms, keep int) {
 
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fmt.Errorf("write capture %s: %w", path, err)
 	}
-	defer f.Close()
 	if _, err := log.WriteTo(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		f.Close()
+		return fmt.Errorf("write capture %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close capture %s: %w", path, err)
 	}
 	s := trace.Summarize(log.Records())
 	fmt.Printf("captured %s -> %s\n", s, path)
 	m := tb.Collect()
 	fmt.Printf("window: tput=%.1fG drop=%.4f%% IS=%.1f marked=%.1f%%\n",
 		m.ThroughputGbps, m.DropRatePct, m.AvgIS, m.MarkedPct)
+	return nil
 }
 
-func summarize(path string) {
+func summarize(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fmt.Errorf("open capture %s: %w", path, err)
 	}
 	defer f.Close()
 	recs, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fmt.Errorf("read capture %s: %w", path, err)
 	}
 	fmt.Println(trace.Summarize(recs))
-	// Per-flow breakdown.
+	// Per-flow breakdown, in stable flow order.
 	perFlow := map[string]int{}
 	for _, r := range recs {
 		perFlow[r.Pkt.Flow.String()]++
 	}
-	for flow, n := range perFlow {
-		fmt.Printf("  %-24s %d packets\n", flow, n)
+	flows := make([]string, 0, len(perFlow))
+	for flow := range perFlow {
+		flows = append(flows, flow)
 	}
+	sort.Strings(flows)
+	for _, flow := range flows {
+		fmt.Printf("  %-24s %d packets\n", flow, perFlow[flow])
+	}
+	return nil
 }

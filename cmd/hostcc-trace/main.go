@@ -17,6 +17,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hostcc-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	out := flag.String("out", "traces", "output directory for CSV files")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick, default, paper")
 	flag.Parse()
@@ -27,44 +34,62 @@ func main() {
 		"paper":   hostcc.ScalePaper,
 	}[*scaleName]
 	if scale.Name == "" {
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q (have quick, default, paper)", *scaleName)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	dump := func(name string, s *stats.Series) {
-		path := filepath.Join(*out, name+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := s.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", path)
+		return fmt.Errorf("create output directory: %w", err)
 	}
 
 	fmt.Println("Figure 8 traces (baseline, 1 ms)...")
 	for _, tr := range hostcc.RunFigure8(scale) {
-		dump("fig8_"+tr.Label+"_is", tr.IS)
-		dump("fig8_"+tr.Label+"_bs", tr.BS)
+		if err := dump(*out, "fig8_"+tr.Label+"_is", tr.IS); err != nil {
+			return err
+		}
+		if err := dump(*out, "fig8_"+tr.Label+"_bs", tr.BS); err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("Figure 18 traces (ablation, 1 ms)...")
 	for _, row := range hostcc.RunFigure18(scale) {
-		dump("fig18_"+row.Mode.String()+"_is", row.Trace.IS)
-		dump("fig18_"+row.Mode.String()+"_bs", row.Trace.BS)
+		if err := dump(*out, "fig18_"+row.Mode.String()+"_is", row.Trace.IS); err != nil {
+			return err
+		}
+		if err := dump(*out, "fig18_"+row.Mode.String()+"_bs", row.Trace.BS); err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("Figure 19 trace (steady state, 250 us)...")
 	tr := hostcc.RunFigure19(scale)
-	dump("fig19_is", tr.IS)
-	dump("fig19_bs", tr.BS)
-	dump("fig19_level", tr.Level)
+	for _, series := range []struct {
+		name string
+		s    *stats.Series
+	}{
+		{"fig19_is", tr.IS}, {"fig19_bs", tr.BS}, {"fig19_level", tr.Level},
+	} {
+		if err := dump(*out, series.name, series.s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dump writes one series as CSV, closing the file before reporting
+// success so buffered data is never silently lost.
+func dump(dir, name string, s *stats.Series) error {
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
 }

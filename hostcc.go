@@ -204,3 +204,30 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) { return testbed.RunChaos(cf
 // ChaosScenarios lists the built-in fault scenario names accepted by
 // ChaosConfig.Scenario and `hostcc-bench -chaos`.
 func ChaosScenarios() []string { return testbed.ChaosScenarios() }
+
+// Checkpoint/replay and liveness sentinel (see internal/snapshot and
+// DESIGN.md "Deterministic snapshots & replay").
+type (
+	// ReplayReport is the outcome of a verified replay from a checkpoint
+	// file (ResumeChaos).
+	ReplayReport = testbed.ReplayReport
+	// StallReport is the liveness sentinel's diagnostic for one detected
+	// stall, including the classified wait-for graph.
+	StallReport = sim.StallReport
+	// SentinelPolicy selects the sentinel's recovery action.
+	SentinelPolicy = sim.SentinelPolicy
+)
+
+// Sentinel recovery policies.
+const (
+	// SentinelAbort stops the run and writes a diagnostic snapshot.
+	SentinelAbort = sim.SentinelAbort
+	// SentinelEscape force-reclaims sequestered PCIe credits and keeps
+	// running (the PFC-watchdog analogue).
+	SentinelEscape = sim.SentinelEscape
+)
+
+// ResumeChaos resumes a chaos run from a checkpoint file written via
+// ChaosConfig.CheckpointPath (or SnapshotOnStall), verifying the replay
+// against the recorded digest timeline.
+func ResumeChaos(path string) (ReplayReport, error) { return testbed.ResumeChaos(path) }

@@ -1,0 +1,44 @@
+package cache
+
+import "repro/internal/snapshot"
+
+// Snapshot encodes the pool contents. Entries are walked via the FIFO
+// order slice, which lists every live entry exactly once, so the encoding
+// is deterministic without sorting the map.
+func (d *DDIO) Snapshot(e *snapshot.Encoder) {
+	e.Int(d.used)
+	e.U64(uint64(d.nextID))
+	e.U32(uint32(len(d.order)))
+	for _, id := range d.order {
+		e.U64(uint64(id))
+		e.Int(d.entries[id])
+	}
+	d.inserted.Snapshot(e)
+	d.evicted.Snapshot(e)
+	d.hitBytes.Snapshot(e)
+	d.missBytes.Snapshot(e)
+}
+
+// Restore reverses Snapshot, rebuilding the entry map from the FIFO.
+func (d *DDIO) Restore(dec *snapshot.Decoder) error {
+	d.used = dec.Int()
+	d.nextID = EntryID(dec.U64())
+	n := int(dec.U32())
+	d.order = d.order[:0]
+	d.entries = make(map[EntryID]int, n)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		id := EntryID(dec.U64())
+		d.order = append(d.order, id)
+		d.entries[id] = dec.Int()
+	}
+	if err := d.inserted.Restore(dec); err != nil {
+		return err
+	}
+	if err := d.evicted.Restore(dec); err != nil {
+		return err
+	}
+	if err := d.hitBytes.Restore(dec); err != nil {
+		return err
+	}
+	return d.missBytes.Restore(dec)
+}

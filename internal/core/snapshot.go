@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// Snapshot encodes the hostCC signal filters, sampler cursors, counters and
+// (when armed) the watchdog state machine.
+func (h *HostCC) Snapshot(e *snapshot.Encoder) {
+	h.isEWMA.Snapshot(e)
+	h.bsEWMA.Snapshot(e)
+	e.U64(h.lastROCC)
+	e.I64(int64(h.lastROCCAt))
+	e.U64(h.lastRINS)
+	e.I64(int64(h.lastRINSAt))
+	e.Bool(h.seeded)
+	e.Bool(h.running)
+	h.ReadLatency.Snapshot(e)
+	h.MarkedPackets.Snapshot(e)
+	h.Samples.Snapshot(e)
+	h.FailedSamples.Snapshot(e)
+	h.LevelRaises.Snapshot(e)
+	h.LevelDrops.Snapshot(e)
+	e.Bool(h.wd != nil)
+	if h.wd != nil {
+		h.wd.snapshot(e)
+	}
+}
+
+// Restore reverses Snapshot. The watchdog presence must match the snapshot
+// (same testbed shape).
+func (h *HostCC) Restore(d *snapshot.Decoder) error {
+	if err := h.isEWMA.Restore(d); err != nil {
+		return err
+	}
+	if err := h.bsEWMA.Restore(d); err != nil {
+		return err
+	}
+	h.lastROCC = d.U64()
+	h.lastROCCAt = sim.Time(d.I64())
+	h.lastRINS = d.U64()
+	h.lastRINSAt = sim.Time(d.I64())
+	h.seeded = d.Bool()
+	h.running = d.Bool()
+	if err := h.ReadLatency.Restore(d); err != nil {
+		return err
+	}
+	if err := h.MarkedPackets.Restore(d); err != nil {
+		return err
+	}
+	if err := h.Samples.Restore(d); err != nil {
+		return err
+	}
+	if err := h.FailedSamples.Restore(d); err != nil {
+		return err
+	}
+	if err := h.LevelRaises.Restore(d); err != nil {
+		return err
+	}
+	if err := h.LevelDrops.Restore(d); err != nil {
+		return err
+	}
+	hadWD := d.Bool()
+	if hadWD != (h.wd != nil) {
+		return fmt.Errorf("core: snapshot watchdog presence %v does not match module %v", hadWD, h.wd != nil)
+	}
+	if h.wd != nil {
+		return h.wd.restore(d)
+	}
+	return d.Err()
+}
+
+func (w *Watchdog) snapshot(e *snapshot.Encoder) {
+	e.Int(int(w.state))
+	e.Str(w.reason)
+	e.I64(int64(w.lastGoodAt))
+	e.Int(w.consecFails)
+	e.Int(w.consecFrozen)
+	e.Int(w.consecGood)
+	e.Int(w.desired)
+	e.Bool(w.haveDesired)
+	e.I64(int64(w.backoff))
+	e.I64(int64(w.lastRetryAt))
+	w.Trips.Snapshot(e)
+	w.Rearms.Snapshot(e)
+	w.Retries.Snapshot(e)
+}
+
+func (w *Watchdog) restore(d *snapshot.Decoder) error {
+	w.state = WatchdogState(d.Int())
+	w.reason = d.Str()
+	w.lastGoodAt = sim.Time(d.I64())
+	w.consecFails = d.Int()
+	w.consecFrozen = d.Int()
+	w.consecGood = d.Int()
+	w.desired = d.Int()
+	w.haveDesired = d.Bool()
+	w.backoff = sim.Time(d.I64())
+	w.lastRetryAt = sim.Time(d.I64())
+	if err := w.Trips.Restore(d); err != nil {
+		return err
+	}
+	if err := w.Rearms.Restore(d); err != nil {
+		return err
+	}
+	return w.Retries.Restore(d)
+}

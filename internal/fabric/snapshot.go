@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// Snapshot encodes the link serializer and fault state.
+func (l *Link) Snapshot(e *snapshot.Encoder) {
+	e.I64(int64(l.busyUntil))
+	e.Bool(l.down)
+	l.Bytes.Snapshot(e)
+	l.Corrupted.Snapshot(e)
+	l.FlapDrops.Snapshot(e)
+}
+
+// Restore reverses Snapshot.
+func (l *Link) Restore(d *snapshot.Decoder) error {
+	l.busyUntil = sim.Time(d.I64())
+	l.down = d.Bool()
+	if err := l.Bytes.Restore(d); err != nil {
+		return err
+	}
+	if err := l.Corrupted.Restore(d); err != nil {
+		return err
+	}
+	return l.FlapDrops.Restore(d)
+}
+
+// Snapshot encodes the switch's port queues in sorted host order, so the
+// encoding is deterministic despite the map-backed port table. Queued
+// packets are digest-only (wire lengths).
+func (s *Switch) Snapshot(e *snapshot.Encoder) {
+	ids := make([]packet.HostID, 0, len(s.ports))
+	for id := range s.ports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		p := s.ports[id]
+		e.U64(uint64(id))
+		e.Int(p.qBytes)
+		e.Bool(p.busy)
+		e.U32(uint32(len(p.queue)))
+		for _, pkt := range p.queue {
+			e.Int(pkt.WireLen())
+		}
+	}
+	s.Drops.Snapshot(e)
+	s.Marks.Snapshot(e)
+}
+
+// Restore reverses Snapshot for the scalar port state; queued packets are
+// replay-reconstructed.
+func (s *Switch) Restore(d *snapshot.Decoder) error {
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id := packet.HostID(d.U64())
+		qBytes := d.Int()
+		busy := d.Bool()
+		nq := int(d.U32())
+		for j := 0; j < nq && d.Err() == nil; j++ {
+			_ = d.Int()
+		}
+		if p, ok := s.ports[id]; ok {
+			p.qBytes = qBytes
+			p.busy = busy
+		}
+	}
+	if err := s.Drops.Restore(d); err != nil {
+		return err
+	}
+	return s.Marks.Restore(d)
+}

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// Snapshot encodes the injector's window refcounts, per-kind parameters,
+// transition log and injection counters (the plan itself is configuration).
+func (in *Injector) Snapshot(e *snapshot.Encoder) {
+	e.Bool(in.armed)
+	for k := 0; k < int(numKinds); k++ {
+		e.Int(in.active[k])
+		e.F64(in.prob[k])
+		e.F64(in.mag[k])
+		e.I64(in.Injected[k])
+	}
+	e.U32(uint32(len(in.Events)))
+	for _, ev := range in.Events {
+		e.I64(int64(ev.At))
+		e.Int(int(ev.Kind))
+		e.Bool(ev.Active)
+	}
+}
+
+// Restore reverses Snapshot.
+func (in *Injector) Restore(d *snapshot.Decoder) error {
+	in.armed = d.Bool()
+	for k := 0; k < int(numKinds); k++ {
+		in.active[k] = d.Int()
+		in.prob[k] = d.F64()
+		in.mag[k] = d.F64()
+		in.Injected[k] = d.I64()
+	}
+	n := int(d.U32())
+	in.Events = in.Events[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		in.Events = append(in.Events, Event{
+			At:     sim.Time(d.I64()),
+			Kind:   Kind(d.Int()),
+			Active: d.Bool(),
+		})
+	}
+	return d.Err()
+}

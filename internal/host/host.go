@@ -20,6 +20,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/transport"
 )
 
@@ -167,4 +168,25 @@ func (h *Host) MApp() *cpu.MApp { return h.mapp }
 func (h *Host) MarkWindow() {
 	h.NIC.MarkWindow()
 	h.MC.MarkAll()
+}
+
+// RegisterSnapshots registers every snapshottable component of this host
+// with reg, named prefix+"/<component>" in datapath order (wire to app).
+// The IOMMU model keeps no mutable scalar state worth imaging and is
+// excluded.
+func (h *Host) RegisterSnapshots(reg *snapshot.Registry, prefix string) {
+	reg.Register(prefix+"/nic", h.NIC)
+	reg.Register(prefix+"/pcie", h.Link)
+	reg.Register(prefix+"/iio", h.IIO)
+	if h.DDIO != nil {
+		reg.Register(prefix+"/ddio", h.DDIO)
+	}
+	reg.Register(prefix+"/mem", h.MC)
+	reg.Register(prefix+"/msr", h.MSR)
+	reg.Register(prefix+"/mba", h.MBA)
+	reg.Register(prefix+"/rx", h.Rx)
+	if h.mapp != nil {
+		reg.Register(prefix+"/mapp", h.mapp)
+	}
+	reg.Register(prefix+"/transport", h.EP)
 }

@@ -1,0 +1,38 @@
+package mem
+
+import (
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// Snapshot encodes the analytic pipe state and per-class accounting.
+func (c *Controller) Snapshot(e *snapshot.Encoder) {
+	e.I64(int64(c.lastDep))
+	e.Int(c.inFlight)
+	e.I64(c.Submitted)
+	for i := range c.meters {
+		c.meters[i].Snapshot(e)
+	}
+	for i := range c.recent {
+		e.I64(int64(c.recent[i].last))
+		e.F64(c.recent[i].rate)
+	}
+	c.backlog.Snapshot(e)
+}
+
+// Restore reverses Snapshot.
+func (c *Controller) Restore(d *snapshot.Decoder) error {
+	c.lastDep = sim.Time(d.I64())
+	c.inFlight = d.Int()
+	c.Submitted = d.I64()
+	for i := range c.meters {
+		if err := c.meters[i].Restore(d); err != nil {
+			return err
+		}
+	}
+	for i := range c.recent {
+		c.recent[i].last = sim.Time(d.I64())
+		c.recent[i].rate = d.F64()
+	}
+	return c.backlog.Restore(d)
+}

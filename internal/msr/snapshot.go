@@ -1,0 +1,37 @@
+package msr
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// Snapshot encodes the register file's read-side state. The lastRead map
+// is walked in sorted address order for determinism.
+func (f *File) Snapshot(e *snapshot.Encoder) {
+	addrs := make([]Address, 0, len(f.lastRead))
+	for a := range f.lastRead {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	e.U32(uint32(len(addrs)))
+	for _, a := range addrs {
+		e.U32(uint32(a))
+		e.U64(f.lastRead[a])
+	}
+	e.I64(f.FailedReads)
+	e.I64(f.StaleReads)
+}
+
+// Restore reverses Snapshot.
+func (f *File) Restore(d *snapshot.Decoder) error {
+	n := int(d.U32())
+	f.lastRead = make(map[Address]uint64, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		a := Address(d.U32())
+		f.lastRead[a] = d.U64()
+	}
+	f.FailedReads = d.I64()
+	f.StaleReads = d.I64()
+	return d.Err()
+}

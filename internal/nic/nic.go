@@ -223,6 +223,10 @@ func (n *NIC) RxQueuedBytes() int { return n.rxBytes }
 // including the one whose DMA is in progress (invariant accounting).
 func (n *NIC) RxQueuedPackets() int { return len(n.rxQ) }
 
+// WaitingForCredits reports whether the DMA engine is parked on a PCIe
+// credit wakeup (the free pool cannot cover the head TLP).
+func (n *NIC) WaitingForCredits() bool { return n.waiting }
+
 // TxQueuedBytes returns bytes waiting in the transmit queue.
 func (n *NIC) TxQueuedBytes() int { return n.txBytes }
 

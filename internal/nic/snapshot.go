@@ -1,0 +1,66 @@
+package nic
+
+import (
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+)
+
+// Snapshot encodes the NIC's queue and DMA-engine state. Queued packets are
+// encoded as (wire length, arrival time) pairs: enough for digests to
+// distinguish queue composition. Restore recovers the scalar state; the
+// packet objects themselves are replay-reconstructed.
+func (n *NIC) Snapshot(e *snapshot.Encoder) {
+	e.U32(uint32(len(n.rxQ)))
+	for i, p := range n.rxQ {
+		e.Int(p.WireLen())
+		e.I64(int64(n.rxArrive[i]))
+	}
+	e.Int(n.rxBytes)
+	e.Int(n.descFree)
+	e.U32(uint32(len(n.cur)))
+	for _, t := range n.cur {
+		e.Int(t.Lines)
+	}
+	e.Bool(n.waiting)
+	e.U32(uint32(len(n.txQ)))
+	e.Bool(n.txBusy)
+	e.Int(n.txBytes)
+	n.Arrivals.Snapshot(e)
+	n.Drops.Snapshot(e)
+	n.FaultDrops.Snapshot(e)
+	n.DMAStarted.Snapshot(e)
+	n.TxSent.Snapshot(e)
+	n.rxOcc.Snapshot(e)
+	n.QueueDelay.Snapshot(e)
+}
+
+// Restore reverses Snapshot for scalars and counters; queue contents are
+// digest-only (packet pointers have no serializable identity).
+func (n *NIC) Restore(d *snapshot.Decoder) error {
+	nrx := int(d.U32())
+	for i := 0; i < nrx && d.Err() == nil; i++ {
+		_ = d.Int()
+		_ = d.I64()
+	}
+	n.rxBytes = d.Int()
+	n.descFree = d.Int()
+	ncur := int(d.U32())
+	for i := 0; i < ncur && d.Err() == nil; i++ {
+		_ = d.Int()
+	}
+	n.waiting = d.Bool()
+	_ = d.U32() // tx queue length: digest-only
+	n.txBusy = d.Bool()
+	n.txBytes = d.Int()
+	for _, c := range []*stats.Counter{&n.Arrivals, &n.Drops, &n.FaultDrops, &n.DMAStarted, &n.TxSent} {
+		if err := c.Restore(d); err != nil {
+			return err
+		}
+	}
+	if err := n.rxOcc.Restore(d); err != nil {
+		return err
+	}
+	return n.QueueDelay.Restore(d)
+}
+
+var _ snapshot.Snapshotter = (*NIC)(nil)

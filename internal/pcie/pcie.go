@@ -73,6 +73,10 @@ type Link struct {
 	Stalls stats.Counter
 	// Sent counts TLPs delivered to the IIO.
 	Sent stats.Counter
+	// Releases counts credit lines actually returned to the pool
+	// (sequestered releases do NOT count — the liveness sentinel uses this
+	// as its credit-motion probe, and a wedged release path must read flat).
+	Releases stats.Counter
 }
 
 // NewLink creates a link delivering TLPs to the IIO via deliver.
@@ -155,6 +159,7 @@ func (l *Link) ReleaseCredits(lines int) {
 	if l.credits > l.cfg.CreditLines {
 		panic("pcie: credit pool overflow — release without matching consume")
 	}
+	l.Releases.Inc(int64(lines))
 	if len(l.waiters) > 0 {
 		ws := l.waiters
 		l.waiters = nil
@@ -162,6 +167,32 @@ func (l *Link) ReleaseCredits(lines int) {
 			w()
 		}
 	}
+}
+
+// ForceReclaim returns sequestered credits to the pool without clearing the
+// stall — the sentinel's credit-timeout escape hatch, analogous to a PFC
+// watchdog freeing a wedged priority. It returns the number of lines
+// reclaimed. Releases issued while the stall remains engaged continue to be
+// sequestered, so a persistent fault re-wedges until it clears.
+func (l *Link) ForceReclaim() int {
+	if l.stalledCredits == 0 {
+		return 0
+	}
+	n := l.stalledCredits
+	l.stalledCredits = 0
+	l.credits += n
+	if l.credits > l.cfg.CreditLines {
+		panic("pcie: credit pool overflow — reclaim without matching consume")
+	}
+	l.Releases.Inc(int64(n))
+	if len(l.waiters) > 0 {
+		ws := l.waiters
+		l.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+	return n
 }
 
 // NotifyCredits registers a one-shot callback invoked on the next credit

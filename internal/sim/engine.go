@@ -43,6 +43,8 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	seed    int64
+	src     *countingSource
 	rng     *rand.Rand
 	stopped bool
 
@@ -50,10 +52,44 @@ type Engine struct {
 	Processed uint64
 }
 
+// countingSource wraps the standard seeded source and counts draws, making
+// RNG state snapshotable: the sequence is unchanged (every call delegates),
+// and a snapshot records only (seed, draws) — Restore fast-forwards a fresh
+// source by the same number of draws. Int63 and Uint64 both advance the
+// underlying generator by exactly one step, so the fast-forward does not
+// need to know which mix of calls consumed the draws.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
 // NewEngine returns an engine at time zero with a deterministic RNG.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Engine{seed: seed, src: src, rng: rand.New(src)}
 }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// RNGDraws returns how many values have been drawn from the engine RNG's
+// source (the replay cursor of the RNG state).
+func (e *Engine) RNGDraws() uint64 { return e.src.draws }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }

@@ -1,0 +1,118 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Checkpoint file framing.
+const (
+	fileMagic   = "HCCCKPT1"
+	fileVersion = 1
+)
+
+// Checkpoint is one on-disk snapshot of a run: enough metadata to
+// re-execute it deterministically (Meta carries the run configuration),
+// the digest timeline recorded up to the capture instant (for verified
+// replay), and the full component state image (for inspection and
+// divergence diagnosis).
+type Checkpoint struct {
+	// Meta is the run configuration as flat key/value strings
+	// (scenario, seed, ... — written by the testbed, read by resume).
+	Meta map[string]string
+	// VirtualTime and Events locate the capture instant.
+	VirtualTime int64
+	Events      uint64
+	// Timeline holds the digest frames recorded before (and including)
+	// the capture instant.
+	Timeline Timeline
+	// State is a Registry.EncodeAll image of every component.
+	State []byte
+}
+
+// Get returns a Meta value ("" when absent).
+func (c *Checkpoint) Get(key string) string {
+	if c.Meta == nil {
+		return ""
+	}
+	return c.Meta[key]
+}
+
+// Encode serializes the checkpoint.
+func (c *Checkpoint) Encode() []byte {
+	var e Encoder
+	e.buf = append(e.buf, fileMagic...)
+	e.U32(fileVersion)
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Str(k)
+		e.Str(c.Meta[k])
+	}
+	e.I64(c.VirtualTime)
+	e.U64(c.Events)
+	c.Timeline.encode(&e)
+	e.Raw(c.State)
+	return e.Bytes()
+}
+
+// Decode parses a checkpoint image.
+func Decode(img []byte) (*Checkpoint, error) {
+	d := NewDecoder(img)
+	if string(d.take(len(fileMagic))) != fileMagic {
+		return nil, fmt.Errorf("snapshot: not a checkpoint file (bad magic)")
+	}
+	if v := d.U32(); v != fileVersion {
+		return nil, fmt.Errorf("snapshot: unsupported checkpoint version %d (want %d)", v, fileVersion)
+	}
+	c := &Checkpoint{Meta: make(map[string]string)}
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := d.Str()
+		c.Meta[k] = d.Str()
+	}
+	c.VirtualTime = d.I64()
+	c.Events = d.U64()
+	c.Timeline = decodeTimeline(d)
+	c.State = d.Raw()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after checkpoint", d.Remaining())
+	}
+	return c, nil
+}
+
+// WriteFile atomically writes the checkpoint to path (write to a temp
+// file in the same directory, then rename), so a crash mid-write never
+// leaves a truncated snapshot.
+func (c *Checkpoint) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, c.Encode(), 0o644); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a checkpoint from disk.
+func ReadFile(path string) (*Checkpoint, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read %s: %w", path, err)
+	}
+	c, err := Decode(img)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,165 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Snapshotter is implemented by every stateful simulation component. The
+// contract:
+//
+//   - Snapshot must be deterministic: identical component state encodes to
+//     identical bytes (map iteration must be sorted by the implementation).
+//   - Snapshot must not mutate the component or the simulation.
+//   - Restore reverses Snapshot for the component's scalar state. State
+//     that lives in the engine's event queue (pending callbacks) has no
+//     serializable form; Restore reconstitutes fields for inspection and
+//     round-trip verification, and implementations must reject snapshots
+//     they cannot fully honor. Live resumption is replay-based — see the
+//     package comment.
+type Snapshotter interface {
+	Snapshot(*Encoder)
+	Restore(*Decoder) error
+}
+
+// Digest is one component's state hash at an instant.
+type Digest struct {
+	Component string
+	Hash      uint64
+}
+
+// Registry holds a testbed's components in a fixed, named order. The
+// registration order defines the encoding layout, so two runs comparing
+// digests must register identically (same testbed shape).
+type Registry struct {
+	names  []string
+	byName map[string]Snapshotter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Snapshotter)}
+}
+
+// Register adds a named component. Duplicate names panic: a silently
+// shadowed component would make digests lie about what they cover.
+func (r *Registry) Register(name string, s Snapshotter) {
+	if s == nil {
+		panic("snapshot: registering nil Snapshotter")
+	}
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("snapshot: duplicate component %q", name))
+	}
+	r.names = append(r.names, name)
+	r.byName[name] = s
+}
+
+// Names returns the registered component names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Component returns a registered component, or nil.
+func (r *Registry) Component(name string) Snapshotter { return r.byName[name] }
+
+// stateMagic identifies a Registry.EncodeAll image.
+const stateMagic = "HCSSTAT1"
+
+// EncodeAll serializes every component into one versioned image.
+func (r *Registry) EncodeAll() []byte {
+	var e Encoder
+	e.buf = append(e.buf, stateMagic...)
+	e.U32(uint32(len(r.names)))
+	for _, name := range r.names {
+		var ce Encoder
+		r.byName[name].Snapshot(&ce)
+		e.Str(name)
+		e.Raw(ce.Bytes())
+	}
+	return e.Bytes()
+}
+
+// DecodeState splits an EncodeAll image into named component blobs,
+// preserving order. It validates the header but not the blobs.
+func DecodeState(img []byte) ([]Digest, map[string][]byte, error) {
+	d := NewDecoder(img)
+	if string(d.take(len(stateMagic))) != stateMagic {
+		return nil, nil, fmt.Errorf("snapshot: bad state magic")
+	}
+	n := int(d.U32())
+	order := make([]Digest, 0, n)
+	blobs := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		name := d.Str()
+		blob := d.Raw()
+		if d.Err() != nil {
+			return nil, nil, d.Err()
+		}
+		order = append(order, Digest{Component: name, Hash: HashBytes(blob)})
+		blobs[name] = blob
+	}
+	return order, blobs, d.Err()
+}
+
+// RestoreAll decodes an EncodeAll image back into the registered
+// components. Every component in the image must be registered under the
+// same name and accept its blob.
+func (r *Registry) RestoreAll(img []byte) error {
+	order, blobs, err := DecodeState(img)
+	if err != nil {
+		return err
+	}
+	if len(order) != len(r.names) {
+		return fmt.Errorf("snapshot: image has %d components, registry has %d", len(order), len(r.names))
+	}
+	for i, dg := range order {
+		if dg.Component != r.names[i] {
+			return fmt.Errorf("snapshot: component %d is %q in image, %q in registry", i, dg.Component, r.names[i])
+		}
+		dec := NewDecoder(blobs[dg.Component])
+		if err := r.byName[dg.Component].Restore(dec); err != nil {
+			return fmt.Errorf("snapshot: restore %q: %w", dg.Component, err)
+		}
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("snapshot: restore %q: %w", dg.Component, err)
+		}
+		if dec.Remaining() != 0 {
+			return fmt.Errorf("snapshot: restore %q left %d undecoded bytes", dg.Component, dec.Remaining())
+		}
+	}
+	return nil
+}
+
+// HashBytes is the digest function: FNV-1a 64.
+func HashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Digests hashes every component's current encoding, in registration
+// order.
+func (r *Registry) Digests() []Digest {
+	out := make([]Digest, 0, len(r.names))
+	for _, name := range r.names {
+		var e Encoder
+		r.byName[name].Snapshot(&e)
+		out = append(out, Digest{Component: name, Hash: HashBytes(e.Bytes())})
+	}
+	return out
+}
+
+// Combined folds a digest list into a single order-sensitive hash (the
+// one-number summary used by the golden-digest tests).
+func Combined(ds []Digest) uint64 {
+	h := fnv.New64a()
+	var tmp [8]byte
+	for _, d := range ds {
+		h.Write([]byte(d.Component))
+		for i := 0; i < 8; i++ {
+			tmp[i] = byte(d.Hash >> (8 * i))
+		}
+		h.Write(tmp[:])
+	}
+	return h.Sum64()
+}

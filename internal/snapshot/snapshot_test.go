@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U32(7)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.Int(12345)
+	e.F64(3.14159)
+	e.Bool(true)
+	e.Bool(false)
+	e.Str("hello")
+	e.Raw([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U32(); got != 7 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 12345 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool mismatch")
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	raw := d.Raw()
+	if len(raw) != 3 || raw[0] != 1 || raw[2] != 3 {
+		t.Errorf("Raw = %v", raw)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // short read
+	if d.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Every subsequent accessor must return zero values, not panic.
+	if d.U32() != 0 || d.I64() != 0 || d.Str() != "" || d.Bool() {
+		t.Error("accessors after error must return zero values")
+	}
+}
+
+// fakeComp is a trivial Snapshotter for registry tests.
+type fakeComp struct {
+	a int64
+	b float64
+}
+
+func (f *fakeComp) Snapshot(e *Encoder) { e.I64(f.a); e.F64(f.b) }
+func (f *fakeComp) Restore(d *Decoder) error {
+	f.a = d.I64()
+	f.b = d.F64()
+	return d.Err()
+}
+
+func TestRegistryRoundTripAndDigests(t *testing.T) {
+	r := NewRegistry()
+	c1 := &fakeComp{a: 1, b: 2.5}
+	c2 := &fakeComp{a: -7, b: 0}
+	r.Register("alpha", c1)
+	r.Register("beta", c2)
+
+	img := r.EncodeAll()
+	d1 := r.Digests()
+
+	// Mutate, then restore from the image: state and digests must revert.
+	c1.a, c2.b = 99, 99
+	if d2 := r.Digests(); Combined(d2) == Combined(d1) {
+		t.Fatal("digest did not change after mutation")
+	}
+	if err := r.RestoreAll(img); err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+	if c1.a != 1 || c2.b != 0 {
+		t.Errorf("restore did not revert state: %+v %+v", c1, c2)
+	}
+	if d3 := r.Digests(); Combined(d3) != Combined(d1) {
+		t.Error("digest after restore differs from original")
+	}
+
+	// The image must re-encode identically (deterministic encoding).
+	if string(r.EncodeAll()) != string(img) {
+		t.Error("re-encoded image differs")
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	mk := func(hashes ...uint64) Frame {
+		f := Frame{At: 1000, Events: 5}
+		names := []string{"engine", "pcie", "nic"}
+		for i, h := range hashes {
+			f.Digests = append(f.Digests, Digest{Component: names[i], Hash: h})
+		}
+		return f
+	}
+	a := &Timeline{Frames: []Frame{mk(1, 2, 3), mk(4, 5, 6)}}
+	b := &Timeline{Frames: []Frame{mk(1, 2, 3), mk(4, 9, 6)}}
+	div, ok := FirstDivergence(a, b)
+	if !ok {
+		t.Fatal("expected divergence")
+	}
+	if div.Component != "pcie" || div.FrameIndex != 1 {
+		t.Errorf("got %+v", div)
+	}
+	if _, ok := FirstDivergence(a, a); ok {
+		t.Error("identical timelines must not diverge")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Register("x", &fakeComp{a: 42, b: 1.5})
+	ck := &Checkpoint{
+		Meta:        map[string]string{"scenario": "storm", "seed": "7"},
+		VirtualTime: 83_000_000,
+		Events:      123456,
+		Timeline: Timeline{Frames: []Frame{
+			{At: 1_000_000, Events: 10, Digests: []Digest{{Component: "x", Hash: 0xdead}}},
+		}},
+		State: r.EncodeAll(),
+	}
+	path := filepath.Join(t.TempDir(), "ck.snap")
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Get("scenario") != "storm" || got.Get("seed") != "7" {
+		t.Errorf("meta = %v", got.Meta)
+	}
+	if got.VirtualTime != ck.VirtualTime || got.Events != ck.Events {
+		t.Errorf("position = %d/%d", got.VirtualTime, got.Events)
+	}
+	if got.Timeline.Len() != 1 || got.Timeline.Frames[0].Digests[0].Hash != 0xdead {
+		t.Errorf("timeline = %+v", got.Timeline)
+	}
+	order, blobs, err := DecodeState(got.State)
+	if err != nil {
+		t.Fatalf("DecodeState: %v", err)
+	}
+	if len(order) != 1 || order[0].Component != "x" || len(blobs["x"]) == 0 {
+		t.Errorf("state = %v", order)
+	}
+
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -2,10 +2,13 @@ package testbed
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 )
 
 // chaosRTT is the nominal base RTT of the testbed topology (4 × 9 µs
@@ -35,6 +38,26 @@ type ChaosConfig struct {
 	// RecoveryRTTBudget bounds how long after the fault clears the run
 	// keeps probing for recovery (default 50 RTTs, the acceptance bar).
 	RecoveryRTTBudget int
+
+	// DigestEvery records a per-component state digest frame at this
+	// virtual period (0 disables recording). Recording schedules its own
+	// events, so digest timelines are only comparable between runs using
+	// the same recording configuration.
+	DigestEvery sim.Time
+	// CheckpointEvery writes a checkpoint to CheckpointPath each time the
+	// processed-event count crosses a multiple of this value (0 disables).
+	// Checkpoints are captured inside recorder ticks, so enabling them
+	// implies digest recording (DigestEvery defaults to 500 µs if unset).
+	CheckpointEvery uint64
+	CheckpointPath  string
+
+	// SentinelWindow arms the liveness sentinel with this stall window
+	// (0 disables). SentinelPolicy selects abort-with-diagnostic vs
+	// credit-timeout escape; SnapshotOnStall, when non-empty, is where the
+	// abort path writes the diagnostic checkpoint for offline replay.
+	SentinelWindow  sim.Time
+	SentinelPolicy  sim.SentinelPolicy
+	SnapshotOnStall string
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -52,6 +75,9 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	}
 	if c.RecoveryRTTBudget == 0 {
 		c.RecoveryRTTBudget = 50
+	}
+	if c.CheckpointEvery > 0 && c.DigestEvery == 0 {
+		c.DigestEvery = 500 * sim.Microsecond
 	}
 	return c
 }
@@ -86,6 +112,21 @@ type ChaosResult struct {
 	FaultEvents     int
 	InvariantChecks int64
 	Violations      []string
+
+	// Determinism instrumentation. Digest is the combined hash over every
+	// component's final state (always computed); ComponentDigests is the
+	// per-component breakdown; Frames counts digest frames recorded and
+	// Checkpoints the checkpoint files written during the run.
+	Digest           uint64
+	ComponentDigests []snapshot.Digest
+	Frames           int
+	Checkpoints      int
+
+	// Stall is the sentinel's first report (nil when no stall was
+	// detected); StallSnapshot is the diagnostic checkpoint path written
+	// on abort ("" when none was written).
+	Stall         *sim.StallReport
+	StallSnapshot string
 }
 
 // RunChaos executes one chaos scenario: build a loaded testbed with the
@@ -95,14 +136,30 @@ type ChaosResult struct {
 // runs out. The entire run — fault timing, probabilistic drops, transport
 // behavior — is a deterministic function of cfg.
 func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	res, _, err := runChaos(cfg)
+	return res, err
+}
+
+// runChaos is RunChaos plus the recorded digest timeline (used by the
+// replay verifier).
+func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	cfg = cfg.withDefaults()
 	plan := cfg.Plan
+	scenarioKey := ""
 	if plan == nil {
 		p, err := faults.Builtin(cfg.Scenario, cfg.FaultAt, cfg.FaultFor)
 		if err != nil {
-			return ChaosResult{}, err
+			return ChaosResult{}, nil, err
 		}
 		plan = &p
+		scenarioKey = plan.Name
+	} else {
+		// Custom plans live only in the caller's process; a checkpoint
+		// carrying this marker cannot be resumed.
+		scenarioKey = "custom:" + plan.Name
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
+		return ChaosResult{}, nil, fmt.Errorf("testbed: ChaosConfig.CheckpointEvery set without CheckpointPath")
 	}
 	wd := core.DefaultWatchdogConfig()
 	opts := DefaultOptions()
@@ -125,23 +182,83 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 
 	tb.StartNetAppT()
 
+	// Determinism instrumentation: the registry covers every component,
+	// the recorder samples digest frames (and captures checkpoints inside
+	// its own ticks, so the capture never perturbs event ordering relative
+	// to a same-config run), and the sentinel watches for stalled progress.
+	reg := tb.Registry()
+	timeline := &snapshot.Timeline{}
+	meta := chaosMeta(cfg, scenarioKey)
+	capture := func() *snapshot.Checkpoint {
+		return &snapshot.Checkpoint{
+			Meta:        meta,
+			VirtualTime: int64(tb.E.Now()),
+			Events:      tb.E.Processed,
+			Timeline:    *timeline,
+			State:       reg.EncodeAll(),
+		}
+	}
+	var recorder *sim.Ticker
+	var lastBucket uint64
+	if cfg.DigestEvery > 0 {
+		recorder = sim.NewTicker(tb.E, cfg.DigestEvery, func() {
+			timeline.Append(snapshot.Frame{
+				At:      int64(tb.E.Now()),
+				Events:  tb.E.Processed,
+				Digests: reg.Digests(),
+			})
+			if cfg.CheckpointEvery > 0 {
+				if bucket := tb.E.Processed / cfg.CheckpointEvery; bucket > lastBucket {
+					lastBucket = bucket
+					if err := capture().WriteFile(cfg.CheckpointPath); err == nil {
+						res.Checkpoints++
+					}
+				}
+			}
+		})
+	}
+
+	var sen *sim.Sentinel
+	if cfg.SentinelWindow > 0 {
+		sen = tb.StartSentinel(sim.SentinelConfig{
+			Window: cfg.SentinelWindow,
+			Policy: cfg.SentinelPolicy,
+		})
+		sen.OnStall(func(*sim.StallReport) {
+			if cfg.SnapshotOnStall != "" && res.StallSnapshot == "" {
+				if err := capture().WriteFile(cfg.SnapshotOnStall); err == nil {
+					res.StallSnapshot = cfg.SnapshotOnStall
+				}
+			}
+		})
+	}
+	// RunUntil clears the engine's stop flag on entry, so a sentinel abort
+	// must short-circuit the remaining phases explicitly.
+	aborted := func() bool {
+		return sen != nil && cfg.SentinelPolicy == sim.SentinelAbort && sen.Report() != nil
+	}
+
 	// Fault-free baseline: warmup, then measure up to the fault window.
 	tb.E.RunUntil(opts.Warmup)
 	tb.MarkWindow()
-	tb.E.RunUntil(cfg.FaultAt)
-	res.BaselineGbps = tb.NetT.Throughput().Gbps()
+	if !aborted() {
+		tb.E.RunUntil(cfg.FaultAt)
+		res.BaselineGbps = tb.NetT.Throughput().Gbps()
+	}
 
 	// Through the fault window.
-	tb.NetT.MarkWindow()
-	tb.E.RunUntil(cfg.FaultAt + cfg.FaultFor)
-	res.FaultGbps = tb.NetT.Throughput().Gbps()
+	if !aborted() {
+		tb.NetT.MarkWindow()
+		tb.E.RunUntil(cfg.FaultAt + cfg.FaultFor)
+		res.FaultGbps = tb.NetT.Throughput().Gbps()
+	}
 
 	// Probe recovery in 5-RTT windows after the fault clears.
 	const probeRTTs = 5
 	probe := probeRTTs * chaosRTT
 	target := 0.9 * res.BaselineGbps
 	res.RecoveryRTTs = -1
-	for rtts := 0; rtts < cfg.RecoveryRTTBudget; rtts += probeRTTs {
+	for rtts := 0; rtts < cfg.RecoveryRTTBudget && !aborted(); rtts += probeRTTs {
 		tb.NetT.MarkWindow()
 		tb.E.RunFor(probe)
 		res.FinalGbps = tb.NetT.Throughput().Gbps()
@@ -166,7 +283,113 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	res.Violations = tb.Inv.Violations
 	tb.HCC.Stop()
 	tb.Inv.Stop()
-	return res, nil
+	if sen != nil {
+		res.Stall = sen.Report()
+		sen.Stop()
+	}
+	if recorder != nil {
+		recorder.Stop()
+	}
+	res.Frames = timeline.Len()
+	res.ComponentDigests = reg.Digests()
+	res.Digest = snapshot.Combined(res.ComponentDigests)
+	return res, timeline, nil
+}
+
+// chaosMeta flattens the (defaulted) run configuration into checkpoint
+// metadata, enough to re-execute the run deterministically.
+func chaosMeta(cfg ChaosConfig, scenarioKey string) map[string]string {
+	return map[string]string{
+		"scenario":       scenarioKey,
+		"seed":           strconv.FormatInt(cfg.Seed, 10),
+		"degree":         strconv.FormatFloat(cfg.Degree, 'g', -1, 64),
+		"faultAt":        strconv.FormatInt(int64(cfg.FaultAt), 10),
+		"faultFor":       strconv.FormatInt(int64(cfg.FaultFor), 10),
+		"budget":         strconv.Itoa(cfg.RecoveryRTTBudget),
+		"digestEvery":    strconv.FormatInt(int64(cfg.DigestEvery), 10),
+		"sentinelWindow": strconv.FormatInt(int64(cfg.SentinelWindow), 10),
+		"sentinelPolicy": strconv.Itoa(int(cfg.SentinelPolicy)),
+	}
+}
+
+// chaosConfigFromCheckpoint reconstructs the run configuration a
+// checkpoint records. Only builtin scenarios are resumable: a custom
+// fault plan lives in the recording process and has no serialized form.
+func chaosConfigFromCheckpoint(ck *snapshot.Checkpoint) (ChaosConfig, error) {
+	scen := ck.Get("scenario")
+	if scen == "" {
+		return ChaosConfig{}, fmt.Errorf("testbed: checkpoint records no scenario")
+	}
+	if strings.HasPrefix(scen, "custom:") {
+		return ChaosConfig{}, fmt.Errorf("testbed: checkpoint records custom fault plan %q; only builtin scenarios are resumable",
+			strings.TrimPrefix(scen, "custom:"))
+	}
+	var firstErr error
+	geti := func(key string) int64 {
+		v, err := strconv.ParseInt(ck.Get(key), 10, 64)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("testbed: checkpoint meta %q: %w", key, err)
+		}
+		return v
+	}
+	degree, err := strconv.ParseFloat(ck.Get("degree"), 64)
+	if err != nil {
+		firstErr = fmt.Errorf("testbed: checkpoint meta \"degree\": %w", err)
+	}
+	cfg := ChaosConfig{
+		Scenario:          scen,
+		Seed:              geti("seed"),
+		Degree:            degree,
+		FaultAt:           sim.Time(geti("faultAt")),
+		FaultFor:          sim.Time(geti("faultFor")),
+		RecoveryRTTBudget: int(geti("budget")),
+		DigestEvery:       sim.Time(geti("digestEvery")),
+		SentinelWindow:    sim.Time(geti("sentinelWindow")),
+		SentinelPolicy:    sim.SentinelPolicy(geti("sentinelPolicy")),
+	}
+	return cfg, firstErr
+}
+
+// ReplayReport is the outcome of a verified replay from a checkpoint.
+type ReplayReport struct {
+	// Result is the completed run (replayed past the checkpoint to the
+	// end, or to the same sentinel abort the original hit).
+	Result ChaosResult
+	// Verified reports that every digest frame recorded in the checkpoint
+	// matched the replay; FramesChecked is how many frames were compared.
+	Verified      bool
+	FramesChecked int
+	// Divergence names the first mismatching component when !Verified.
+	Divergence *snapshot.Divergence
+}
+
+// ResumeChaos resumes the run recorded in a checkpoint file. Resumption
+// is replay-based — pending event closures have no serializable form, but
+// a chaos run is a deterministic function of its recorded configuration —
+// so the run is re-executed from its initial conditions and the recorded
+// digest timeline is verified frame by frame against the replay before
+// the completed result is returned.
+func ResumeChaos(path string) (ReplayReport, error) {
+	ck, err := snapshot.ReadFile(path)
+	if err != nil {
+		return ReplayReport{}, err
+	}
+	cfg, err := chaosConfigFromCheckpoint(ck)
+	if err != nil {
+		return ReplayReport{}, err
+	}
+	res, tl, err := runChaos(cfg)
+	if err != nil {
+		return ReplayReport{}, fmt.Errorf("testbed: replay %s: %w", path, err)
+	}
+	rep := ReplayReport{Result: res}
+	rep.FramesChecked = min(len(ck.Timeline.Frames), tl.Len())
+	if div, found := snapshot.FirstDivergence(&ck.Timeline, tl); found {
+		rep.Divergence = &div
+	} else {
+		rep.Verified = rep.FramesChecked > 0
+	}
+	return rep, nil
 }
 
 // ChaosScenarios returns the built-in scenario names (the vocabulary of

@@ -1,0 +1,103 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// Registry builds the snapshot registry for this testbed: every stateful
+// component, named and ordered along the datapath (engine first, then the
+// receiver wire-to-app, then senders, fabric, hostCC, faults). Two runs
+// built from identical Options produce identical registries, which is what
+// makes their digest timelines comparable — and makes FirstDivergence
+// report the most upstream divergent component.
+//
+// Call after the testbed is fully composed (after StartMApp / fault
+// arming), so every optional component is present.
+func (tb *Testbed) Registry() *snapshot.Registry {
+	reg := snapshot.NewRegistry()
+	reg.Register("engine", tb.E)
+	tb.Receiver.RegisterSnapshots(reg, "rx")
+	for i, s := range tb.Senders {
+		s.RegisterSnapshots(reg, fmt.Sprintf("s%d", i+1))
+	}
+	reg.Register("switch", tb.Sw)
+	for i, l := range tb.Links {
+		reg.Register(fmt.Sprintf("link/%d", i), l)
+	}
+	reg.Register("hostcc", tb.HCC)
+	if tb.Injector != nil {
+		reg.Register("faults", tb.Injector)
+	}
+	return reg
+}
+
+// StartSentinel arms a liveness sentinel over the receiver datapath. The
+// probes cover each stage that can wedge: application goodput, NIC DMA
+// starts, PCIe TLP sends, and PCIe credit returns to the free pool (the
+// Releases counter deliberately excludes sequestered credits, so a
+// credit-stall fault reads as a flat probe, not fake progress). Demand is
+// "packets are waiting in the NIC buffer or credits are hostage", so a
+// drained testbed never trips it.
+func (tb *Testbed) StartSentinel(cfg sim.SentinelConfig) *sim.Sentinel {
+	s := sim.NewSentinel(tb.E, cfg)
+	nic, link := tb.Receiver.NIC, tb.Receiver.Link
+	s.AddProbe("goodput", func() uint64 {
+		if tb.NetT == nil {
+			return 0
+		}
+		return uint64(tb.NetT.DeliveredBytes())
+	})
+	s.AddProbe("nic-dma", func() uint64 { return uint64(nic.DMAStarted.Total()) })
+	s.AddProbe("pcie-sent", func() uint64 { return uint64(link.Sent.Total()) })
+	s.AddProbe("pcie-release", func() uint64 { return uint64(link.Releases.Total()) })
+	s.SetDemand(func() bool {
+		return nic.RxQueuedPackets() > 0 || link.SequesteredCredits() > 0
+	})
+	s.SetGraphBuilder(tb.buildWaitGraph)
+	s.SetEscape(func() bool { return link.ForceReclaim() > 0 })
+	s.Start()
+	return s
+}
+
+// buildWaitGraph captures who-waits-for-whom across the receive datapath
+// at stall-detection time. The structural cycle — DMA needs credit lines,
+// lines come back through the IIO completion path, and a credit-stall
+// fault wedges that path while sequestering every returned line — is what
+// lets the classifier tell a credit deadlock from plain starvation.
+func (tb *Testbed) buildWaitGraph() *sim.WaitGraph {
+	nic, link := tb.Receiver.NIC, tb.Receiver.Link
+	queued := nic.RxQueuedPackets()
+	waiting := nic.WaitingForCredits()
+	credits := link.Credits()
+	seq := link.SequesteredCredits()
+	stalled := link.CreditStalled()
+	var downLinks int
+	for _, l := range tb.Links {
+		if l.IsDown() {
+			downLinks++
+		}
+	}
+
+	g := sim.NewWaitGraph()
+	g.AddNode("nic-dma", queued > 0, !waiting,
+		fmt.Sprintf("%d packets queued, %d descriptors free", queued, nic.FreeDescriptors()))
+	g.AddNode("pcie-credits", waiting || seq > 0, !waiting,
+		fmt.Sprintf("%d/%d credit lines free, %d sequestered", credits, link.Config().CreditLines, seq))
+	g.AddNode("iio-release", seq > 0, !stalled,
+		fmt.Sprintf("credit return path stalled=%v, %d lines held", stalled, seq))
+	g.AddNode("fabric", downLinks > 0, downLinks == 0,
+		fmt.Sprintf("%d/%d links down", downLinks, len(tb.Links)))
+
+	g.AddEdge("nic-dma", "pcie-credits", "DMA engine needs TLP credit lines")
+	g.AddEdge("pcie-credits", "iio-release", "lines return on IIO write completion")
+	if stalled {
+		g.AddEdge("iio-release", "pcie-credits", "release path sequesters returned lines")
+	}
+	if downLinks > 0 {
+		g.AddEdge("fabric", "nic-dma", "deliveries blocked on down link")
+	}
+	return g
+}
