@@ -7,11 +7,12 @@
 #                   race coverage; -short keeps the concurrent paths —
 #                   sweeps, meters — under the detector in ~2 min)
 #   make chaos      fault-injection suite only
-#   make bench      regenerate the quick-scale figures
+#   make bench      microbenchmarks (engine + datapath) -> BENCH_baseline.json
+#   make figures    regenerate the quick-scale figures
 
 GO ?= go
 
-.PHONY: all build test verify race chaos bench vet staticcheck replay
+.PHONY: all build test verify race chaos bench bench-smoke figures vet staticcheck replay
 
 all: verify race
 
@@ -45,5 +46,19 @@ race:
 chaos:
 	$(GO) test ./internal/faults/ ./internal/testbed/ -run 'TestChaos' -count=1
 
+# Microbenchmark suite. The -json stream is written to BENCH_baseline.json
+# (one test2json object per line); reconstruct benchstat input with
+#   jq -r 'select(.Action=="output").Output' BENCH_baseline.json | benchstat /dev/stdin
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkDatapath' -benchmem -count=1 -json ./internal/sim/ ./internal/host/ > BENCH_baseline.json
+	@sed -n 's/.*"Output":"\(Benchmark[^"]*\)\\n".*/\1/p' BENCH_baseline.json | sed 's/\\t/	/g'
+	@echo "wrote BENCH_baseline.json"
+
+# bench-smoke is the CI gate: every benchmark must still run (one
+# iteration) and the zero-alloc guards must hold.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkDatapath' -benchtime=1x 		-benchmem -count=1 -json ./internal/sim/ ./internal/host/ > BENCH_baseline.json
+	$(GO) test ./internal/sim/ ./internal/ring/ ./internal/packet/ ./internal/host/ 		-run 'ZeroAlloc|NoAlloc' -count=1 -v | grep -E '^(=== RUN|--- |ok|FAIL)'
+
+figures:
 	$(GO) run ./cmd/hostcc-bench -fig all -scale quick

@@ -18,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
 	"time"
@@ -43,7 +46,16 @@ func run() error {
 	checkpointEvery := flag.Uint64("checkpoint-every", 100_000, "with -checkpoint: processed events between checkpoint captures")
 	resume := flag.String("resume", "", "resume a chaos run from a checkpoint file (verified replay)")
 	verifyReplay := flag.Bool("verify-replay", false, "with -chaos and -checkpoint: replay from the written checkpoint afterwards and verify digests")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := startProfiling(*cpuprofile, *memprofile, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *resume != "" {
 		return resumeChaos(*resume)
@@ -119,6 +131,54 @@ func run() error {
 		fmt.Printf("  [figure %s regenerated in %.1fs at scale %q]\n\n", f, time.Since(start).Seconds(), *scaleName)
 	}
 	return nil
+}
+
+// startProfiling arms the requested profilers and returns the function
+// that stops them and writes the exit-time heap profile.
+func startProfiling(cpuprofile, memprofile, tracePath string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return stop, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	if memprofile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hostcc-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hostcc-bench: memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
 }
 
 func runChaos(name string, seed int64, checkpoint string, checkpointEvery uint64, verifyReplay bool) error {

@@ -53,9 +53,15 @@ type DDIO struct {
 	rng *rand.Rand
 
 	used    int
-	order   []EntryID // FIFO of live entries
+	order   []EntryID // FIFO of live entries: the live region is order[ordHead:]
+	ordHead int       // dead prefix of order (evicted head entries)
 	entries map[EntryID]int
 	nextID  EntryID
+
+	// evScratch backs the slice Insert returns, recycled across calls:
+	// every inbound packet inserts, and eviction lists must not cost an
+	// allocation each. The returned slice is valid until the next Insert.
+	evScratch []Eviction
 
 	inserted  stats.Counter // bytes inserted
 	evicted   stats.Counter // bytes evicted before consumption
@@ -101,13 +107,15 @@ func (d *DDIO) Insert(bytes int) (EntryID, []Eviction) {
 	if d.rng != nil && d.rng.Float64() < prob {
 		// Polluted: lines are pushed out by unrelated traffic right away.
 		d.evicted.Inc(int64(bytes))
-		return id, []Eviction{{Owner: id, Bytes: bytes}}
+		evs := append(d.evScratch[:0], Eviction{Owner: id, Bytes: bytes})
+		d.evScratch = evs
+		return id, evs
 	}
 
-	var evs []Eviction
-	for d.used+bytes > d.cfg.CapacityBytes && len(d.order) > 0 {
-		victim := d.order[0]
-		d.order = d.order[1:]
+	evs := d.evScratch[:0]
+	for d.used+bytes > d.cfg.CapacityBytes && d.ordHead < len(d.order) {
+		victim := d.order[d.ordHead]
+		d.ordHead++
 		vb := d.entries[victim]
 		delete(d.entries, victim)
 		d.used -= vb
@@ -117,12 +125,27 @@ func (d *DDIO) Insert(bytes int) (EntryID, []Eviction) {
 	if d.used+bytes > d.cfg.CapacityBytes {
 		// Entry bigger than the whole pool: it cannot be cached.
 		d.evicted.Inc(int64(bytes))
-		return id, append(evs, Eviction{Owner: id, Bytes: bytes})
+		evs = append(evs, Eviction{Owner: id, Bytes: bytes})
+		d.evScratch = evs
+		return id, evs
 	}
 	d.entries[id] = bytes
-	d.order = append(d.order, id)
+	d.appendOrder(id)
 	d.used += bytes
+	d.evScratch = evs
 	return id, evs
+}
+
+// appendOrder pushes id onto the live FIFO, first compacting the dead
+// prefix left by evictions when the backing array is full — so sustained
+// insert/evict churn reuses the array instead of regrowing it.
+func (d *DDIO) appendOrder(id EntryID) {
+	if len(d.order) == cap(d.order) && d.ordHead > 0 {
+		n := copy(d.order, d.order[d.ordHead:])
+		d.order = d.order[:n]
+		d.ordHead = 0
+	}
+	d.order = append(d.order, id)
 }
 
 // Consume is called when the CPU processes a packet. It reports whether
@@ -136,8 +159,8 @@ func (d *DDIO) Consume(id EntryID, bytes int) (hit bool) {
 	// order slice is compacted as evictions walk it.
 	d.used -= d.entries[id]
 	delete(d.entries, id)
-	for i, e := range d.order {
-		if e == id {
+	for i := d.ordHead; i < len(d.order); i++ {
+		if d.order[i] == id {
 			d.order = append(d.order[:i], d.order[i+1:]...)
 			break
 		}

@@ -8,8 +8,8 @@ import "repro/internal/snapshot"
 func (d *DDIO) Snapshot(e *snapshot.Encoder) {
 	e.Int(d.used)
 	e.U64(uint64(d.nextID))
-	e.U32(uint32(len(d.order)))
-	for _, id := range d.order {
+	e.U32(uint32(len(d.order) - d.ordHead))
+	for _, id := range d.order[d.ordHead:] {
 		e.U64(uint64(id))
 		e.Int(d.entries[id])
 	}
@@ -25,6 +25,7 @@ func (d *DDIO) Restore(dec *snapshot.Decoder) error {
 	d.nextID = EntryID(dec.U64())
 	n := int(dec.U32())
 	d.order = d.order[:0]
+	d.ordHead = 0
 	d.entries = make(map[EntryID]int, n)
 	for i := 0; i < n && dec.Err() == nil; i++ {
 		id := EntryID(dec.U64())

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/packet"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -79,8 +80,19 @@ type RxPool struct {
 	ddio *cache.DDIO // nil when DDIO is disabled
 	cfg  RxConfig
 
-	queues [][]RxWork
+	queues []ring.Queue[RxWork]
 	busy   []bool
+	cur    []rxJob // per-core in-flight packet (valid while busy)
+
+	// stallDoneH fires when a core's memory stall ends; doneH when its
+	// protocol processing ends. arg0 carries the core index — each core
+	// runs one packet at a time, so cur needs no slot table.
+	stallDoneH sim.HandlerID
+	doneH      sim.HandlerID
+
+	// pool, when set, receives packets after terminal delivery (the end
+	// of the receive path); nil keeps them GC-managed.
+	pool *packet.Pool
 
 	deliver func(*packet.Packet)
 	onDone  func(*packet.Packet)
@@ -100,16 +112,31 @@ func NewRxPool(e *sim.Engine, mc *mem.Controller, ddio *cache.DDIO, cfg RxConfig
 	if deliver == nil {
 		panic("cpu: RxPool needs a deliver function")
 	}
-	return &RxPool{
+	p := &RxPool{
 		e:       e,
 		mc:      mc,
 		ddio:    ddio,
 		cfg:     cfg,
-		queues:  make([][]RxWork, cfg.Cores),
+		queues:  make([]ring.Queue[RxWork], cfg.Cores),
 		busy:    make([]bool, cfg.Cores),
+		cur:     make([]rxJob, cfg.Cores),
 		deliver: deliver,
 	}
+	p.stallDoneH = e.Handler(p.stallDone)
+	p.doneH = e.Handler(p.done)
+	return p
 }
+
+// rxJob is the in-flight packet state of one core.
+type rxJob struct {
+	w     RxWork
+	start sim.Time
+	hit   bool
+}
+
+// SetPool directs terminally delivered packets back to pool (nil
+// disables recycling).
+func (p *RxPool) SetPool(pool *packet.Pool) { p.pool = pool }
 
 // SetOnDone registers the descriptor-recycle callback.
 func (p *RxPool) SetOnDone(fn func(*packet.Packet)) { p.onDone = fn }
@@ -123,65 +150,41 @@ func (p *RxPool) steer(f packet.FlowID) int {
 // Enqueue hands a DMA-completed packet to its core.
 func (p *RxPool) Enqueue(w RxWork) {
 	c := p.steer(w.Pkt.Flow)
-	p.queues[c] = append(p.queues[c], w)
+	p.queues[c].Push(w)
 	p.trackQueueLen()
 	p.dispatch(c)
 }
 
 func (p *RxPool) trackQueueLen() {
 	n := 0
-	for _, q := range p.queues {
-		n += len(q)
+	for i := range p.queues {
+		n += p.queues[i].Len()
 	}
 	p.qlen.Set(p.e.Now(), float64(n))
 }
 
 func (p *RxPool) dispatch(c int) {
-	if p.busy[c] || len(p.queues[c]) == 0 {
+	if p.busy[c] || p.queues[c].Len() == 0 {
 		return
 	}
-	w := p.queues[c][0]
-	p.queues[c] = p.queues[c][1:]
+	w := p.queues[c].Pop()
 	p.trackQueueLen()
 	p.busy[c] = true
 	p.process(c, w)
 }
 
 func (p *RxPool) process(c int, w RxWork) {
-	start := p.e.Now()
 	size := w.Pkt.WireLen()
 
 	hit := false
 	if p.ddio != nil && w.HasEntry {
 		hit = p.ddio.Consume(w.Entry, size)
 	}
-
-	finish := func() {
-		// Posted writes: copy into application buffers. Non-blocking but
-		// they consume memory bandwidth.
-		wf := p.cfg.WriteFactorMiss
-		if hit {
-			wf = p.cfg.WriteFactorHit
-		}
-		if wb := int(float64(size) * wf); wb > 0 {
-			p.mc.Submit(mem.Request{Size: wb, Class: mem.ClassNetCopy})
-		}
-		cost := p.cfg.BaseCost + sim.Time(float64(p.cfg.PerKBCost)*float64(size)/1024)
-		p.e.After(cost, func() {
-			p.busyTime += p.e.Now() - start
-			p.processed.Inc(1)
-			p.deliver(w.Pkt)
-			if p.onDone != nil {
-				p.onDone(w.Pkt)
-			}
-			p.busy[c] = false
-			p.dispatch(c)
-		})
-	}
+	p.cur[c] = rxJob{w: w, start: p.e.Now(), hit: hit}
 
 	if hit {
 		// Data still in LLC: short stall, no DRAM read.
-		p.e.After(p.cfg.LLCStall, finish)
+		p.e.ScheduleAfter(p.cfg.LLCStall, p.stallDoneH, uint64(c), 0)
 		return
 	}
 	// DDIO miss or DDIO disabled: the copy loop reads size/64 cachelines
@@ -200,7 +203,44 @@ func (p *RxPool) process(c int, w RxWork) {
 	}
 	misses := float64(rb) / float64(mem.CacheLine)
 	stall := sim.Time(float64(p.mc.EstimateLatency(mem.CacheLine)) * misses / mlp)
-	p.e.After(stall, finish)
+	p.e.ScheduleAfter(stall, p.stallDoneH, uint64(c), 0)
+}
+
+// stallDone fires when core c's memory stall ends: issue the posted copy
+// writes and run protocol processing.
+func (p *RxPool) stallDone(c64, _ uint64) {
+	job := &p.cur[c64]
+	size := job.w.Pkt.WireLen()
+	// Posted writes: copy into application buffers. Non-blocking but
+	// they consume memory bandwidth.
+	wf := p.cfg.WriteFactorMiss
+	if job.hit {
+		wf = p.cfg.WriteFactorHit
+	}
+	if wb := int(float64(size) * wf); wb > 0 {
+		p.mc.Submit(mem.Request{Size: wb, Class: mem.ClassNetCopy})
+	}
+	cost := p.cfg.BaseCost + sim.Time(float64(p.cfg.PerKBCost)*float64(size)/1024)
+	p.e.ScheduleAfter(cost, p.doneH, c64, 0)
+}
+
+// done fires when core c finishes a packet: deliver it up the stack,
+// recycle the descriptor, release the packet, and take the next one.
+func (p *RxPool) done(c64, _ uint64) {
+	c := int(c64)
+	job := p.cur[c]
+	p.cur[c] = rxJob{}
+	p.busyTime += p.e.Now() - job.start
+	p.processed.Inc(1)
+	p.deliver(job.w.Pkt)
+	if p.onDone != nil {
+		p.onDone(job.w.Pkt)
+	}
+	// Terminal point of the receive path: nothing above retains the
+	// packet (the transport reads it synchronously; tracers clone).
+	p.pool.Put(job.w.Pkt)
+	p.busy[c] = false
+	p.dispatch(c)
 }
 
 // Processed returns packets fully processed so far.
@@ -209,8 +249,8 @@ func (p *RxPool) Processed() int64 { return p.processed.Total() }
 // QueueLen returns packets currently queued for the cores.
 func (p *RxPool) QueueLen() int {
 	n := 0
-	for _, q := range p.queues {
-		n += len(q)
+	for i := range p.queues {
+		n += p.queues[i].Len()
 	}
 	return n
 }
@@ -224,8 +264,8 @@ func (p *RxPool) Cores() int { return p.cfg.Cores }
 // DebugState reports per-core queue lengths and busy flags (diagnostics).
 func (p *RxPool) DebugState() ([]int, []bool) {
 	qs := make([]int, len(p.queues))
-	for i, q := range p.queues {
-		qs[i] = len(q)
+	for i := range p.queues {
+		qs[i] = p.queues[i].Len()
 	}
 	return qs, append([]bool(nil), p.busy...)
 }

@@ -45,11 +45,12 @@ func (a *MApp) Restore(d *snapshot.Decoder) error {
 // digest-only (wire lengths); the packets are replay-reconstructed.
 func (p *RxPool) Snapshot(e *snapshot.Encoder) {
 	e.U32(uint32(len(p.queues)))
-	for c, q := range p.queues {
+	for c := range p.queues {
+		q := &p.queues[c]
 		e.Bool(p.busy[c])
-		e.U32(uint32(len(q)))
-		for _, w := range q {
-			e.Int(w.Pkt.WireLen())
+		e.U32(uint32(q.Len()))
+		for i := 0; i < q.Len(); i++ {
+			e.Int(q.At(i).Pkt.WireLen())
 		}
 	}
 	e.I64(int64(p.busyTime))

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -38,6 +39,13 @@ type Link struct {
 	deliver   func(*packet.Packet)
 	down      bool // fault injection: link flapped down
 
+	// deliverH + inflight carry packets through propagation-delay events
+	// without per-packet closures; pool (optional) receives packets the
+	// link loses to injected faults.
+	deliverH sim.HandlerID
+	inflight sim.Slots[*packet.Packet]
+	pool     *packet.Pool
+
 	Bytes stats.Meter
 	// Corrupted counts packets dropped by injected wire loss.
 	Corrupted stats.Counter
@@ -53,7 +61,18 @@ func NewLink(e *sim.Engine, cfg LinkConfig, deliver func(*packet.Packet)) *Link 
 	if deliver == nil {
 		panic("fabric: nil deliver")
 	}
-	return &Link{e: e, cfg: cfg, deliver: deliver}
+	l := &Link{e: e, cfg: cfg, deliver: deliver}
+	l.deliverH = e.Handler(l.deliverEvent)
+	return l
+}
+
+// SetPool directs packets lost by the link back to pool (nil disables
+// recycling).
+func (l *Link) SetPool(pool *packet.Pool) { l.pool = pool }
+
+// deliverEvent fires when a packet finishes propagating; arg0 is its slot.
+func (l *Link) deliverEvent(slot, _ uint64) {
+	l.deliver(l.inflight.Take(slot))
 }
 
 // Send serializes and propagates one packet. Queueing happens in the
@@ -65,9 +84,10 @@ func (l *Link) Send(p *packet.Packet) {
 	l.busyUntil = done
 	l.Bytes.Add(int64(p.WireLen()))
 	if l.lost() {
+		l.pool.Put(p)
 		return // serialized, then discarded by the receiver's FCS check
 	}
-	l.e.At(done+l.cfg.Delay, func() { l.deliver(p) })
+	l.e.Schedule(done+l.cfg.Delay, l.deliverH, l.inflight.Put(p), 0)
 }
 
 func (l *Link) lost() bool {
@@ -133,9 +153,14 @@ type Switch struct {
 type outPort struct {
 	sw     *Switch
 	link   *Link
-	queue  []*packet.Packet
+	queue  ring.Queue[*packet.Packet]
 	qBytes int
 	busy   bool
+
+	// doneH fires when the port serializer finishes serFlight (the port
+	// serializes one packet at a time, so no slot table is needed).
+	doneH     sim.HandlerID
+	serFlight *packet.Packet
 }
 
 // NewSwitch creates an empty switch.
@@ -151,7 +176,9 @@ func (s *Switch) AttachPort(id packet.HostID, link *Link) {
 	if _, dup := s.ports[id]; dup {
 		panic(fmt.Sprintf("fabric: duplicate port for host %d", id))
 	}
-	s.ports[id] = &outPort{sw: s, link: link}
+	o := &outPort{sw: s, link: link}
+	o.doneH = s.e.Handler(o.serDone)
+	s.ports[id] = o
 }
 
 // Inject delivers a packet into the switch (from an ingress link).
@@ -166,6 +193,7 @@ func (s *Switch) Inject(p *packet.Packet) {
 func (o *outPort) enqueue(p *packet.Packet) {
 	if o.qBytes+p.WireLen() > o.sw.cfg.PortBufferBytes {
 		o.sw.Drops.Inc(1)
+		o.link.pool.Put(p)
 		return
 	}
 	// DCTCP marking: mark on instantaneous queue depth at enqueue.
@@ -173,26 +201,31 @@ func (o *outPort) enqueue(p *packet.Packet) {
 		p.ECN = packet.CE
 		o.sw.Marks.Inc(1)
 	}
-	o.queue = append(o.queue, p)
+	o.queue.Push(p)
 	o.qBytes += p.WireLen()
 	o.pump()
 }
 
 func (o *outPort) pump() {
-	if o.busy || len(o.queue) == 0 {
+	if o.busy || o.queue.Len() == 0 {
 		return
 	}
 	o.busy = true
-	p := o.queue[0]
-	o.queue = o.queue[1:]
+	p := o.queue.Pop()
 	o.qBytes -= p.WireLen()
 	// Hold the serializer for the packet's own transmission time, then
 	// hand it to the link (which adds propagation).
-	o.sw.e.After(o.link.cfg.Rate.TimeFor(p.WireLen()), func() {
-		o.link.deliver2(p)
-		o.busy = false
-		o.pump()
-	})
+	o.serFlight = p
+	o.sw.e.ScheduleAfter(o.link.cfg.Rate.TimeFor(p.WireLen()), o.doneH, 0, 0)
+}
+
+// serDone fires when the port serializer finishes its packet.
+func (o *outPort) serDone(_, _ uint64) {
+	p := o.serFlight
+	o.serFlight = nil
+	o.link.deliver2(p)
+	o.busy = false
+	o.pump()
 }
 
 // deliver2 propagates a packet that has already been serialized by the
@@ -200,9 +233,10 @@ func (o *outPort) pump() {
 func (l *Link) deliver2(p *packet.Packet) {
 	l.Bytes.Add(int64(p.WireLen()))
 	if l.lost() {
+		l.pool.Put(p)
 		return
 	}
-	l.e.After(l.cfg.Delay, func() { l.deliver(p) })
+	l.e.ScheduleAfter(l.cfg.Delay, l.deliverH, l.inflight.Put(p), 0)
 }
 
 // QueueBytes returns the current queue depth toward host id.

@@ -45,9 +45,9 @@ func (s *Switch) Snapshot(e *snapshot.Encoder) {
 		e.U64(uint64(id))
 		e.Int(p.qBytes)
 		e.Bool(p.busy)
-		e.U32(uint32(len(p.queue)))
-		for _, pkt := range p.queue {
-			e.Int(pkt.WireLen())
+		e.U32(uint32(p.queue.Len()))
+		for i := 0; i < p.queue.Len(); i++ {
+			e.Int(p.queue.At(i).WireLen())
 		}
 	}
 	s.Drops.Snapshot(e)

@@ -39,6 +39,11 @@ type Config struct {
 	// IOMMU optionally puts DMA address translation on the receive path
 	// (disabled by default, as in the paper's evaluation; see §6).
 	IOMMU iommu.Config
+	// Pool is the shared packet pool for this host's datapath (nil keeps
+	// plain allocation). The testbed hands every host the SAME pool:
+	// sender transports acquire the packets that the receiver's rx path
+	// eventually releases, so per-host pools would drain asymmetrically.
+	Pool *packet.Pool
 }
 
 // DefaultConfig returns the paper-calibrated host for a given MTU.
@@ -110,6 +115,12 @@ func New(e *sim.Engine, cfg Config) *Host {
 	h.NIC = nic.New(e, cfg.NIC, h.Link, h.MC)
 	h.Rx = cpu.NewRxPool(e, h.MC, h.DDIO, cfg.Rx, h.deliverUp)
 	h.Rx.SetOnDone(func(*packet.Packet) { h.NIC.ReleaseDescriptor() })
+	if cfg.Pool != nil {
+		h.NIC.SetPool(cfg.Pool)
+		h.Rx.SetPool(cfg.Pool)
+		h.Cfg.Transport.Pool = cfg.Pool
+		cfg.Transport.Pool = cfg.Pool
+	}
 	h.EP = transport.NewEndpoint(e, cfg.ID, h, cfg.Transport)
 	return h
 }

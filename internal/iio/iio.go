@@ -19,6 +19,7 @@ import (
 	"repro/internal/msr"
 	"repro/internal/packet"
 	"repro/internal/pcie"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -63,7 +64,20 @@ type IIO struct {
 	// show up in IIO occupancy).
 	mmu      *iommu.IOMMU
 	gateBusy bool
-	pending  []*pcie.TLP
+	pending  ring.Queue[*pcie.TLP]
+
+	// Handler-table plumbing (see DESIGN.md "Performance"): releaseH
+	// replenishes credits when a write is admitted; submitH issues the
+	// buffered write after the pipeline latency; deliverH hands a finished
+	// packet to the CPU; ddioDoneH/ddioGateH drive the DDIO write path.
+	releaseH  sim.HandlerID
+	submitH   sim.HandlerID
+	deliverH  sim.HandlerID
+	ddioDoneH sim.HandlerID
+	ddioGateH sim.HandlerID
+	reqs      sim.Slots[mem.Request]
+	delivs    sim.Slots[delivery]
+	ddioOps   sim.Slots[ddioOp]
 
 	// Per-packet DMA state; TLPs of a packet arrive in order from the
 	// single DMA engine, so only the in-progress packet needs state.
@@ -83,6 +97,11 @@ func New(e *sim.Engine, cfg Config, mc *mem.Controller, ddio *cache.DDIO, f *msr
 		panic("iio: nil delivery")
 	}
 	io := &IIO{e: e, cfg: cfg, mc: mc, ddio: ddio, out: out}
+	io.releaseH = e.Handler(io.release)
+	io.submitH = e.Handler(io.submit)
+	io.deliverH = e.Handler(io.deliverDone)
+	io.ddioDoneH = e.Handler(io.ddioDone)
+	io.ddioGateH = e.Handler(io.ddioGateOpen)
 	if f != nil {
 		f.RegisterReader(msr.IIOOccupancy, io.ROCC)
 		f.RegisterReader(msr.IIOInsertions, io.RINS)
@@ -97,13 +116,47 @@ func (io *IIO) SetLink(l *pcie.Link) { io.link = l }
 // SetIOMMU enables DMA address translation in front of the IIO buffer.
 func (io *IIO) SetIOMMU(u *iommu.IOMMU) { io.mmu = u }
 
+// delivery is the state needed to hand a finished packet to the CPU.
+type delivery struct {
+	pkt      *packet.Packet
+	entry    cache.EntryID
+	hasEntry bool
+}
+
+// ddioOp is one in-flight DDIO write (credit lines plus delivery state).
+type ddioOp struct {
+	lines int
+	last  bool
+	d     delivery
+}
+
+// release is the write-admission handler: return lines (arg0) of IIO
+// buffer space and PCIe credits.
+func (io *IIO) release(lines, _ uint64) {
+	io.setOcc(io.occLines - int(lines))
+	io.link.ReleaseCredits(int(lines))
+}
+
+// submit issues a buffered write to the memory controller; arg0 is the
+// request's slot.
+func (io *IIO) submit(slot, _ uint64) {
+	io.mc.Submit(io.reqs.Take(slot))
+}
+
+// deliverDone fires on a packet's final write completion; arg0 is the
+// delivery slot.
+func (io *IIO) deliverDone(slot, _ uint64) {
+	d := io.delivs.Take(slot)
+	io.out(d.pkt, d.entry, d.hasEntry)
+}
+
 // OnTLP receives one TLP from the PCIe link. With an IOMMU attached, the
 // TLP first clears address translation (holding its PCIe credits but not
 // yet counting as IIO occupancy); TLPs arriving mid-translation queue in
 // order behind it.
 func (io *IIO) OnTLP(t *pcie.TLP) {
 	if io.gateBusy {
-		io.pending = append(io.pending, t)
+		io.pending.Push(t)
 		return
 	}
 	io.admit(t)
@@ -136,10 +189,8 @@ func (io *IIO) translatePages(n int, done func()) {
 }
 
 func (io *IIO) drainPending() {
-	for len(io.pending) > 0 && !io.gateBusy {
-		t := io.pending[0]
-		io.pending = io.pending[1:]
-		io.admit(t)
+	for io.pending.Len() > 0 && !io.gateBusy {
+		io.admit(io.pending.Pop())
 	}
 }
 
@@ -152,14 +203,8 @@ func (io *IIO) processTLP(t *pcie.TLP) {
 		io.startPacket(t.Pkt)
 	}
 
-	lines := t.Lines
-	release := func() {
-		io.setOcc(io.occLines - lines)
-		io.link.ReleaseCredits(lines)
-	}
-
 	if io.ddio != nil && io.curHasEntry {
-		io.ddioWrite(t, release)
+		io.ddioWrite(t)
 		return
 	}
 
@@ -177,13 +222,16 @@ func (io *IIO) processTLP(t *pcie.TLP) {
 	req := mem.Request{
 		Size:    t.DataBytes,
 		Class:   class,
-		OnAdmit: release,
+		AdmitCB: sim.Callback{ID: io.releaseH, Arg0: uint64(t.Lines)},
 	}
 	if t.Last {
-		pkt, entry, has := t.Pkt, io.curEntry, io.curHasEntry
-		req.OnComplete = func(sim.Time) { io.out(pkt, entry, has) }
+		req.CompleteCB = sim.Callback{
+			ID:   io.deliverH,
+			Arg0: io.delivs.Put(delivery{pkt: t.Pkt, entry: io.curEntry, hasEntry: io.curHasEntry}),
+		}
 	}
-	io.e.After(io.cfg.PipelineLatency, func() { io.mc.Submit(req) })
+	io.link.ReleaseTLP(t) // all fields consumed; recycle the transaction
+	io.e.ScheduleAfter(io.cfg.PipelineLatency, io.submitH, io.reqs.Put(req), 0)
 }
 
 // startPacket sets up DDIO bookkeeping for a new packet's DMA.
@@ -215,31 +263,45 @@ func (io *IIO) startPacket(p *packet.Packet) {
 // eviction to be admitted, and the eviction burns memory write bandwidth
 // (§2.1). Under memory congestion this is the mechanism that drags the
 // DDIO-enabled case back to DDIO-disabled behaviour.
-func (io *IIO) ddioWrite(t *pcie.TLP, release func()) {
+func (io *IIO) ddioWrite(t *pcie.TLP) {
 	// Capture the packet's cache state now: by the time the deferred
 	// write completes, the next packet's DMA may already have begun.
-	pkt, entry, has := t.Pkt, io.curEntry, io.curHasEntry
-	if pkt != io.curPkt {
+	if t.Pkt != io.curPkt {
 		panic("iio: TLP arrived out of packet order")
 	}
-	finish := func() {
-		io.e.After(cache.WriteLatency, func() {
-			release()
-			if t.Last {
-				io.out(pkt, entry, has)
-			}
-		})
+	op := ddioOp{
+		lines: t.Lines,
+		last:  t.Last,
+		d:     delivery{pkt: t.Pkt, entry: io.curEntry, hasEntry: io.curHasEntry},
 	}
-	if t.First && io.evictGate {
-		bytes := io.evictBytes
+	first, evictGate, evictBytes := t.First, io.evictGate, io.evictBytes
+	io.link.ReleaseTLP(t) // all fields consumed; recycle the transaction
+	slot := io.ddioOps.Put(op)
+	if first && evictGate {
 		io.mc.Submit(mem.Request{
-			Size:    bytes,
+			Size:    evictBytes,
 			Class:   mem.ClassEviction,
-			OnAdmit: finish,
+			AdmitCB: sim.Callback{ID: io.ddioGateH, Arg0: slot},
 		})
 		return
 	}
-	finish()
+	io.ddioGateOpen(slot, 0)
+}
+
+// ddioGateOpen starts the LLC write once any gating eviction has been
+// admitted; arg0 is the ddioOp slot.
+func (io *IIO) ddioGateOpen(slot, _ uint64) {
+	io.e.ScheduleAfter(cache.WriteLatency, io.ddioDoneH, slot, 0)
+}
+
+// ddioDone fires when the LLC write finishes; arg0 is the ddioOp slot.
+func (io *IIO) ddioDone(slot, _ uint64) {
+	op := io.ddioOps.Take(slot)
+	io.setOcc(io.occLines - op.lines)
+	io.link.ReleaseCredits(op.lines)
+	if op.last {
+		io.out(op.d.pkt, op.d.entry, op.d.hasEntry)
+	}
 }
 
 func (io *IIO) setOcc(lines int) {

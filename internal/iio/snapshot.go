@@ -13,8 +13,9 @@ func (io *IIO) Snapshot(e *snapshot.Encoder) {
 	io.occ.Snapshot(e)
 	e.U64(io.rins)
 	e.Bool(io.gateBusy)
-	e.U32(uint32(len(io.pending)))
-	for _, t := range io.pending {
+	e.U32(uint32(io.pending.Len()))
+	for i := 0; i < io.pending.Len(); i++ {
+		t := io.pending.At(i)
 		e.Int(t.Lines)
 	}
 	e.Bool(io.curPkt != nil)

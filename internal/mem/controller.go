@@ -119,6 +119,15 @@ type Request struct {
 	// OnComplete fires when the transaction finishes (data in DRAM /
 	// data returned). Optional.
 	OnComplete func(lat sim.Time)
+
+	// AdmitCB/CompleteCB are the allocation-free equivalents of
+	// OnAdmit/OnComplete: pre-registered handlers invoked with the
+	// callback's own arguments. CompleteCB is dispatched as
+	// (Arg0, uint64(lat)) — the measured latency replaces Arg1. When both
+	// a closure and a Callback are set for the same notification, the
+	// closure wins (they are alternatives, not a chain).
+	AdmitCB    sim.Callback
+	CompleteCB sim.Callback
 }
 
 // Controller is the shared memory controller.
@@ -133,8 +142,24 @@ type Controller struct {
 	recent  [NumClasses]rateTracker
 	backlog stats.TimeWeighted // queued bytes over time (diagnostics)
 
+	// completeH + comps carry per-request completion state through the
+	// completion event without a closure per request.
+	completeH sim.HandlerID
+	comps     sim.Slots[completion]
+
 	// Submitted counts all requests, for sanity checks.
 	Submitted int64
+}
+
+// completion is the per-request state needed when the completion event
+// fires.
+type completion struct {
+	weight    int
+	size      int
+	class     Class
+	submitted sim.Time
+	fn        func(lat sim.Time)
+	cb        sim.Callback
 }
 
 // NewController creates a memory controller on engine e.
@@ -145,7 +170,25 @@ func NewController(e *sim.Engine, cfg Config) *Controller {
 	if cfg.WriteQueueBytes <= 0 {
 		panic("mem: non-positive write queue")
 	}
-	return &Controller{e: e, cfg: cfg}
+	c := &Controller{e: e, cfg: cfg}
+	c.completeH = e.Handler(c.complete)
+	return c
+}
+
+// complete is the completion event handler; arg0 is the completion slot.
+func (c *Controller) complete(slot, _ uint64) {
+	comp := c.comps.Take(slot)
+	now := c.e.Now()
+	c.inFlight -= comp.weight
+	c.meters[comp.class].Add(int64(comp.size))
+	c.recent[comp.class].add(now, float64(comp.size))
+	lat := now - comp.submitted
+	switch {
+	case comp.fn != nil:
+		comp.fn(lat)
+	case comp.cb.Set():
+		c.e.Dispatch(comp.cb.ID, comp.cb.Arg0, uint64(lat))
+	}
 }
 
 // Config returns the controller configuration.
@@ -185,19 +228,20 @@ func (c *Controller) Submit(req Request) {
 		sim.Time(c.cfg.WriteLoadFactor*float64(c.loadLatency()))
 	if req.OnAdmit != nil {
 		c.e.At(admit, req.OnAdmit)
+	} else if req.AdmitCB.Set() {
+		c.e.Invoke(admit, req.AdmitCB)
 	}
 
 	complete := dep + c.cfg.BaseLatency + c.loadLatency()
-	size, class := req.Size, req.Class
-	onComplete := req.OnComplete
-	c.e.At(complete, func() {
-		c.inFlight -= w
-		c.meters[class].Add(int64(size))
-		c.recent[class].add(c.e.Now(), float64(size))
-		if onComplete != nil {
-			onComplete(complete - now)
-		}
+	slot := c.comps.Put(completion{
+		weight:    w,
+		size:      req.Size,
+		class:     req.Class,
+		submitted: now,
+		fn:        req.OnComplete,
+		cb:        req.CompleteCB,
 	})
+	c.e.Schedule(complete, c.completeH, slot, 0)
 }
 
 // rateTracker estimates a class's recent bandwidth with exponential decay

@@ -15,6 +15,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/packet"
 	"repro/internal/pcie"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -55,18 +56,32 @@ type NIC struct {
 	mc   *mem.Controller // transmit DMA reads; may be nil
 
 	// Receive state.
-	rxQ      []*packet.Packet
-	rxArrive []sim.Time // arrival time of each queued packet
+	rxQ      ring.Queue[rxEntry]
 	rxBytes  int
 	descFree int
-	cur      []*pcie.TLP // remaining TLPs of the packet being DMA'd
+	cur      []*pcie.TLP // TLPs of the packet being DMA'd (reused array)
+	curIdx   int         // next TLP of cur to issue
 	waiting  bool        // a credit wakeup is registered
 
+	// creditResume is the one-shot credit wakeup handed to the PCIe link;
+	// created once so a stall does not allocate.
+	creditResume func()
+
+	// pool, when set, receives packets the NIC drops (rx overflow, rx
+	// fault); nil keeps drops GC-managed.
+	pool *packet.Pool
+
 	// Transmit state.
-	txQ     []*packet.Packet
+	txQ     ring.Queue[*packet.Packet]
 	txBusy  bool
 	txBytes int
 	out     func(*packet.Packet)
+
+	// Handler-table plumbing for the transmit path: txSlots parks the
+	// packet being serialized (or awaiting its blocking DMA read).
+	txDoneH     sim.HandlerID
+	txReadDoneH sim.HandlerID
+	txSlots     sim.Slots[*packet.Packet]
 
 	// rxFault, when set, is consulted per arriving packet; returning
 	// true drops it before buffer admission (fault injection: PHY-level
@@ -93,7 +108,7 @@ func New(e *sim.Engine, cfg Config, link *pcie.Link, mc *mem.Controller) *NIC {
 	if link == nil {
 		panic("nic: nil PCIe link")
 	}
-	return &NIC{
+	n := &NIC{
 		e:          e,
 		cfg:        cfg,
 		link:       link,
@@ -101,7 +116,23 @@ func New(e *sim.Engine, cfg Config, link *pcie.Link, mc *mem.Controller) *NIC {
 		descFree:   cfg.RxDescriptors,
 		QueueDelay: stats.NewHistogram(30),
 	}
+	n.creditResume = func() {
+		n.waiting = false
+		n.pump()
+	}
+	n.txDoneH = e.Handler(n.txDone)
+	n.txReadDoneH = e.Handler(n.txReadDone)
+	return n
 }
+
+// rxEntry is one buffered rx packet plus its arrival time.
+type rxEntry struct {
+	p  *packet.Packet
+	at sim.Time
+}
+
+// SetPool directs dropped packets back to pool (nil disables recycling).
+func (n *NIC) SetPool(pool *packet.Pool) { n.pool = pool }
 
 // SetOutput attaches the transmit side to the fabric.
 func (n *NIC) SetOutput(out func(*packet.Packet)) { n.out = out }
@@ -112,14 +143,15 @@ func (n *NIC) Receive(p *packet.Packet) {
 	n.Arrivals.Inc(1)
 	if n.rxFault != nil && n.rxFault(p) {
 		n.FaultDrops.Inc(1)
+		n.pool.Put(p)
 		return
 	}
 	if n.rxBytes+p.WireLen() > n.cfg.RxBufferBytes {
 		n.Drops.Inc(1)
+		n.pool.Put(p)
 		return
 	}
-	n.rxQ = append(n.rxQ, p)
-	n.rxArrive = append(n.rxArrive, n.e.Now())
+	n.rxQ.Push(rxEntry{p: p, at: n.e.Now()})
 	n.rxBytes += p.WireLen()
 	n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
 	n.pump()
@@ -129,21 +161,19 @@ func (n *NIC) Receive(p *packet.Packet) {
 // credits allow, consuming a descriptor per packet.
 func (n *NIC) pump() {
 	for {
-		if len(n.cur) == 0 {
-			if len(n.rxQ) == 0 || n.descFree == 0 {
+		if n.curIdx >= len(n.cur) {
+			if n.rxQ.Len() == 0 || n.descFree == 0 {
 				return
 			}
-			p := n.rxQ[0]
-			n.cur = n.link.Segment(p)
+			p := n.rxQ.Peek().p
+			n.cur = n.link.SegmentInto(p, n.cur[:0])
+			n.curIdx = 0
 		}
-		t := n.cur[0]
+		t := n.cur[n.curIdx]
 		if !n.link.TrySend(t) {
 			if !n.waiting {
 				n.waiting = true
-				n.link.NotifyCredits(func() {
-					n.waiting = false
-					n.pump()
-				})
+				n.link.NotifyCredits(n.creditResume)
 			}
 			return
 		}
@@ -151,14 +181,14 @@ func (n *NIC) pump() {
 			// DMA initiated: the packet leaves the NIC buffer and a
 			// descriptor is consumed.
 			n.DMAStarted.Inc(1)
-			n.QueueDelay.Add(float64(n.e.Now() - n.rxArrive[0]))
-			n.rxQ = n.rxQ[1:]
-			n.rxArrive = n.rxArrive[1:]
+			ent := n.rxQ.Pop()
+			n.QueueDelay.Add(float64(n.e.Now() - ent.at))
 			n.rxBytes -= t.Pkt.WireLen()
 			n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
 			n.descFree--
 		}
-		n.cur = n.cur[1:]
+		n.cur[n.curIdx] = nil // ownership moved to the PCIe link
+		n.curIdx++
 	}
 }
 
@@ -174,43 +204,53 @@ func (n *NIC) ReleaseDescriptor() {
 
 // Transmit queues a packet for sending.
 func (n *NIC) Transmit(p *packet.Packet) {
-	n.txQ = append(n.txQ, p)
+	n.txQ.Push(p)
 	n.txBytes += p.WireLen()
 	n.txPump()
 }
 
 func (n *NIC) txPump() {
-	if n.txBusy || len(n.txQ) == 0 {
+	if n.txBusy || n.txQ.Len() == 0 {
 		return
 	}
 	n.txBusy = true
-	p := n.txQ[0]
-	n.txQ = n.txQ[1:]
+	p := n.txQ.Pop()
 	n.txBytes -= p.WireLen()
 
-	serialize := func() {
-		n.e.After(n.cfg.LineRate.TimeFor(p.WireLen()), func() {
-			n.TxSent.Inc(1)
-			if n.out != nil {
-				n.out(p)
-			}
-			n.txBusy = false
-			n.txPump()
-		})
-	}
-
 	if n.mc == nil {
-		serialize()
+		n.serialize(p)
 		return
 	}
 	req := mem.Request{Size: p.WireLen(), Class: mem.ClassNetCopy}
 	if n.cfg.TxBlockingReads {
-		req.OnComplete = func(sim.Time) { serialize() }
+		req.CompleteCB = sim.Callback{ID: n.txReadDoneH, Arg0: n.txSlots.Put(p)}
 		n.mc.Submit(req)
 		return
 	}
 	n.mc.Submit(req) // posted read
-	serialize()
+	n.serialize(p)
+}
+
+// serialize occupies the line for the packet's wire time, then txDone.
+func (n *NIC) serialize(p *packet.Packet) {
+	n.e.ScheduleAfter(n.cfg.LineRate.TimeFor(p.WireLen()), n.txDoneH, n.txSlots.Put(p), 0)
+}
+
+// txReadDone fires when a blocking transmit DMA read completes; arg0 is
+// the packet's slot.
+func (n *NIC) txReadDone(slot, _ uint64) {
+	n.serialize(n.txSlots.Take(slot))
+}
+
+// txDone fires when the serializer finishes a packet; arg0 is its slot.
+func (n *NIC) txDone(slot, _ uint64) {
+	p := n.txSlots.Take(slot)
+	n.TxSent.Inc(1)
+	if n.out != nil {
+		n.out(p)
+	}
+	n.txBusy = false
+	n.txPump()
 }
 
 // SetRxFault installs the receive fault hook (nil removes it).
@@ -221,7 +261,7 @@ func (n *NIC) RxQueuedBytes() int { return n.rxBytes }
 
 // RxQueuedPackets returns the number of packets buffered awaiting DMA,
 // including the one whose DMA is in progress (invariant accounting).
-func (n *NIC) RxQueuedPackets() int { return len(n.rxQ) }
+func (n *NIC) RxQueuedPackets() int { return n.rxQ.Len() }
 
 // WaitingForCredits reports whether the DMA engine is parked on a PCIe
 // credit wakeup (the free pool cannot cover the head TLP).

@@ -10,19 +10,20 @@ import (
 // distinguish queue composition. Restore recovers the scalar state; the
 // packet objects themselves are replay-reconstructed.
 func (n *NIC) Snapshot(e *snapshot.Encoder) {
-	e.U32(uint32(len(n.rxQ)))
-	for i, p := range n.rxQ {
-		e.Int(p.WireLen())
-		e.I64(int64(n.rxArrive[i]))
+	e.U32(uint32(n.rxQ.Len()))
+	for i := 0; i < n.rxQ.Len(); i++ {
+		ent := n.rxQ.At(i)
+		e.Int(ent.p.WireLen())
+		e.I64(int64(ent.at))
 	}
 	e.Int(n.rxBytes)
 	e.Int(n.descFree)
-	e.U32(uint32(len(n.cur)))
-	for _, t := range n.cur {
+	e.U32(uint32(len(n.cur) - n.curIdx))
+	for _, t := range n.cur[n.curIdx:] {
 		e.Int(t.Lines)
 	}
 	e.Bool(n.waiting)
-	e.U32(uint32(len(n.txQ)))
+	e.U32(uint32(n.txQ.Len()))
 	e.Bool(n.txBusy)
 	e.Int(n.txBytes)
 	n.Arrivals.Snapshot(e)

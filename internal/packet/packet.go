@@ -129,6 +129,12 @@ type Packet struct {
 	// MarkedByHost records that CE was applied by the hostCC receive hook
 	// rather than by a switch; used only for accounting/ablation figures.
 	MarkedByHost bool
+
+	// poolState tracks the packet's lifecycle for double-release
+	// detection; see Pool. poolDebug adds release provenance in
+	// -race/-tags packetdebug builds and is empty otherwise.
+	poolState uint8
+	poolDebug
 }
 
 // WireLen is the size of the packet on the wire in bytes.
@@ -152,5 +158,9 @@ func (p *Packet) Clone() *Packet {
 	if p.SACK != nil {
 		c.SACK = append([]SackBlock(nil), p.SACK...)
 	}
+	// A clone is an independent, unpooled packet regardless of the
+	// original's lifecycle state.
+	c.poolState = poolStateLoose
+	c.poolDebug = poolDebug{}
 	return &c
 }

@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(2)
+	a := p.Get()
+	b := p.Get()
+	if p.News != 0 {
+		t.Fatalf("pre-populated pool allocated %d packets", p.News)
+	}
+	c := p.Get() // miss: free list empty
+	if p.News != 1 {
+		t.Fatalf("News = %d, want 1", p.News)
+	}
+	if p.Live() != 3 {
+		t.Fatalf("Live = %d, want 3", p.Live())
+	}
+	p.Put(a)
+	got := p.Get()
+	if got != a {
+		t.Fatal("Get after Put did not reuse the released packet (LIFO)")
+	}
+	p.Put(got)
+	p.Put(b)
+	p.Put(c)
+	if p.Live() != 0 {
+		t.Fatalf("Live after full release = %d, want 0", p.Live())
+	}
+}
+
+func TestPoolGetZeroesAndKeepsSackCapacity(t *testing.T) {
+	p := NewPool(1)
+	pkt := p.Get()
+	pkt.Flow = FlowID{Src: 3, Dst: 4, SrcPort: 5, DstPort: 6}
+	pkt.Seq, pkt.Ack = 100, 200
+	pkt.Flags = FlagACK | FlagECE
+	pkt.ECN = CE
+	pkt.PayloadLen = 1500
+	pkt.MarkedByHost = true
+	pkt.SACK = append(pkt.SACK, SackBlock{1, 2}, SackBlock{3, 4})
+	sackCap := cap(pkt.SACK)
+	p.Put(pkt)
+
+	got := p.Get()
+	if got != pkt {
+		t.Fatal("expected recycled packet")
+	}
+	if got.Flow != (FlowID{}) || got.Seq != 0 || got.Ack != 0 || got.Flags != 0 ||
+		got.ECN != NotECT || got.PayloadLen != 0 || got.MarkedByHost || len(got.SACK) != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", got)
+	}
+	if cap(got.SACK) != sackCap {
+		t.Fatalf("SACK capacity %d not preserved across recycle (was %d)", cap(got.SACK), sackCap)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := NewPool(0)
+	pkt := p.Get()
+	p.Put(pkt)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		if !strings.Contains(r.(string), "double release") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	p.Put(pkt)
+}
+
+func TestPoolClonePutIsIndependent(t *testing.T) {
+	p := NewPool(1)
+	pkt := p.Get()
+	clone := pkt.Clone()
+	p.Put(pkt)
+	p.Put(clone) // adopted, not a double release
+	if p.FreeLen() != 2 {
+		t.Fatalf("FreeLen = %d, want 2", p.FreeLen())
+	}
+}
+
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	pkt := p.Get()
+	if pkt == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	p.Put(pkt) // no-op, must not panic
+	p.Put(pkt) // still a no-op: no pool, no double-release tracking
+	if p.Live() != 0 || p.FreeLen() != 0 {
+		t.Fatal("nil pool reported state")
+	}
+}
+
+func TestPoolSnapshotRestoreRoundTrip(t *testing.T) {
+	p := NewPool(4)
+	held := []*Packet{p.Get(), p.Get(), p.Get()}
+	p.Put(held[0])
+	p.Get() // churn the counters a little
+	var enc snapshot.Encoder
+	p.Snapshot(&enc)
+
+	q := NewPool(0)
+	if err := q.Restore(snapshot.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if q.Gets != p.Gets || q.Puts != p.Puts || q.News != p.News || q.FreeLen() != p.FreeLen() {
+		t.Fatalf("restored pool %+v, want gets=%d puts=%d news=%d free=%d",
+			q, p.Gets, p.Puts, p.News, p.FreeLen())
+	}
+	// The restored free list must hold usable recycled packets.
+	for i := 0; i < q.FreeLen(); i++ {
+		if q.Get() == nil {
+			t.Fatal("restored free list returned nil packet")
+		}
+	}
+	// And the digests of the two pools must agree.
+	var e1, e2 snapshot.Encoder
+	p.Snapshot(&e1)
+	before := e1.Bytes()
+	// q consumed its free list above; rebuild an identical state.
+	r := NewPool(0)
+	if err := r.Restore(snapshot.NewDecoder(before)); err != nil {
+		t.Fatal(err)
+	}
+	r.Snapshot(&e2)
+	if string(e2.Bytes()) != string(before) {
+		t.Fatal("snapshot/restore/snapshot is not a fixed point")
+	}
+}
+
+func TestPoolZeroAllocSteadyState(t *testing.T) {
+	if poolDebugEnabled {
+		t.Skip("provenance bookkeeping active (-race or packetdebug); exact-alloc guard runs in production builds")
+	}
+	p := NewPool(8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		a := p.Get()
+		b := p.Get()
+		p.Put(b)
+		p.Put(a)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !race && !packetdebug
+
+package packet
+
+// poolDebug is empty in production builds; see pooldebug_on.go.
+type poolDebug struct{}
+
+const poolDebugEnabled = false
+
+func (p *Packet) recordRelease()     {}
+func (p *Packet) provenance() string { return "" }

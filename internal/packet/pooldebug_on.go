@@ -1,0 +1,33 @@
+//go:build race || packetdebug
+
+package packet
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// poolDebug records where a packet was last released, so a double-release
+// panic can name the first release site. Enabled under -race and with
+// -tags packetdebug; the production build carries no per-packet overhead.
+// poolDebugEnabled lets tests skip exact-allocation assertions that the
+// provenance bookkeeping (and race instrumentation) would break.
+const poolDebugEnabled = true
+
+type poolDebug struct {
+	releaseFile string
+	releaseLine int
+}
+
+func (p *Packet) recordRelease() {
+	if _, file, line, ok := runtime.Caller(2); ok {
+		p.releaseFile, p.releaseLine = file, line
+	}
+}
+
+func (p *Packet) provenance() string {
+	if p.releaseFile == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (previously released at %s:%d)", p.releaseFile, p.releaseLine)
+}

@@ -44,7 +44,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// TLP is one transaction in flight from NIC to IIO.
+// TLP is one transaction in flight from NIC to IIO. TLPs are recycled
+// through a per-link free list: the NIC acquires them via SegmentInto and
+// the IIO returns them with ReleaseTLP once the DMA write has been issued.
 type TLP struct {
 	Pkt       *packet.Packet
 	DataBytes int  // packet bytes carried
@@ -62,7 +64,18 @@ type Link struct {
 	credits   int
 	busyUntil sim.Time
 	deliver   func(*TLP)
-	waiters   []func()
+
+	// waiters/waiterScratch double-buffer the credit waiter list: waking
+	// waiters swaps the buffers instead of nil-ing the slice, so the NIC's
+	// stall/resume cycle (one NotifyCredits per stall) never reallocates.
+	waiters       []func()
+	waiterScratch []func()
+
+	// deliverH + inflight carry TLPs through propagation-delay events
+	// without a closure per TLP; tlpFree recycles TLP structs.
+	deliverH sim.HandlerID
+	inflight sim.Slots[*TLP]
+	tlpFree  []*TLP
 
 	// Credit-stall fault injection: while engaged, credits released by
 	// the IIO are sequestered instead of returning to the pool.
@@ -87,7 +100,17 @@ func NewLink(e *sim.Engine, cfg Config, deliver func(*TLP)) *Link {
 	if deliver == nil {
 		panic("pcie: nil deliver")
 	}
-	return &Link{e: e, cfg: cfg, credits: cfg.CreditLines, deliver: deliver}
+	l := &Link{e: e, cfg: cfg, credits: cfg.CreditLines, deliver: deliver}
+	l.deliverH = e.Handler(l.deliverTLP)
+	return l
+}
+
+// deliverTLP is the propagation-delay event handler; arg0 is the slot of
+// the in-flight TLP.
+func (l *Link) deliverTLP(slot, _ uint64) {
+	t := l.inflight.Take(slot)
+	l.Sent.Inc(1)
+	l.deliver(t)
 }
 
 // Config returns the link configuration.
@@ -98,21 +121,49 @@ func (l *Link) Credits() int { return l.credits }
 
 // Segment splits a packet into TLPs.
 func (l *Link) Segment(p *packet.Packet) []*TLP {
+	return l.SegmentInto(p, nil)
+}
+
+// SegmentInto splits a packet into TLPs, appending to buf (reusing its
+// backing array) and drawing TLP structs from the link's free list. The
+// caller must hand every TLP onward to the IIO, which returns it with
+// ReleaseTLP; in steady state segmentation allocates nothing.
+func (l *Link) SegmentInto(p *packet.Packet, buf []*TLP) []*TLP {
 	total := p.WireLen()
-	var tlps []*TLP
+	tlps := buf[:0]
 	for off := 0; off < total; off += l.cfg.TLPBytes {
 		data := min(l.cfg.TLPBytes, total-off)
 		wire := data + l.cfg.TLPOverhead
-		tlps = append(tlps, &TLP{
+		t := l.getTLP()
+		*t = TLP{
 			Pkt:       p,
 			DataBytes: data,
 			WireBytes: wire,
 			Lines:     (wire + 63) / 64,
 			First:     off == 0,
 			Last:      off+data >= total,
-		})
+		}
+		tlps = append(tlps, t)
 	}
 	return tlps
+}
+
+func (l *Link) getTLP() *TLP {
+	if n := len(l.tlpFree); n > 0 {
+		t := l.tlpFree[n-1]
+		l.tlpFree[n-1] = nil
+		l.tlpFree = l.tlpFree[:n-1]
+		return t
+	}
+	return &TLP{}
+}
+
+// ReleaseTLP returns a TLP to the link's free list. The IIO calls this
+// once it is done with the transaction; the TLP must not be referenced
+// afterwards.
+func (l *Link) ReleaseTLP(t *TLP) {
+	t.Pkt = nil
+	l.tlpFree = append(l.tlpFree, t)
 }
 
 // TrySend issues one TLP if credits allow, consuming its credits and
@@ -130,10 +181,7 @@ func (l *Link) TrySend(t *TLP) bool {
 	start := max(l.e.Now(), l.busyUntil)
 	txDone := start + l.cfg.Rate.TimeFor(t.WireBytes)
 	l.busyUntil = txDone
-	l.e.At(txDone+l.cfg.Latency, func() {
-		l.Sent.Inc(1)
-		l.deliver(t)
-	})
+	l.e.Schedule(txDone+l.cfg.Latency, l.deliverH, l.inflight.Put(t), 0)
 	return true
 }
 
@@ -160,13 +208,23 @@ func (l *Link) ReleaseCredits(lines int) {
 		panic("pcie: credit pool overflow — release without matching consume")
 	}
 	l.Releases.Inc(int64(lines))
-	if len(l.waiters) > 0 {
-		ws := l.waiters
-		l.waiters = nil
-		for _, w := range ws {
-			w()
-		}
+	l.wakeWaiters()
+}
+
+// wakeWaiters runs and clears the registered credit waiters. Waiters
+// registered during the wake (a resumed pump stalling again) land in the
+// scratch buffer, which becomes the active list for the next release.
+func (l *Link) wakeWaiters() {
+	if len(l.waiters) == 0 {
+		return
 	}
+	ws := l.waiters
+	l.waiters = l.waiterScratch[:0]
+	for i, w := range ws {
+		ws[i] = nil
+		w()
+	}
+	l.waiterScratch = ws[:0]
 }
 
 // ForceReclaim returns sequestered credits to the pool without clearing the
@@ -185,13 +243,7 @@ func (l *Link) ForceReclaim() int {
 		panic("pcie: credit pool overflow — reclaim without matching consume")
 	}
 	l.Releases.Inc(int64(n))
-	if len(l.waiters) > 0 {
-		ws := l.waiters
-		l.waiters = nil
-		for _, w := range ws {
-			w()
-		}
-	}
+	l.wakeWaiters()
 	return n
 }
 

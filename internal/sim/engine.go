@@ -1,37 +1,113 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// event is a scheduled callback.
+// HandlerID names a pre-registered event handler (see Engine.Handler).
+// The zero value is reserved as "no handler", so a zero Callback is inert.
+type HandlerID uint32
+
+// Callback pairs a handler with its scalar arguments. Components whose
+// completion paths are allocation-sensitive (the memory controller, the
+// IIO) accept a Callback instead of a closure: scheduling one costs no
+// allocation, while a closure costs one per event.
+type Callback struct {
+	ID         HandlerID
+	Arg0, Arg1 uint64
+}
+
+// Set reports whether the callback names a handler.
+func (cb Callback) Set() bool { return cb.ID != 0 }
+
+// event is one scheduled occurrence. It is all scalars — no closure, no
+// interface — so the heap is a flat []event that the GC never scans and
+// push/pop never allocate.
 type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for events at the same instant
-	fn  func()
+	at         Time
+	seq        uint64 // FIFO tie-break for events at the same instant
+	id         HandlerID
+	arg0, arg1 uint64
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). 4-ary
+// beats binary here: one fewer level per ~2x fan-out means fewer cache
+// lines touched per pop, and the hot comparison loop over four children
+// stays in one or two lines of the backing array. Because (at, seq) is a
+// total order (seq is unique), the pop sequence is identical to any other
+// min-heap's — heap shape cannot perturb simulation order.
+type eventHeap struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	ev := h.ev
+	i := len(ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(&e, &ev[p]) {
+			break
+		}
+		ev[i] = ev[p]
+		i = p
+	}
+	ev[i] = e
+}
+
+// pop removes and returns the minimum event. Unlike the old
+// container/heap implementation there is no per-pop boxed copy and no
+// zeroing write of the vacated slot: events hold no pointers, so the
+// shrunken tail needs no clearing for the GC's sake.
+func (h *eventHeap) pop() event {
+	ev := h.ev
+	root := ev[0]
+	n := len(ev) - 1
+	last := ev[n]
+	h.ev = ev[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places e starting at the root, moving smaller children up.
+func (h *eventHeap) siftDown(e event) {
+	ev := h.ev
+	n := len(ev)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(&ev[j], &ev[m]) {
+				m = j
+			}
+		}
+		if !evLess(&ev[m], &e) {
+			break
+		}
+		ev[i] = ev[m]
+		i = m
+	}
+	ev[i] = e
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -39,14 +115,30 @@ func (h *eventHeap) Pop() interface{} {
 // All model callbacks run from (*Engine).Run variants on the calling
 // goroutine; models therefore never need synchronization. The engine owns a
 // seeded RNG so that runs are deterministic and reproducible.
+//
+// The hot-path API is handler-based: register a handler once with Handler,
+// then Schedule/ScheduleAfter events carrying two scalar arguments — zero
+// allocations per event in steady state. The closure API (At/After) remains
+// as a compatibility shim for low-rate callers; each closure event parks
+// its func in a recycled slot table and costs only the closure allocation
+// the caller already made.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	q       eventHeap
 	seed    int64
 	src     *countingSource
 	rng     *rand.Rand
 	stopped bool
+
+	handlers []func(arg0, arg1 uint64)
+
+	// Closure-shim slot table: At/After park their func here and schedule
+	// the trampoline handler with the slot index as arg0. Slots recycle
+	// through a free list, so sustained closure traffic does not grow it.
+	closureH    HandlerID
+	closures    []func()
+	closureFree []uint32
 
 	// Processed counts events executed so far; useful for perf accounting.
 	Processed uint64
@@ -78,10 +170,42 @@ func (s *countingSource) Seed(seed int64) {
 	s.draws = 0
 }
 
+// defaultHeapHint pre-sizes the event heap: a loaded testbed keeps a few
+// hundred events pending, so starting at 1024 avoids every warm-up
+// regrowth without wasting memory on unit-test engines.
+const defaultHeapHint = 1024
+
 // NewEngine returns an engine at time zero with a deterministic RNG.
 func NewEngine(seed int64) *Engine {
 	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
-	return &Engine{seed: seed, src: src, rng: rand.New(src)}
+	e := &Engine{seed: seed, src: src, rng: rand.New(src)}
+	e.q.ev = make([]event, 0, defaultHeapHint)
+	e.closureH = e.Handler(e.runClosure)
+	return e
+}
+
+// Reserve pre-sizes the event heap's backing array for at least n pending
+// events (a Config hint from the experiment harness), so warm-up never
+// pays heap regrowth copies. It never shrinks.
+func (e *Engine) Reserve(n int) {
+	if n <= cap(e.q.ev) {
+		return
+	}
+	grown := make([]event, len(e.q.ev), n)
+	copy(grown, e.q.ev)
+	e.q.ev = grown
+}
+
+// Handler registers fn and returns its ID for use with Schedule. Handlers
+// are registered once per component at construction time; registration
+// order must be deterministic (it is, under the single-threaded engine),
+// but IDs carry no meaning across engines and are never serialized.
+func (e *Engine) Handler(fn func(arg0, arg1 uint64)) HandlerID {
+	if fn == nil {
+		panic("sim: Handler with nil func")
+	}
+	e.handlers = append(e.handlers, fn)
+	return HandlerID(len(e.handlers)) // IDs start at 1; 0 means "unset"
 }
 
 // Seed returns the seed the engine was created with.
@@ -97,18 +221,70 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: silently reordering time would corrupt every
-// queueing model built on the engine.
-func (e *Engine) At(t Time, fn func()) {
-	if fn == nil {
-		panic("sim: At with nil callback")
+// Schedule arranges for handler id to run at absolute time t with the
+// given arguments. This is the allocation-free hot path. Scheduling in the
+// past is a programming error and panics: silently reordering time would
+// corrupt every queueing model built on the engine.
+func (e *Engine) Schedule(t Time, id HandlerID, arg0, arg1 uint64) {
+	if id == 0 || int(id) > len(e.handlers) {
+		panic(fmt.Sprintf("sim: Schedule with unregistered handler %d", id))
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.q.push(event{at: t, seq: e.seq, id: id, arg0: arg0, arg1: arg1})
+}
+
+// ScheduleAfter schedules handler id to run d nanoseconds from now.
+// Negative delays clamp to zero.
+func (e *Engine) ScheduleAfter(d Time, id HandlerID, arg0, arg1 uint64) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, id, arg0, arg1)
+}
+
+// Invoke schedules a Callback at absolute time t (no-op when unset).
+func (e *Engine) Invoke(t Time, cb Callback) {
+	e.Schedule(t, cb.ID, cb.Arg0, cb.Arg1)
+}
+
+// Dispatch invokes a handler synchronously, without scheduling an event.
+// Components use it to run a caller-supplied Callback from inside their
+// own event (e.g. a completion notification) exactly as they would have
+// called a closure.
+func (e *Engine) Dispatch(id HandlerID, arg0, arg1 uint64) {
+	if id == 0 || int(id) > len(e.handlers) {
+		panic(fmt.Sprintf("sim: Dispatch with unregistered handler %d", id))
+	}
+	e.handlers[id-1](arg0, arg1)
+}
+
+// At schedules fn to run at absolute time t (closure compatibility shim;
+// prefer Handler/Schedule on high-rate paths).
+func (e *Engine) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	var slot uint32
+	if n := len(e.closureFree); n > 0 {
+		slot = e.closureFree[n-1]
+		e.closureFree = e.closureFree[:n-1]
+		e.closures[slot] = fn
+	} else {
+		slot = uint32(len(e.closures))
+		e.closures = append(e.closures, fn)
+	}
+	e.Schedule(t, e.closureH, uint64(slot), 0)
+}
+
+// runClosure is the trampoline handler behind the At/After shim.
+func (e *Engine) runClosure(slot, _ uint64) {
+	fn := e.closures[slot]
+	e.closures[slot] = nil // release the closure; the slot recycles
+	e.closureFree = append(e.closureFree, uint32(slot))
+	fn()
 }
 
 // After schedules fn to run d nanoseconds from now. Negative delays clamp
@@ -121,23 +297,23 @@ func (e *Engine) After(d Time, fn func()) {
 }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Stop makes the current Run call return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.q.pop()
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.at
 	e.Processed++
-	ev.fn()
+	e.handlers[ev.id-1](ev.arg0, ev.arg1)
 	return true
 }
 
@@ -153,7 +329,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 || e.events[0].at > deadline {
+		if e.q.len() == 0 || e.q.ev[0].at > deadline {
 			break
 		}
 		e.Step()

@@ -16,7 +16,7 @@ func (e *Engine) Snapshot(enc *snapshot.Encoder) {
 	enc.I64(int64(e.now))
 	enc.U64(e.seq)
 	enc.U64(e.Processed)
-	enc.Int(len(e.events))
+	enc.Int(e.q.len())
 	enc.Bool(e.stopped)
 	enc.I64(e.seed)
 	enc.U64(e.src.draws)
@@ -41,8 +41,8 @@ func (e *Engine) Restore(dec *snapshot.Decoder) error {
 	if pending != 0 {
 		return fmt.Errorf("sim: snapshot captured %d pending events; the event queue is not restorable (resume by replay instead)", pending)
 	}
-	if len(e.events) != 0 {
-		return fmt.Errorf("sim: cannot restore into an engine with %d pending events", len(e.events))
+	if e.q.len() != 0 {
+		return fmt.Errorf("sim: cannot restore into an engine with %d pending events", e.q.len())
 	}
 	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	for i := uint64(0); i < draws; i++ {

@@ -8,32 +8,41 @@ package sim
 type Timer struct {
 	e   *Engine
 	fn  func()
+	h   HandlerID
 	gen uint64 // incremented on Stop/Reset to invalidate in-flight events
 	at  Time
 	set bool
 }
 
 // NewTimer returns an unarmed timer that will invoke fn when it fires.
+// The timer registers one engine handler at construction, so Reset/Stop
+// cycles are allocation-free no matter how often the timer re-arms.
 func NewTimer(e *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil callback")
 	}
-	return &Timer{e: e, fn: fn}
+	t := &Timer{e: e, fn: fn}
+	t.h = e.Handler(t.fire)
+	return t
+}
+
+// fire is the timer's engine handler; arg0 carries the generation the
+// firing was scheduled under, so stale events from before a Reset/Stop
+// are recognized and dropped.
+func (t *Timer) fire(gen, _ uint64) {
+	if t.gen != gen || !t.set {
+		return // superseded by Reset or Stop
+	}
+	t.set = false
+	t.fn()
 }
 
 // Reset (re-)arms the timer to fire d from now, replacing any pending firing.
 func (t *Timer) Reset(d Time) {
 	t.gen++
-	gen := t.gen
 	t.set = true
 	t.at = t.e.Now() + max(d, 0)
-	t.e.At(t.at, func() {
-		if t.gen != gen || !t.set {
-			return // superseded by Reset or Stop
-		}
-		t.set = false
-		t.fn()
-	})
+	t.e.Schedule(t.at, t.h, t.gen, 0)
 }
 
 // ResetAt arms the timer to fire at absolute time at.

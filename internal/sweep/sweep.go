@@ -3,17 +3,60 @@
 // simulation (its own engine, hosts and RNG), so parameter sweeps are
 // embarrassingly parallel; the figure runners use this package to fan out
 // across cores while keeping results in deterministic order.
+//
+// All Map calls share one bounded pool of long-lived workers instead of
+// spawning goroutines per call: a figure suite makes hundreds of Map
+// calls, and churning worker goroutines (plus their stacks) for each one
+// is measurable overhead. The caller always participates in its own
+// batch and helpers are recruited without blocking, so a Map issued from
+// inside another Map's fn can never deadlock — worst case it runs on the
+// caller alone.
 package sweep
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Map evaluates fn(0..n-1) using up to workers goroutines (workers <= 0
-// selects NumCPU) and returns the results in index order. fn must be safe
-// to call concurrently for distinct indices — trivially true for
-// independent simulations.
+// poolTask is one helper recruitment: the worker runs the batch's runner
+// loop (which exits once the batch's indices are exhausted) and then
+// signals the recruiting Map call.
+type poolTask struct {
+	run func()
+	wg  *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan poolTask
+)
+
+// pool returns the shared task channel, starting the workers on first
+// use. The pool is bounded at GOMAXPROCS workers: sweeps are CPU-bound
+// simulations, so more would only add scheduling overhead.
+func pool() chan poolTask {
+	poolOnce.Do(func() {
+		poolCh = make(chan poolTask, 4*runtime.GOMAXPROCS(0))
+		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+			go func() {
+				for t := range poolCh {
+					t.run()
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+	return poolCh
+}
+
+// Map evaluates fn(0..n-1) using up to workers concurrent evaluations
+// (workers <= 0 selects NumCPU) and returns the results in index order.
+// fn must be safe to call concurrently for distinct indices — trivially
+// true for independent simulations. Map may be called from inside
+// another Map's fn: recruitment never blocks, and the inner caller
+// executes its own indices, so nesting degrades to serial rather than
+// deadlocking when the pool is saturated.
 func Map[T any](n, workers int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -31,22 +74,35 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 		}
 		return out
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = fn(i)
+
+	// The batch is a shared index cursor; every participant (caller and
+	// recruited helpers) pulls the next unclaimed index until none remain.
+	var next atomic.Int64
+	runner := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
-		}()
+			out[i] = fn(i)
+		}
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+
+	// Recruit up to workers-1 helpers without blocking: if the pool's
+	// queue is full the batch simply runs with fewer helpers (the caller
+	// always participates, so progress never depends on recruitment).
+	var helpers sync.WaitGroup
+	ch := pool()
+	for w := 0; w < workers-1; w++ {
+		helpers.Add(1)
+		select {
+		case ch <- poolTask{run: runner, wg: &helpers}:
+		default:
+			helpers.Done()
+		}
 	}
-	close(next)
-	wg.Wait()
+	runner()
+	helpers.Wait()
 	return out
 }
 
@@ -55,5 +111,29 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 func Map2[T any](rows, cols, workers int, fn func(r, c int) T) []T {
 	return Map(rows*cols, workers, func(i int) T {
 		return fn(i/cols, i%cols)
+	})
+}
+
+// SeedFor derives the simulation seed for index i of a sweep rooted at
+// base. It is a splitmix64 step over base+i, so neighbouring indices get
+// statistically independent seeds — seeding engines with base+i directly
+// would correlate their RNG streams.
+func SeedFor(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// MapSeeded is Map for seed-dependent work: fn receives both the index
+// and a per-index seed derived from base via SeedFor. Results are
+// independent of worker count and scheduling, so seeded sweeps stay
+// reproducible under parallelism.
+func MapSeeded[T any](n, workers int, base int64, fn func(i int, seed int64) T) []T {
+	return Map(n, workers, func(i int) T {
+		return fn(i, SeedFor(base, i))
 	})
 }

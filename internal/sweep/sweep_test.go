@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -81,5 +82,87 @@ func TestMapMatchesSerialProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMapNestedNoDeadlock(t *testing.T) {
+	// A Map inside a Map's fn must complete even when the outer batch
+	// saturates every pool worker: recruitment never blocks and the inner
+	// caller executes its own indices.
+	done := make(chan []int, 1)
+	go func() {
+		done <- Map(8, 8, func(i int) int {
+			inner := Map(8, 8, func(j int) int { return i*8 + j })
+			sum := 0
+			for _, v := range inner {
+				sum += v
+			}
+			return sum
+		})
+	}()
+	select {
+	case out := <-done:
+		for i, v := range out {
+			want := 0
+			for j := 0; j < 8; j++ {
+				want += i*8 + j
+			}
+			if v != want {
+				t.Fatalf("out[%d] = %d, want %d", i, v, want)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+}
+
+func TestMapReusesWorkers(t *testing.T) {
+	// Warm the pool, then check that hundreds of Map calls do not grow the
+	// goroutine count: workers are recruited from the shared pool, not
+	// spawned per call.
+	Map(8, 4, func(i int) int { return i })
+	before := runtime.NumGoroutine()
+	for k := 0; k < 300; k++ {
+		Map(16, 4, func(i int) int { return i * k })
+	}
+	// Allow slack for test-framework goroutines and helpers mid-exit.
+	if after := runtime.NumGoroutine(); after > before+8 {
+		t.Fatalf("goroutines grew from %d to %d across 300 Map calls", before, after)
+	}
+}
+
+func TestSeedForIndependence(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := SeedFor(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	// Distinct bases give distinct streams.
+	if SeedFor(1, 0) == SeedFor(2, 0) {
+		t.Fatal("bases 1 and 2 collide at index 0")
+	}
+	// Derivation is pure: same inputs, same seed.
+	if SeedFor(42, 7) != SeedFor(42, 7) {
+		t.Fatal("SeedFor is not deterministic")
+	}
+}
+
+func TestMapSeededDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []int64 {
+		return MapSeeded(32, workers, 42, func(i int, seed int64) int64 {
+			return seed ^ int64(i)
+		})
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 8} {
+		par := run(w)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, par[i], serial[i])
+			}
+		}
 	}
 }

@@ -154,7 +154,15 @@ const receiverID packet.HostID = 1
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
 	e := sim.NewEngine(opts.Seed)
+	// A loaded multi-host run keeps a few thousand events pending (timers,
+	// per-packet serialization/propagation events across every link);
+	// reserving up front means warm-up never pays a heap regrowth copy.
+	e.Reserve(4096 * (1 + opts.Senders))
 	tb := &Testbed{E: e, Opts: opts}
+
+	// One pool for the whole testbed: sender transports Get the packets
+	// that the receiver's rx path Puts, so the free list must be shared.
+	pool := packet.NewPool(1024)
 
 	tcfg := transport.DefaultConfig(opts.MTU)
 	if opts.CC != nil {
@@ -168,6 +176,7 @@ func New(opts Options) *Testbed {
 	mkHost := func(id packet.HostID) *host.Host {
 		hcfg := host.DefaultConfig(id, opts.MTU, opts.DDIO)
 		hcfg.Transport = tcfg
+		hcfg.Pool = pool
 		if opts.MBAWriteLatency > 0 {
 			hcfg.MBA.WriteLatency = opts.MBAWriteLatency
 		}
@@ -191,8 +200,10 @@ func New(opts Options) *Testbed {
 	lcfg.LossProb = opts.WireLossProb
 	attach := func(h *host.Host) {
 		up := fabric.NewLink(e, lcfg, tb.Sw.Inject)
+		up.SetPool(pool)
 		h.SetOutput(up.Send)
 		down := fabric.NewLink(e, lcfg, h.ReceiveFromWire)
+		down.SetPool(pool)
 		tb.Sw.AttachPort(h.ID(), down)
 		tb.Links = append(tb.Links, up, down)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// transmitted at PacingFactor × cwnd/SRTT instead of in window-sized
 	// bursts. Zero disables pacing.
 	PacingFactor float64
+	// Pool recycles transmitted packets. Packets the connection sends are
+	// acquired here and released by whichever component removes them from
+	// the simulation (terminal receive delivery or a drop point). Nil
+	// falls back to plain allocation.
+	Pool *packet.Pool
 }
 
 // DefaultConfig returns the Linux-DCTCP-like configuration used throughout
@@ -101,11 +107,14 @@ type Conn struct {
 	cfg  Config
 	cc   CongestionControl
 
+	pool *packet.Pool
+
 	// Sender half.
 	sndUna, sndNxt uint64
 	appQueue       int64
 	infinite       bool
-	segs           []*seg
+	segs           ring.Queue[*seg]
+	segFree        []*seg
 	dupAcks        int
 	inRecovery     bool
 	recoverSeq     uint64
@@ -155,6 +164,7 @@ func newConn(e *sim.Engine, net Network, flow packet.FlowID, cfg Config) *Conn {
 		flow: flow,
 		cfg:  cfg,
 		cc:   cc(e, cfg.MSS),
+		pool: cfg.Pool,
 	}
 	c.rtoTimer = sim.NewTimer(e, c.onRTO)
 	c.tlpTimer = sim.NewTimer(e, c.onTLP)
@@ -222,8 +232,9 @@ func (c *Conn) trySend() {
 		if !c.infinite && int64(n) > c.appQueue {
 			n = int(c.appQueue)
 		}
-		s := &seg{seq: c.sndNxt, len: n}
-		c.segs = append(c.segs, s)
+		s := c.getSeg()
+		*s = seg{seq: c.sndNxt, len: n}
+		c.segs.Push(s)
 		c.sndNxt += uint64(n)
 		if !c.infinite {
 			c.appQueue -= int64(n)
@@ -244,20 +255,35 @@ func (c *Conn) advancePacer(wire int) {
 	c.pacedUntil = max(c.pacedUntil, c.e.Now()) + rate.TimeFor(wire)
 }
 
+// getSeg/putSeg recycle segment records through a per-connection free
+// list, so long flows stop allocating once their window is warm.
+func (c *Conn) getSeg() *seg {
+	if n := len(c.segFree); n > 0 {
+		s := c.segFree[n-1]
+		c.segFree[n-1] = nil
+		c.segFree = c.segFree[:n-1]
+		return s
+	}
+	return &seg{}
+}
+
+func (c *Conn) putSeg(s *seg) {
+	c.segFree = append(c.segFree, s)
+}
+
 func (c *Conn) transmitSeg(s *seg, retx bool) {
 	s.sentAt = c.e.Now()
 	if retx {
 		s.retx++
 		c.Retransmits.Inc(1)
 	}
-	p := &packet.Packet{
-		Flow:       c.flow,
-		Seq:        s.seq,
-		Ack:        c.rcvNxt,
-		Flags:      packet.FlagACK,
-		PayloadLen: s.len,
-		SentAt:     s.sentAt,
-	}
+	p := c.pool.Get()
+	p.Flow = c.flow
+	p.Seq = s.seq
+	p.Ack = c.rcvNxt
+	p.Flags = packet.FlagACK
+	p.PayloadLen = s.len
+	p.SentAt = s.sentAt
 	if c.cfg.ECN {
 		p.ECN = packet.ECT0
 	}
@@ -280,7 +306,7 @@ func (c *Conn) armTimers() {
 	// for the full RTO (§2.2). Once armed, the probe persists across
 	// cumulative ACKs (Linux semantics), so losing only the tail of a
 	// burst is still probed.
-	if c.cfg.TLP && !c.inRecovery && len(c.segs) > 1 && !c.tlpArmed {
+	if c.cfg.TLP && !c.inRecovery && c.segs.Len() > 1 && !c.tlpArmed {
 		if pto := c.pto(); pto < c.rto() {
 			c.tlpTimer.Reset(pto)
 			c.tlpArmed = true
@@ -360,8 +386,13 @@ func (c *Conn) handleAck(p *packet.Packet) {
 	c.AckedBytes.Inc(newly)
 	c.dupAcks = 0
 	c.rtoBackoff = 0
-	for len(c.segs) > 0 && c.segs[0].seq+uint64(c.segs[0].len) <= c.sndUna {
-		c.segs = c.segs[1:]
+	for c.segs.Len() > 0 {
+		s := c.segs.Peek()
+		if s.seq+uint64(s.len) > c.sndUna {
+			break
+		}
+		c.segs.Pop()
+		c.putSeg(s)
 	}
 
 	var rtt sim.Time
@@ -410,10 +441,11 @@ func (c *Conn) enterRecovery() {
 	c.recoveryEpoch++
 	c.lastEpochBump = c.e.Now()
 	c.cc.OnLoss(LossFastRetransmit)
-	if len(c.segs) > 0 && !c.sackRetransmit() {
+	if c.segs.Len() > 0 && !c.sackRetransmit() {
 		// No SACK information: classic fast retransmit of the head.
-		c.segs[0].epoch = c.recoveryEpoch
-		c.transmitSeg(c.segs[0], true)
+		s := c.segs.Peek()
+		s.epoch = c.recoveryEpoch
+		c.transmitSeg(s, true)
 	}
 }
 
@@ -423,7 +455,8 @@ func (c *Conn) applySack(blocks []packet.SackBlock) {
 		if b.Hi > c.highSacked {
 			c.highSacked = b.Hi
 		}
-		for _, s := range c.segs {
+		for i := 0; i < c.segs.Len(); i++ {
+			s := c.segs.At(i)
 			if !s.sacked && s.seq >= b.Lo && s.seq+uint64(s.len) <= b.Hi {
 				s.sacked = true
 			}
@@ -443,7 +476,8 @@ func (c *Conn) sackRetransmit() bool {
 	// recovery ACK-clocked instead of re-bursting a full window into an
 	// already overflowing buffer.
 	pipe := 0
-	for _, s := range c.segs {
+	for i := 0; i < c.segs.Len(); i++ {
+		s := c.segs.At(i)
 		if s.sacked {
 			continue
 		}
@@ -452,7 +486,8 @@ func (c *Conn) sackRetransmit() bool {
 		}
 	}
 	sent := false
-	for _, s := range c.segs {
+	for i := 0; i < c.segs.Len(); i++ {
+		s := c.segs.At(i)
 		if pipe >= c.effCwnd() {
 			break
 		}
@@ -484,9 +519,10 @@ func (c *Conn) onRTO() {
 	c.recoveryEpoch++
 	c.lastEpochBump = c.e.Now()
 	c.dupAcks = 0
-	if len(c.segs) > 0 {
-		c.segs[0].epoch = c.recoveryEpoch
-		c.transmitSeg(c.segs[0], true)
+	if c.segs.Len() > 0 {
+		s := c.segs.Peek()
+		s.epoch = c.recoveryEpoch
+		c.transmitSeg(s, true)
 	}
 	c.rtoTimer.Reset(c.rto())
 }
@@ -498,8 +534,8 @@ func (c *Conn) onTLP() {
 	}
 	// Probe: retransmit the highest-sequence unacked segment.
 	c.TLPProbes.Inc(1)
-	if len(c.segs) > 0 {
-		c.transmitSeg(c.segs[len(c.segs)-1], true)
+	if c.segs.Len() > 0 {
+		c.transmitSeg(c.segs.At(c.segs.Len()-1), true)
 	}
 }
 
@@ -564,12 +600,11 @@ func (c *Conn) scheduleAck(ce bool) {
 func (c *Conn) sendAck() {
 	c.pendingAcks = 0
 	c.ackTimer.Stop()
-	ack := &packet.Packet{
-		Flow:   c.flow,
-		Ack:    c.rcvNxt,
-		Flags:  packet.FlagACK,
-		EchoTS: c.lastDataSentAt,
-	}
+	ack := c.pool.Get()
+	ack.Flow = c.flow
+	ack.Ack = c.rcvNxt
+	ack.Flags = packet.FlagACK
+	ack.EchoTS = c.lastDataSentAt
 	// Report the most recently touched range first (as TCP does), so the
 	// sender's repair frontier (highest SACKed sequence) advances even
 	// when there are more holes than reportable blocks.

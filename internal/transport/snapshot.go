@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/packet"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
@@ -79,8 +80,9 @@ func (c *Conn) snapshot(e *snapshot.Encoder) {
 	e.U64(c.sndNxt)
 	e.I64(c.appQueue)
 	e.Bool(c.infinite)
-	e.U32(uint32(len(c.segs)))
-	for _, s := range c.segs {
+	e.U32(uint32(c.segs.Len()))
+	for i := 0; i < c.segs.Len(); i++ {
+		s := c.segs.At(i)
 		e.U64(s.seq)
 		e.Int(s.len)
 		e.I64(int64(s.sentAt))
@@ -133,9 +135,9 @@ func (c *Conn) restore(d *snapshot.Decoder, apply bool) {
 	appQueue := d.I64()
 	infinite := d.Bool()
 	nSegs := int(d.U32())
-	var segs []*seg
+	var segs ring.Queue[*seg]
 	for i := 0; i < nSegs && d.Err() == nil; i++ {
-		segs = append(segs, &seg{
+		segs.Push(&seg{
 			seq:    d.U64(),
 			len:    d.Int(),
 			sentAt: sim.Time(d.I64()),
