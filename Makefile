@@ -7,12 +7,19 @@
 #                   race coverage; -short keeps the concurrent paths —
 #                   sweeps, meters — under the detector in ~2 min)
 #   make chaos      fault-injection suite only
-#   make bench      microbenchmarks (engine + datapath) -> BENCH_baseline.json
+#   make bench      microbenchmarks (engine + datapath + full-system
+#                   throughput) -> BENCH_baseline.json
+#   make api-compat build + vet the examples module against the public
+#                   API only (fails if an internal type leaks)
+#   make telemetry-overhead
+#                   rerun BenchmarkEngineThroughput and gate the delta
+#                   vs BENCH_baseline.json (telemetry disabled-path
+#                   budget, default 2%; override TOLERANCE_PCT=N)
 #   make figures    regenerate the quick-scale figures
 
 GO ?= go
 
-.PHONY: all build test verify race chaos bench bench-smoke figures vet staticcheck replay
+.PHONY: all build test verify race chaos bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay
 
 all: verify race
 
@@ -22,7 +29,7 @@ build:
 test:
 	$(GO) test ./...
 
-verify: build vet staticcheck test
+verify: build vet staticcheck test api-compat
 
 vet:
 	$(GO) vet ./...
@@ -50,15 +57,30 @@ chaos:
 # (one test2json object per line); reconstruct benchstat input with
 #   jq -r 'select(.Action=="output").Output' BENCH_baseline.json | benchstat /dev/stdin
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkDatapath' -benchmem -count=1 -json ./internal/sim/ ./internal/host/ > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkDatapath' -benchmem -count=1 -json ./internal/sim/ ./internal/host/ . > BENCH_baseline.json
 	@sed -n 's/.*"Output":"\(Benchmark[^"]*\)\\n".*/\1/p' BENCH_baseline.json | sed 's/\\t/	/g'
 	@echo "wrote BENCH_baseline.json"
 
 # bench-smoke is the CI gate: every benchmark must still run (one
 # iteration) and the zero-alloc guards must hold.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkDatapath' -benchtime=1x 		-benchmem -count=1 -json ./internal/sim/ ./internal/host/ > BENCH_baseline.json
-	$(GO) test ./internal/sim/ ./internal/ring/ ./internal/packet/ ./internal/host/ 		-run 'ZeroAlloc|NoAlloc' -count=1 -v | grep -E '^(=== RUN|--- |ok|FAIL)'
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkDatapath' -benchtime=1x 		-benchmem -count=1 -json ./internal/sim/ ./internal/host/ . > BENCH_baseline.json
+	$(GO) test ./internal/sim/ ./internal/ring/ ./internal/packet/ ./internal/host/ ./internal/telemetry/ 		-run 'ZeroAlloc|NoAlloc' -count=1 -v | grep -E '^(=== RUN|--- |ok|FAIL)'
+
+# API-compat gate: examples/ is a separate module that can only see the
+# repo's exported API, so building it fails the moment a public signature
+# breaks or an internal type leaks into the examples.
+api-compat:
+	cd examples && $(GO) build ./... && $(GO) vet ./...
+
+# Telemetry-overhead gate: with telemetry disabled (the default),
+# full-system simulation throughput must stay within TOLERANCE_PCT of the
+# recorded baseline. Record the baseline with `make bench` on the same
+# machine first.
+TOLERANCE_PCT ?= 2
+telemetry-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem -count=1 -json . > /tmp/bench_current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current /tmp/bench_current.json 		-bench BenchmarkEngineThroughput -tolerance $(TOLERANCE_PCT)
 
 figures:
 	$(GO) run ./cmd/hostcc-bench -fig all -scale quick

@@ -1,0 +1,142 @@
+package hostcc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick returns options for a fast smoke-scale run.
+func quick(extra ...Option) []Option {
+	opts := []Option{
+		WithWarmup(500 * time.Microsecond),
+		WithMeasure(2 * time.Millisecond),
+		WithMinRTO(5 * time.Millisecond),
+	}
+	return append(opts, extra...)
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(WithFlows(-1)); err == nil {
+		t.Fatal("negative flows accepted")
+	}
+	if _, err := New(WithWireLoss(1.5)); err == nil {
+		t.Fatal("loss probability above 1 accepted")
+	}
+	if _, err := New(quick()...); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
+func TestFunctionalOptionsRun(t *testing.T) {
+	x, err := New(quick(WithHostCongestion(3), WithHostCC())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := x.Run()
+	if res.ThroughputGbps <= 0 {
+		t.Fatalf("no throughput: %+v", res.Metrics)
+	}
+	if res.Timeline != nil {
+		t.Fatal("timeline recorded without WithTelemetry")
+	}
+}
+
+func TestObserve(t *testing.T) {
+	x, err := New(quick()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Observe("no/such/instrument", func(Sample) {}); err == nil {
+		t.Fatal("unknown instrument accepted")
+	}
+	if len(x.Instruments()) == 0 {
+		t.Fatal("no instruments registered")
+	}
+	var got Sample
+	if err := x.Observe("receiver/nic/arrivals", func(s Sample) { got = s }); err != nil {
+		t.Fatal(err)
+	}
+	x.Run()
+	if got.Name != "receiver/nic/arrivals" || got.Kind != "counter" {
+		t.Fatalf("bad sample: %+v", got)
+	}
+	if got.Value <= 0 {
+		t.Fatalf("no arrivals observed: %+v", got)
+	}
+}
+
+func TestTelemetryTimeline(t *testing.T) {
+	x, err := New(quick(WithHostCongestion(3), WithHostCC(), WithTelemetry())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := x.Run()
+	if res.Timeline == nil {
+		t.Fatal("WithTelemetry produced no timeline")
+	}
+	if res.Timeline.Spans() == 0 || res.Timeline.Tracks() == 0 {
+		t.Fatalf("empty timeline: %d spans, %d tracks",
+			res.Timeline.Spans(), res.Timeline.Tracks())
+	}
+
+	var buf bytes.Buffer
+	if err := res.Timeline.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("chrome trace is not valid JSON")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"nic-queue"`, `"iio-mem"`, `"cpu-rx"`, // per-hop packet spans
+		"receiver/iio/occupancy", "receiver/mba/level", // counter tracks
+		"hostcc-sample", // decision-audit spans
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturb runs the same experiment with and without
+// the tracer and requires bit-identical metrics: telemetry only reads
+// simulation state, so it must not change event order.
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	run := func(tel bool) Metrics {
+		opts := quick(WithHostCongestion(3), WithHostCC(), WithFlows(4))
+		if tel {
+			opts = append(opts, WithTelemetry())
+		}
+		x, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x.Run().Metrics
+	}
+	if off, on := run(false), run(true); off != on {
+		t.Fatalf("telemetry perturbed the run:\noff: %+v\non:  %+v", off, on)
+	}
+}
+
+// TestDeprecatedSurface keeps the pre-redesign API compiling and
+// consistent with the new one.
+func TestDeprecatedSurface(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Degree = 3
+	opts.HostCC = true
+	opts.Warmup = 500 * Microsecond
+	opts.Measure = 2 * Millisecond
+	opts.MinRTO = 5 * Millisecond
+	old := Run(opts)
+
+	x, err := New(quick(WithHostCongestion(3), WithHostCC())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Run().Metrics; got != old {
+		t.Fatalf("old and new API disagree:\nold: %+v\nnew: %+v", old, got)
+	}
+}

@@ -1,0 +1,134 @@
+// Command benchgate compares one benchmark between two `go test -json`
+// streams (the recorded BENCH_baseline.json and a fresh run) and fails
+// when the current ns/op regresses beyond a tolerance. It is the CI gate
+// that keeps the telemetry layer's disabled-path overhead inside its
+// budget.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkEngineThroughput -benchmem -count=1 -json . > current.json
+//	benchgate -baseline BENCH_baseline.json -current current.json \
+//	    -bench BenchmarkEngineThroughput -tolerance 2
+//
+// Benchmarks are noisy: for a strict budget check, record baseline and
+// current on the same quiet machine (see `make telemetry-overhead`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "recorded `go test -json` benchmark stream")
+	current := flag.String("current", "", "fresh `go test -json` benchmark stream to compare")
+	bench := flag.String("bench", "BenchmarkEngineThroughput", "benchmark name to compare")
+	tolerance := flag.Float64("tolerance", 2, "maximum allowed ns/op regression, percent")
+	maxAllocs := flag.Int64("max-allocs", -1, "fail if the current run exceeds this allocs/op (-1 disables)")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := extract(*baseline, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := extract(*current, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	delta := (cur.nsPerOp - base.nsPerOp) / base.nsPerOp * 100
+	fmt.Printf("%s: baseline %.0f ns/op, current %.0f ns/op, delta %+.2f%% (tolerance %.1f%%)\n",
+		*bench, base.nsPerOp, cur.nsPerOp, delta, *tolerance)
+	fail := false
+	if delta > *tolerance {
+		fmt.Printf("FAIL: regression %.2f%% exceeds tolerance\n", delta)
+		fail = true
+	}
+	if *maxAllocs >= 0 && cur.allocsPerOp > *maxAllocs {
+		fmt.Printf("FAIL: %d allocs/op exceeds limit %d\n", cur.allocsPerOp, *maxAllocs)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}
+
+type result struct {
+	nsPerOp     float64
+	allocsPerOp int64
+}
+
+// resultRE matches a benchmark result line, e.g.
+//
+//	BenchmarkEngineThroughput 	 7	 157548394 ns/op	 2824874 B/op	 109316 allocs/op
+var resultRE = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
+
+// extract reconstructs the benchmark output from a test2json stream
+// (result lines may be split across several Output events) and returns
+// the figures for the named benchmark.
+func extract(path, bench string) (result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+
+	var out strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return result{}, fmt.Errorf("%s: not a `go test -json` stream: %w", path, err)
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return result{}, fmt.Errorf("%s: %w", path, err)
+	}
+
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := resultRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		// Trim a -8 style GOMAXPROCS suffix before comparing names.
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if name != bench {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return result{}, fmt.Errorf("%s: bad ns/op in %q", path, line)
+		}
+		r := result{nsPerOp: ns, allocsPerOp: -1}
+		if m[3] != "" {
+			r.allocsPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		return r, nil
+	}
+	return result{}, fmt.Errorf("%s: benchmark %q not found", path, bench)
+}

@@ -9,6 +9,12 @@
 //	hostcc-bench -chaos all
 //	hostcc-bench -chaos credit-stall -checkpoint run.ckpt -verify-replay
 //	hostcc-bench -resume run.ckpt
+//	hostcc-bench -timeline out.json -degree 3
+//
+// -timeline records one telemetry-enabled throughput run and writes it in
+// Chrome Trace Event Format; open the file at https://ui.perfetto.dev to
+// see per-hop packet spans and the counter tracks (IIO occupancy, MBA
+// level, PCIe credits, hostCC signals).
 //
 // Figures: 2 3 4 7 8 9 10 11 12 13 14 15 16 17 18 19 (or "all").
 // Chaos scenarios: see `hostcc-bench -chaos list`.
@@ -49,6 +55,9 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
+	timeline := flag.String("timeline", "", "run one telemetry-enabled experiment and write its Chrome trace (Perfetto JSON) to this file")
+	degree := flag.Float64("degree", 3, "with -timeline: degree of host congestion")
+	noHostCC := flag.Bool("no-hostcc", false, "with -timeline: disable the hostCC module")
 	flag.Parse()
 
 	stopProf, err := startProfiling(*cpuprofile, *memprofile, *tracePath)
@@ -57,6 +66,9 @@ func run() error {
 	}
 	defer stopProf()
 
+	if *timeline != "" {
+		return runTimeline(*timeline, *degree, !*noHostCC, *seed)
+	}
 	if *resume != "" {
 		return resumeChaos(*resume)
 	}
@@ -228,6 +240,40 @@ func runChaos(name string, seed int64, checkpoint string, checkpointEvery uint64
 			}
 		}
 	}
+	return nil
+}
+
+// runTimeline runs one telemetry-enabled throughput experiment and writes
+// its Chrome trace (loadable at https://ui.perfetto.dev) to path.
+func runTimeline(path string, degree float64, enableHostCC bool, seed int64) error {
+	opts := []hostcc.Option{
+		hostcc.WithSeed(seed),
+		hostcc.WithHostCongestion(degree),
+		hostcc.WithTelemetry(),
+		hostcc.WithMinRTO(5 * time.Millisecond),
+	}
+	if enableHostCC {
+		opts = append(opts, hostcc.WithHostCC())
+	}
+	x, err := hostcc.New(opts...)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	start := time.Now()
+	res := x.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	defer f.Close()
+	if err := res.Timeline.WriteChromeTrace(f); err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	fmt.Printf("== Timeline — %gx host congestion, hostCC=%v (seed %d)\n", degree, enableHostCC, seed)
+	fmt.Printf("   throughput %.1f Gbps, drops %.4f%%\n", res.ThroughputGbps, res.DropRatePct)
+	fmt.Printf("   %d spans, %d counter tracks, %d dropped -> %s [%.1fs]\n",
+		res.Timeline.Spans(), res.Timeline.Tracks(), res.Timeline.Dropped(), path, time.Since(start).Seconds())
+	fmt.Println("   open at https://ui.perfetto.dev (or chrome://tracing)")
 	return nil
 }
 

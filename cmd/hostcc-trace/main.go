@@ -1,9 +1,16 @@
 // Command hostcc-trace dumps the microscopic time-series figures (8, 18,
-// 19) as CSV files for plotting.
+// 19) as CSV files for plotting, and optionally a full Chrome/Perfetto
+// trace of an instrumented run.
 //
 // Usage:
 //
 //	hostcc-trace -out /tmp/traces -scale quick
+//	hostcc-trace -perfetto /tmp/traces/run.json -degree 3
+//
+// -perfetto skips the CSV figures and instead records one
+// telemetry-enabled experiment (per-hop packet spans plus counter tracks
+// for IIO occupancy, MBA level, queue depths and the hostCC signals) in
+// Chrome Trace Event Format; open the file at https://ui.perfetto.dev.
 package main
 
 import (
@@ -11,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	hostcc "repro"
 	"repro/internal/stats"
@@ -26,7 +34,14 @@ func main() {
 func run() error {
 	out := flag.String("out", "traces", "output directory for CSV files")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick, default, paper")
+	perfetto := flag.String("perfetto", "", "write a Chrome/Perfetto trace of one telemetry-enabled run to this file (skips the CSV figures)")
+	degree := flag.Float64("degree", 3, "with -perfetto: degree of host congestion")
+	seed := flag.Int64("seed", 42, "with -perfetto: simulation seed")
 	flag.Parse()
+
+	if *perfetto != "" {
+		return dumpPerfetto(*perfetto, *degree, *seed)
+	}
 
 	scale := map[string]hostcc.Scale{
 		"quick":   hostcc.ScaleQuick,
@@ -72,6 +87,41 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// dumpPerfetto records one hostCC run with the event tracer attached and
+// writes the resulting timeline in Chrome Trace Event Format.
+func dumpPerfetto(path string, degree float64, seed int64) error {
+	x, err := hostcc.New(
+		hostcc.WithSeed(seed),
+		hostcc.WithHostCongestion(degree),
+		hostcc.WithHostCC(),
+		hostcc.WithTelemetry(),
+		hostcc.WithMinRTO(5*time.Millisecond),
+	)
+	if err != nil {
+		return fmt.Errorf("perfetto: %w", err)
+	}
+	res := x.Run()
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("perfetto: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perfetto: %w", err)
+	}
+	if err := res.Timeline.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s (%d spans, %d tracks); open at https://ui.perfetto.dev\n",
+		path, res.Timeline.Spans(), res.Timeline.Tracks())
 	return nil
 }
 

@@ -13,20 +13,21 @@ package main
 
 import (
 	"fmt"
+	"log"
+	"time"
 
 	hostcc "repro"
-	"repro/internal/transport"
 )
 
 func main() {
 	ccs := []struct {
 		name string
-		f    transport.CCFactory
+		cc   hostcc.CC
 	}{
-		{"dctcp", hostcc.DCTCP()},
-		{"reno", hostcc.Reno()},
-		{"cubic", hostcc.Cubic()},
-		{"delay (Swift-like)", hostcc.DelayCC(150_000)}, // 150us target
+		{"dctcp", hostcc.CCDCTCP},
+		{"reno", hostcc.CCReno},
+		{"cubic", hostcc.CCCubic},
+		{"delay (Swift-like)", hostcc.CCDelay(150 * time.Microsecond)},
 	}
 
 	fmt.Println("3x host congestion under different congestion control protocols")
@@ -35,12 +36,19 @@ func main() {
 	for _, cc := range ccs {
 		var res [2]hostcc.Metrics
 		for i, enable := range []bool{false, true} {
-			opts := hostcc.DefaultOptions()
-			opts.Degree = 3
-			opts.CC = cc.f
-			opts.HostCC = enable
-			opts.MinRTO = 5e6
-			res[i] = hostcc.Run(opts)
+			opts := []hostcc.Option{
+				hostcc.WithHostCongestion(3),
+				hostcc.WithCC(cc.cc),
+				hostcc.WithMinRTO(5 * time.Millisecond),
+			}
+			if enable {
+				opts = append(opts, hostcc.WithHostCC())
+			}
+			x, err := hostcc.New(opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res[i] = x.Run().Metrics
 		}
 		fmt.Printf("%-20s %14.1f %14.1f\n", cc.name, res[0].ThroughputGbps, res[1].ThroughputGbps)
 	}

@@ -1,0 +1,10 @@
+// The examples are a separate module so they exercise only repro's
+// public API — CI builds them as an external consumer would, which makes
+// any accidental breaking change or internal-type leak a build failure.
+module repro-examples
+
+go 1.22
+
+require repro v0.0.0
+
+replace repro => ../

@@ -11,6 +11,8 @@ package main
 
 import (
 	"fmt"
+	"log"
+	"time"
 
 	hostcc "repro"
 )
@@ -23,13 +25,20 @@ func main() {
 	for _, degree := range []float64{0, 3} {
 		for _, enable := range []bool{false, true} {
 			for _, flows := range []int{4, 10} {
-				opts := hostcc.DefaultOptions()
-				opts.Senders = 2
-				opts.Flows = flows
-				opts.Degree = degree
-				opts.HostCC = enable
-				opts.MinRTO = 5e6
-				m := hostcc.Run(opts)
+				opts := []hostcc.Option{
+					hostcc.WithSenders(2),
+					hostcc.WithFlows(flows),
+					hostcc.WithHostCongestion(degree),
+					hostcc.WithMinRTO(5 * time.Millisecond),
+				}
+				if enable {
+					opts = append(opts, hostcc.WithHostCC())
+				}
+				x, err := hostcc.New(opts...)
+				if err != nil {
+					log.Fatal(err)
+				}
+				m := x.Run()
 
 				name := fmt.Sprintf("%gx host cong., hostCC=%v", degree, enable)
 				fmt.Printf("%-28s %8d %12.1f %11.4f%%\n",

@@ -9,6 +9,8 @@ package main
 
 import (
 	"fmt"
+	"log"
+	"time"
 
 	hostcc "repro"
 )
@@ -18,11 +20,18 @@ func main() {
 	fmt.Println()
 
 	for _, enable := range []bool{false, true} {
-		opts := hostcc.DefaultOptions()
-		opts.Degree = 3      // 24 MApp cores generating CPU-to-memory traffic
-		opts.HostCC = enable // the paper's contribution, on/off
-		opts.MinRTO = 5e6    // 5 ms min RTO so the startup transient settles quickly
-		m := hostcc.Run(opts)
+		opts := []hostcc.Option{
+			hostcc.WithHostCongestion(3), // 24 MApp cores generating CPU-to-memory traffic
+			hostcc.WithMinRTO(5 * time.Millisecond), // settle the startup transient quickly
+		}
+		if enable {
+			opts = append(opts, hostcc.WithHostCC()) // the paper's contribution, on/off
+		}
+		x, err := hostcc.New(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := x.Run()
 
 		name := "DCTCP          "
 		if enable {

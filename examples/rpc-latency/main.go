@@ -13,7 +13,6 @@ import (
 	"fmt"
 
 	hostcc "repro"
-	"repro/internal/testbed"
 )
 
 func main() {
@@ -24,7 +23,7 @@ func main() {
 	scale := hostcc.ScaleQuick
 	scale.RPCSizes = []int{2048}
 
-	rows := testbed.RunFigure12(scale)
+	rows := hostcc.RunFigure12(scale)
 	fmt.Printf("%-20s %10s %10s %12s %10s\n", "scenario", "p50(us)", "p99(us)", "p99.9(us)", "timeouts")
 	for _, r := range rows {
 		fmt.Printf("%-20s %10.1f %10.1f %12.1f %10d\n",

@@ -7,20 +7,30 @@ package main
 
 import (
 	"fmt"
+	"log"
+	"time"
 
 	hostcc "repro"
 )
+
+func run(opts ...hostcc.Option) hostcc.Metrics {
+	base := []hostcc.Option{
+		hostcc.WithHostCongestion(3),
+		hostcc.WithHostCC(),
+		hostcc.WithMinRTO(5 * time.Millisecond),
+	}
+	x, err := hostcc.New(append(base, opts...)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return x.Run().Metrics
+}
 
 func main() {
 	fmt.Println("B_T sweep (I_T = 70), 3x host congestion:")
 	fmt.Printf("%8s %12s %12s %10s %10s\n", "B_T", "tput(Gbps)", "drops", "memNet", "memMApp")
 	for _, bt := range []float64{20, 40, 60, 80, 100} {
-		opts := hostcc.DefaultOptions()
-		opts.Degree = 3
-		opts.HostCC = true
-		opts.BT = hostcc.Gbps(bt)
-		opts.MinRTO = 5e6
-		m := hostcc.Run(opts)
+		m := run(hostcc.WithTargetBandwidth(bt))
 		fmt.Printf("%7.0fG %12.1f %11.4f%% %10.2f %10.2f\n",
 			bt, m.ThroughputGbps, m.DropRatePct, m.MemUtilNet, m.MemUtilMApp)
 	}
@@ -29,12 +39,7 @@ func main() {
 	fmt.Println("I_T sweep (B_T = 80G), 3x host congestion:")
 	fmt.Printf("%8s %12s %12s %10s %10s\n", "I_T", "tput(Gbps)", "drops", "memNet", "memMApp")
 	for _, it := range []float64{70, 75, 80, 85, 90} {
-		opts := hostcc.DefaultOptions()
-		opts.Degree = 3
-		opts.HostCC = true
-		opts.IT = it
-		opts.MinRTO = 5e6
-		m := hostcc.Run(opts)
+		m := run(hostcc.WithOccupancyThreshold(it))
 		fmt.Printf("%8.0f %12.1f %11.4f%% %10.2f %10.2f\n",
 			it, m.ThroughputGbps, m.DropRatePct, m.MemUtilNet, m.MemUtilMApp)
 	}

@@ -20,12 +20,22 @@
 //
 // # Quick start
 //
-//	opts := hostcc.DefaultOptions()
-//	opts.Degree = 3        // 3x host congestion (24 MApp cores)
-//	opts.HostCC = true     // enable the hostCC module
-//	m := hostcc.Run(opts)
+//	x, err := hostcc.New(
+//	        hostcc.WithHostCongestion(3), // 3x host congestion (24 MApp cores)
+//	        hostcc.WithHostCC(),          // enable the hostCC module
+//	)
+//	if err != nil {
+//	        log.Fatal(err)
+//	}
+//	res := x.Run()
 //	fmt.Printf("throughput %.1f Gbps, drops %.4f%%\n",
-//	        m.ThroughputGbps, m.DropRatePct)
+//	        res.ThroughputGbps, res.DropRatePct)
+//
+// Add hostcc.WithTelemetry() and write res.Timeline as a Chrome trace to
+// visualize per-hop packet lifecycles and the hostCC decision audit in
+// Perfetto (see api.go and README "Visualizing a run").
+//
+// The struct-based Options/Run surface below is kept as deprecated shims.
 //
 // Every figure of the paper's evaluation has a runner (RunFigure2 …
 // RunFigure19); cmd/hostcc-bench prints their rows and the benchmarks in
@@ -44,9 +54,9 @@ import (
 type (
 	// Options selects one experimental configuration (hosts, workload
 	// degree, hostCC parameters, measurement windows).
+	//
+	// Deprecated: build experiments with New and functional options.
 	Options = testbed.Options
-	// Metrics summarizes one measurement window.
-	Metrics = testbed.Metrics
 	// Scale selects experiment fidelity (Quick / Default / Paper).
 	Scale = testbed.Scale
 	// Testbed is a fully constructed experiment (for advanced use:
@@ -86,16 +96,25 @@ var (
 
 // DefaultOptions returns the paper's baseline setup: two hosts through one
 // switch, 4 DCTCP flows, 4K MTU, DDIO disabled.
+//
+// Deprecated: build experiments with New; the defaults are the same.
 func DefaultOptions() Options { return testbed.DefaultOptions() }
 
 // NewTestbed constructs (but does not run) an experiment.
+//
+// Deprecated: use New; the Experiment it returns validates its
+// configuration and exposes telemetry through Observe and Result.
 func NewTestbed(opts Options) *Testbed { return testbed.New(opts) }
 
 // Run executes a NetApp-T throughput experiment and returns its metrics.
-func Run(opts Options) Metrics { return testbed.RunNetAppTOnly(opts) }
+//
+// Deprecated: use New(...).Run().
+func Run(opts Options) Metrics { return Metrics(testbed.RunNetAppTOnly(opts)) }
 
 // Congestion control factories for Options.CC — hostCC composes with any
 // of them (§4.3, §6).
+//
+// Deprecated: use CCDCTCP, CCReno, CCCubic with WithCC.
 var (
 	DCTCP = transport.NewDCTCP
 	Reno  = transport.NewReno
@@ -104,6 +123,8 @@ var (
 
 // DelayCC returns a Swift-like delay-based congestion control factory
 // targeting the given RTT (the §6 extension).
+//
+// Deprecated: use CCDelay with WithCC.
 func DelayCC(target sim.Time) transport.CCFactory { return transport.NewDelayCC(target) }
 
 // Gbps converts gigabits per second into the rate type used by Options.BT.

@@ -92,7 +92,7 @@ func (l *NetAppLOpen) scheduleNext() {
 }
 
 func (l *NetAppLOpen) issue() {
-	l.Issued.Inc(1)
+	l.Issued.Inc()
 	l.pending = append(l.pending, l.e.Now())
 	l.conn.send(l.size)
 }
@@ -103,7 +103,7 @@ func (l *NetAppLOpen) onResponse(n int) {
 		l.respBuf -= l.respSize
 		start := l.pending[0]
 		l.pending = l.pending[1:]
-		l.Completed.Inc(1)
+		l.Completed.Inc()
 		if l.recording {
 			l.Latency.Add(float64(l.e.Now() - start))
 		}

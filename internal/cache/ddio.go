@@ -13,10 +13,13 @@
 package cache
 
 import (
+	"fmt"
+
 	"math/rand"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // EntryID identifies an inserted packet's cache footprint.
@@ -92,7 +95,7 @@ func (d *DDIO) Insert(bytes int) (EntryID, []Eviction) {
 	}
 	d.nextID++
 	id := d.nextID
-	d.inserted.Inc(int64(bytes))
+	d.inserted.Add(int64(bytes))
 
 	prob := d.cfg.PollutionProb
 	if d.pollutionFn != nil {
@@ -106,7 +109,7 @@ func (d *DDIO) Insert(bytes int) (EntryID, []Eviction) {
 	}
 	if d.rng != nil && d.rng.Float64() < prob {
 		// Polluted: lines are pushed out by unrelated traffic right away.
-		d.evicted.Inc(int64(bytes))
+		d.evicted.Add(int64(bytes))
 		evs := append(d.evScratch[:0], Eviction{Owner: id, Bytes: bytes})
 		d.evScratch = evs
 		return id, evs
@@ -119,12 +122,12 @@ func (d *DDIO) Insert(bytes int) (EntryID, []Eviction) {
 		vb := d.entries[victim]
 		delete(d.entries, victim)
 		d.used -= vb
-		d.evicted.Inc(int64(vb))
+		d.evicted.Add(int64(vb))
 		evs = append(evs, Eviction{Owner: victim, Bytes: vb})
 	}
 	if d.used+bytes > d.cfg.CapacityBytes {
 		// Entry bigger than the whole pool: it cannot be cached.
-		d.evicted.Inc(int64(bytes))
+		d.evicted.Add(int64(bytes))
 		evs = append(evs, Eviction{Owner: id, Bytes: bytes})
 		d.evScratch = evs
 		return id, evs
@@ -152,7 +155,7 @@ func (d *DDIO) appendOrder(id EntryID) {
 // the packet's lines were still cached (hit) and removes them if so.
 func (d *DDIO) Consume(id EntryID, bytes int) (hit bool) {
 	if _, ok := d.entries[id]; !ok {
-		d.missBytes.Inc(int64(bytes))
+		d.missBytes.Add(int64(bytes))
 		return false
 	}
 	// Lazy removal from the FIFO: mark by deleting from the map; the
@@ -165,7 +168,7 @@ func (d *DDIO) Consume(id EntryID, bytes int) (hit bool) {
 			break
 		}
 	}
-	d.hitBytes.Inc(int64(bytes))
+	d.hitBytes.Add(int64(bytes))
 	return true
 }
 
@@ -209,3 +212,28 @@ const (
 	// ReadLatency is a CPU LLC hit (vs. a DRAM access).
 	ReadLatency sim.Time = 40 * sim.Nanosecond
 )
+
+// RegisterInstruments registers the DDIO pool's metrics under prefix.
+func (d *DDIO) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/ddio/inserted", "bytes", "bytes inserted into the DDIO pool",
+		func() float64 { return float64(d.inserted.Total()) })
+	reg.Counter(prefix+"/ddio/evicted", "bytes", "bytes evicted before consumption",
+		func() float64 { return float64(d.evicted.Total()) })
+	reg.Counter(prefix+"/ddio/hit-bytes", "bytes", "bytes consumed out of the LLC",
+		func() float64 { return float64(d.hitBytes.Total()) })
+	reg.Counter(prefix+"/ddio/miss-bytes", "bytes", "bytes consumed from DRAM after eviction",
+		func() float64 { return float64(d.missBytes.Total()) })
+	reg.Gauge(prefix+"/ddio/used", "bytes", "bytes resident in the DDIO pool",
+		func() float64 { return float64(d.Used()) })
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.CapacityBytes <= 0 {
+		return fmt.Errorf("cache: CapacityBytes %d must be positive", c.CapacityBytes)
+	}
+	if c.PollutionProb < 0 || c.PollutionProb > 1 {
+		return fmt.Errorf("cache: PollutionProb %v outside [0,1]", c.PollutionProb)
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Mode selects which hostCC responses are active; the ablation of
@@ -215,6 +216,15 @@ type HostCC struct {
 	FailedSamples stats.Counter
 	LevelRaises   stats.Counter
 	LevelDrops    stats.Counter
+
+	// Telemetry (nil when disabled): signal tracks, the CE-mark track,
+	// and per-sample spans forming the decision audit (MSR read → level
+	// change).
+	tr        *telemetry.Tracer
+	trIS      *telemetry.Track
+	trBS      *telemetry.Track
+	trMarked  *telemetry.Track
+	sampleSeq uint64
 }
 
 // New creates a hostCC module reading signals from f and driving mba.
@@ -248,6 +258,38 @@ func New(e *sim.Engine, f *msr.File, mba LevelController, cfg Config) *HostCC {
 		h.wd = newWatchdog(e, mba, *cfg.Watchdog)
 	}
 	return h
+}
+
+// SetTracer attaches the hostCC decision-audit telemetry (named under
+// prefix): filtered-signal and CE-mark counter tracks, plus one span per
+// signal sample covering MSR read through response. Call before Start.
+func (h *HostCC) SetTracer(t *telemetry.Tracer, prefix string) {
+	h.tr = t
+	h.trIS = t.NewTrack(prefix+"/hostcc/is", "lines")
+	h.trBS = t.NewTrack(prefix+"/hostcc/bs", "gbps")
+	h.trMarked = t.NewTrack(prefix+"/hostcc/marked", "pkts")
+}
+
+// RegisterInstruments registers hostCC's metrics under prefix.
+func (h *HostCC) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"/hostcc/is", "lines", "filtered IIO occupancy signal I_S",
+		func() float64 { return h.IS() })
+	reg.Gauge(prefix+"/hostcc/bs", "bytes/s", "filtered PCIe bandwidth signal B_S",
+		func() float64 { return float64(h.BS()) })
+	reg.Gauge(prefix+"/hostcc/level", "level", "current host-local response level",
+		func() float64 { return float64(h.Level()) })
+	reg.Counter(prefix+"/hostcc/samples", "samples", "signal samples completed",
+		func() float64 { return float64(h.Samples.Total()) })
+	reg.Counter(prefix+"/hostcc/failed-samples", "samples", "signal samples aborted by MSR read faults",
+		func() float64 { return float64(h.FailedSamples.Total()) })
+	reg.Counter(prefix+"/hostcc/level-raises", "events", "host-local response level raises",
+		func() float64 { return float64(h.LevelRaises.Total()) })
+	reg.Counter(prefix+"/hostcc/level-drops", "events", "host-local response level drops",
+		func() float64 { return float64(h.LevelDrops.Total()) })
+	reg.Counter(prefix+"/hostcc/marked", "pkts", "inbound packets CE-marked by the host",
+		func() float64 { return float64(h.MarkedPackets.Total()) })
+	reg.Histogram(prefix+"/hostcc/read-latency", "ns", "MSR read latency (Figure 7)",
+		h.ReadLatency)
 }
 
 // Watchdog returns the failsafe, or nil when not configured.
@@ -284,21 +326,25 @@ func (h *HostCC) sample() {
 	if !h.running {
 		return
 	}
+	id := h.sampleSeq
+	h.sampleSeq++
+	h.tr.RangeBegin(telemetry.HopSample, id, h.e.Now())
 	h.f.Read(msr.IIOOccupancy, func(rocc uint64, lat sim.Time, err error) {
 		h.ReadLatency.Add(float64(lat))
 		if err != nil {
-			h.sampleFailed()
+			h.sampleFailed(id)
 			return
 		}
 		tRocc := h.f.ReadTSC()
 		h.f.Read(msr.IIOInsertions, func(rins uint64, lat2 sim.Time, err error) {
 			h.ReadLatency.Add(float64(lat2))
 			if err != nil {
-				h.sampleFailed()
+				h.sampleFailed(id)
 				return
 			}
 			tRins := h.f.ReadTSC()
 			h.ingest(rocc, tRocc, rins, tRins)
+			h.tr.RangeEnd(telemetry.HopSample, id, h.e.Now(), "sampled")
 			h.e.After(h.cfg.SampleInterval, h.sample)
 		})
 	})
@@ -308,8 +354,9 @@ func (h *HostCC) sample() {
 // sampling loop alive: the signal EWMAs are left untouched and the next
 // sample is scheduled normally (the kernel module's rdmsr wrapper does
 // the same — a fault is logged, the sample skipped).
-func (h *HostCC) sampleFailed() {
-	h.FailedSamples.Inc(1)
+func (h *HostCC) sampleFailed(id uint64) {
+	h.FailedSamples.Inc()
+	h.tr.RangeEnd(telemetry.HopSample, id, h.e.Now(), "read-failed")
 	if h.wd != nil {
 		h.wd.noteReadFailure()
 	}
@@ -319,7 +366,7 @@ func (h *HostCC) sampleFailed() {
 // ingest folds one counter snapshot into the signal EWMAs and triggers
 // the response.
 func (h *HostCC) ingest(rocc uint64, tRocc sim.Time, rins uint64, tRins sim.Time) {
-	h.Samples.Inc(1)
+	h.Samples.Inc()
 	moved := !h.seeded || rocc != h.lastROCC || rins != h.lastRINS
 	if h.seeded {
 		if dt := tRocc - h.lastROCCAt; dt > 0 {
@@ -336,6 +383,8 @@ func (h *HostCC) ingest(rocc uint64, tRocc sim.Time, rins uint64, tRins sim.Time
 	h.lastROCC, h.lastROCCAt = rocc, tRocc
 	h.lastRINS, h.lastRINSAt = rins, tRins
 	h.seeded = true
+	h.trIS.Set(h.e.Now(), h.isEWMA.Value())
+	h.trBS.Set(h.e.Now(), h.bsEWMA.Value()*8/1e9)
 	if h.wd != nil {
 		// Counters that stop moving while the filtered bandwidth says
 		// traffic was flowing are a stuck sensor, not an idle host.
@@ -414,14 +463,14 @@ func (h *HostCC) respond() {
 		// backpressure), in addition to the ECN echo.
 		if cur+1 < h.mba.NumLevels() {
 			h.requestLevel(cur + 1)
-			h.LevelRaises.Inc(1)
+			h.LevelRaises.Inc()
 		}
 	case Lower:
 		// Regime 1: network traffic met its target and the host is not
 		// congested — return resources to host-local traffic.
 		if cur > 0 {
 			h.requestLevel(cur - 1)
-			h.LevelDrops.Inc(1)
+			h.LevelDrops.Inc()
 		}
 	case Hold:
 		// Regime 2 (congested, target met): echo only; level unchanged.
@@ -434,6 +483,14 @@ func (h *HostCC) respond() {
 // watchdog for actuation read-back (a silently dropped MBA write is
 // re-issued with backoff).
 func (h *HostCC) requestLevel(l int) {
+	if h.tr != nil {
+		// The audit instant ties the decision to the signals it was made
+		// on; the MBA's write span then shows when it took effect.
+		h.tr.Instant(telemetry.HopMBAWrite, "hostcc-level-request", h.e.Now(),
+			telemetry.KV{Key: "level", Val: float64(l)},
+			telemetry.KV{Key: "is", Val: h.IS()},
+			telemetry.KV{Key: "bs_gbps", Val: float64(h.BS()) * 8 / 1e9})
+	}
 	if h.wd != nil {
 		h.wd.noteRequest(l)
 	}
@@ -456,7 +513,8 @@ func (h *HostCC) ReceiveHook() func(*packet.Packet) {
 		if h.Congested() {
 			p.ECN = packet.CE
 			p.MarkedByHost = true
-			h.MarkedPackets.Inc(1)
+			h.MarkedPackets.Inc()
+			h.trMarked.Set(h.e.Now(), float64(h.MarkedPackets.Total()))
 		}
 	}
 }

@@ -343,4 +343,3 @@ func TestSenderGuardRespondsToStarvation(t *testing.T) {
 		t.Fatalf("rate estimate %.1f too low", g.Rate().Gbps())
 	}
 }
-

@@ -76,7 +76,7 @@ func (c *InvariantChecker) Stop() {
 
 // Check runs one audit pass immediately.
 func (c *InvariantChecker) Check() {
-	c.Checks.Inc(1)
+	c.Checks.Inc()
 	if c.p.NICArrivals != nil && c.p.NICDrops != nil && c.p.NICQueued != nil && c.p.NICDMAStarted != nil {
 		arr := c.p.NICArrivals()
 		drops := c.p.NICDrops()

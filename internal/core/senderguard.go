@@ -99,12 +99,12 @@ func (g *SenderGuard) tick() {
 	case starved:
 		if lvl+1 < g.mba.NumLevels() {
 			g.mba.RequestLevel(lvl + 1)
-			g.LevelRaises.Inc(1)
+			g.LevelRaises.Inc()
 		}
 	case g.Rate() >= g.cfg.BT || g.backlog() == 0:
 		if lvl > 0 {
 			g.mba.RequestLevel(lvl - 1)
-			g.LevelDrops.Inc(1)
+			g.LevelDrops.Inc()
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -245,7 +247,7 @@ func (w *Watchdog) trip(reason string) {
 	w.state = WatchdogFallback
 	w.reason = reason
 	w.consecGood = 0
-	w.Trips.Inc(1)
+	w.Trips.Inc()
 	if w.mba != nil {
 		fl := w.FallbackLevel()
 		w.noteRequest(fl)
@@ -258,7 +260,7 @@ func (w *Watchdog) rearm() {
 	w.reason = ""
 	w.consecFrozen = 0
 	w.consecFails = 0
-	w.Rearms.Inc(1)
+	w.Rearms.Inc()
 }
 
 // check runs on the ticker: staleness detection (a wedged sampling loop
@@ -285,7 +287,29 @@ func (w *Watchdog) check() {
 	if now-w.lastRetryAt >= w.backoff {
 		w.lastRetryAt = now
 		w.backoff = min(2*w.backoff, w.cfg.MaxRetryBackoff)
-		w.Retries.Inc(1)
+		w.Retries.Inc()
 		w.mba.RequestLevel(w.desired)
 	}
+}
+
+// Validate reports the first invalid parameter. Zero values are not
+// errors — the watchdog fills them with defaults — so this catches only
+// parameters no default can repair.
+func (c WatchdogConfig) Validate() error {
+	if c.StaleThreshold < 0 || c.CheckInterval < 0 {
+		return fmt.Errorf("core: negative watchdog thresholds (stale %v, check %v)", c.StaleThreshold, c.CheckInterval)
+	}
+	if c.FailThreshold < 0 || c.FrozenThreshold < 0 || c.RecoverySamples < 0 {
+		return fmt.Errorf("core: negative watchdog counts")
+	}
+	if c.LoadFloorBytes < 0 {
+		return fmt.Errorf("core: negative LoadFloorBytes %v", c.LoadFloorBytes)
+	}
+	if c.FallbackLevel < -1 {
+		return fmt.Errorf("core: FallbackLevel %d below -1", c.FallbackLevel)
+	}
+	if c.RetryBackoff < 0 || c.MaxRetryBackoff < 0 {
+		return fmt.Errorf("core: negative watchdog backoff")
+	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/msr"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Level is an MBA throttle level. Higher levels add more latency to every
@@ -81,6 +82,13 @@ type MBA struct {
 	Writes int64
 	// LostWrites counts writes silently dropped by fault injection.
 	LostWrites int64
+
+	// Telemetry (nil when disabled): the applied-level counter track and
+	// in-flight write spans (actuation latency, part of the hostCC
+	// decision audit).
+	tr       *telemetry.Tracer
+	trLevel  *telemetry.Track
+	writeSeq uint64
 }
 
 // NewMBA creates the MBA controller and registers its throttle register
@@ -96,6 +104,24 @@ func NewMBA(e *sim.Engine, f *msr.File, cfg MBAConfig) *MBA {
 		})
 	}
 	return m
+}
+
+// SetTracer attaches the applied-level counter track (named under
+// prefix) and MSR-write spans.
+func (m *MBA) SetTracer(t *telemetry.Tracer, prefix string) {
+	m.tr = t
+	m.trLevel = t.NewTrack(prefix+"/mba/level", "level")
+	m.trLevel.Set(m.e.Now(), float64(m.applied))
+}
+
+// RegisterInstruments registers the MBA's metrics under prefix.
+func (m *MBA) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"/mba/level", "level", "throttle level currently in force",
+		func() float64 { return float64(m.applied) })
+	reg.Counter(prefix+"/mba/writes", "writes", "MSR writes performed",
+		func() float64 { return float64(m.Writes) })
+	reg.Counter(prefix+"/mba/lost-writes", "writes", "writes silently dropped by fault injection",
+		func() float64 { return float64(m.LostWrites) })
 }
 
 // NumLevels returns the number of configured response levels.
@@ -146,8 +172,18 @@ func (m *MBA) startWrite() {
 	if m.writeFault != nil {
 		fault = m.writeFault()
 	}
+	id := m.writeSeq
+	m.writeSeq++
+	m.tr.RangeBegin(telemetry.HopMBAWrite, id, m.e.Now())
 	m.e.After(m.cfg.WriteLatency+fault.ExtraLatency, func() {
 		m.writing = false
+		if m.tr != nil {
+			cause := "applied"
+			if fault.Drop {
+				cause = "dropped"
+			}
+			m.tr.RangeEnd(telemetry.HopMBAWrite, id, m.e.Now(), cause)
+		}
 		if fault.Drop {
 			// The hardware ate the write. Retry only if a newer target
 			// arrived while it was in flight (the driver's coalescing
@@ -175,7 +211,24 @@ func (m *MBA) apply(l int) {
 	}
 	old := m.applied
 	m.applied = l
+	m.trLevel.Set(m.e.Now(), float64(l))
 	for _, fn := range m.onChange {
 		fn(old, l)
 	}
+}
+
+// Validate reports the first invalid parameter.
+func (c MBAConfig) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("cpu: MBA needs at least one level")
+	}
+	for i, l := range c.Levels {
+		if l.Delay < 0 {
+			return fmt.Errorf("cpu: MBA level %d has negative delay %v", i, l.Delay)
+		}
+	}
+	if c.WriteLatency < 0 {
+		return fmt.Errorf("cpu: negative MBA WriteLatency %v", c.WriteLatency)
+	}
+	return nil
 }

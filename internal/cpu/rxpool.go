@@ -1,12 +1,15 @@
 package cpu
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/packet"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // RxConfig parameterizes the receive-side core pool.
@@ -100,6 +103,9 @@ type RxPool struct {
 	busyTime  sim.Time
 	processed stats.Counter
 	qlen      stats.TimeWeighted
+
+	// tr records per-packet rx-core residence spans (nil when disabled).
+	tr *telemetry.Tracer
 }
 
 // NewRxPool creates the pool. deliver is the next stage up the stack
@@ -141,6 +147,19 @@ func (p *RxPool) SetPool(pool *packet.Pool) { p.pool = pool }
 // SetOnDone registers the descriptor-recycle callback.
 func (p *RxPool) SetOnDone(fn func(*packet.Packet)) { p.onDone = fn }
 
+// SetTracer attaches the packet-lifecycle tracer (nil disables).
+func (p *RxPool) SetTracer(t *telemetry.Tracer) { p.tr = t }
+
+// RegisterInstruments registers the rx pool's metrics under prefix.
+func (p *RxPool) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/rx/processed", "pkts", "packets fully processed by the rx cores",
+		func() float64 { return float64(p.processed.Total()) })
+	reg.Gauge(prefix+"/rx/queued", "pkts", "packets queued for the rx cores",
+		func() float64 { return float64(p.QueueLen()) })
+	reg.Counter(prefix+"/rx/busy", "ns", "cumulative busy core-time",
+		func() float64 { return float64(p.busyTime) })
+}
+
 // steer maps a flow to a core. Flows in the evaluation use distinct
 // source ports, so this spreads them evenly (aRFS behaviour).
 func (p *RxPool) steer(f packet.FlowID) int {
@@ -149,6 +168,7 @@ func (p *RxPool) steer(f packet.FlowID) int {
 
 // Enqueue hands a DMA-completed packet to its core.
 func (p *RxPool) Enqueue(w RxWork) {
+	p.tr.PacketSpanBegin(telemetry.HopCPU, w.Pkt, p.e.Now())
 	c := p.steer(w.Pkt.Flow)
 	p.queues[c].Push(w)
 	p.trackQueueLen()
@@ -231,7 +251,14 @@ func (p *RxPool) done(c64, _ uint64) {
 	job := p.cur[c]
 	p.cur[c] = rxJob{}
 	p.busyTime += p.e.Now() - job.start
-	p.processed.Inc(1)
+	p.processed.Inc()
+	if p.tr != nil {
+		cause := "dram-read"
+		if job.hit {
+			cause = "llc-hit"
+		}
+		p.tr.PacketSpanEnd(telemetry.HopCPU, job.w.Pkt, p.e.Now(), cause)
+	}
 	p.deliver(job.w.Pkt)
 	if p.onDone != nil {
 		p.onDone(job.w.Pkt)
@@ -268,4 +295,21 @@ func (p *RxPool) DebugState() ([]int, []bool) {
 		qs[i] = p.queues[i].Len()
 	}
 	return qs, append([]bool(nil), p.busy...)
+}
+
+// Validate reports the first invalid parameter.
+func (c RxConfig) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cpu: RxPool needs at least one core, got %d", c.Cores)
+	}
+	if c.BaseCost < 0 || c.PerKBCost < 0 || c.LLCStall < 0 {
+		return fmt.Errorf("cpu: negative rx cost (%v, %v, %v)", c.BaseCost, c.PerKBCost, c.LLCStall)
+	}
+	if c.ReadFactor < 0 || c.WriteFactorMiss < 0 || c.WriteFactorHit < 0 {
+		return fmt.Errorf("cpu: negative rx memory factor")
+	}
+	if c.MLP < 0 {
+		return fmt.Errorf("cpu: negative MLP %v", c.MLP)
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // LinkConfig parameterizes one unidirectional link.
@@ -92,11 +93,11 @@ func (l *Link) Send(p *packet.Packet) {
 
 func (l *Link) lost() bool {
 	if l.down {
-		l.FlapDrops.Inc(1)
+		l.FlapDrops.Inc()
 		return true
 	}
 	if l.cfg.LossProb > 0 && l.e.Rand().Float64() < l.cfg.LossProb {
-		l.Corrupted.Inc(1)
+		l.Corrupted.Inc()
 		return true
 	}
 	return false
@@ -111,6 +112,16 @@ func (l *Link) SetDown(down bool) { l.down = down }
 
 // IsDown reports whether the link is flapped down.
 func (l *Link) IsDown() bool { return l.down }
+
+// RegisterInstruments registers the link's metrics under prefix.
+func (l *Link) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/bytes", "bytes", "bytes serialized onto the link",
+		func() float64 { return float64(l.Bytes.Total()) })
+	reg.Counter(prefix+"/corrupted", "pkts", "packets dropped by injected wire loss",
+		func() float64 { return float64(l.Corrupted.Total()) })
+	reg.Counter(prefix+"/flap-drops", "pkts", "packets lost while the link was flapped down",
+		func() float64 { return float64(l.FlapDrops.Total()) })
+}
 
 // QueuedTime reports how long a packet sent now would wait to serialize.
 func (l *Link) QueuedTime() sim.Time {
@@ -148,6 +159,11 @@ type Switch struct {
 	// Drops and Marks count switch-level drops and CE marks.
 	Drops stats.Counter
 	Marks stats.Counter
+
+	// tr, when set before AttachPort, gives every port a queue-depth
+	// counter track plus a switch-wide CE-mark track.
+	tr      *telemetry.Tracer
+	trMarks *telemetry.Track
 }
 
 type outPort struct {
@@ -156,6 +172,9 @@ type outPort struct {
 	queue  ring.Queue[*packet.Packet]
 	qBytes int
 	busy   bool
+
+	// trQueue records the port's queue depth over time (nil when disabled).
+	trQueue *telemetry.Track
 
 	// doneH fires when the port serializer finishes serFlight (the port
 	// serializes one packet at a time, so no slot table is needed).
@@ -171,6 +190,22 @@ func NewSwitch(e *sim.Engine, cfg SwitchConfig) *Switch {
 	return &Switch{e: e, cfg: cfg, ports: make(map[packet.HostID]*outPort)}
 }
 
+// SetTracer attaches counter tracks for per-port queue depth and CE
+// marks, named under prefix. Must be called before AttachPort so the
+// port tracks exist from the start.
+func (s *Switch) SetTracer(t *telemetry.Tracer, prefix string) {
+	s.tr = t
+	s.trMarks = t.NewTrack(prefix+"/marks", "pkts")
+}
+
+// RegisterInstruments registers the switch's metrics under prefix.
+func (s *Switch) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/drops", "pkts", "packets dropped at full output queues",
+		func() float64 { return float64(s.Drops.Total()) })
+	reg.Counter(prefix+"/marks", "pkts", "packets CE-marked at the ECN threshold",
+		func() float64 { return float64(s.Marks.Total()) })
+}
+
 // AttachPort connects the output port toward host id over the given link.
 func (s *Switch) AttachPort(id packet.HostID, link *Link) {
 	if _, dup := s.ports[id]; dup {
@@ -178,6 +213,10 @@ func (s *Switch) AttachPort(id packet.HostID, link *Link) {
 	}
 	o := &outPort{sw: s, link: link}
 	o.doneH = s.e.Handler(o.serDone)
+	if s.tr != nil {
+		o.trQueue = s.tr.NewTrack(fmt.Sprintf("switch/port%d/queue", id), "bytes")
+		o.trQueue.Set(s.e.Now(), 0)
+	}
 	s.ports[id] = o
 }
 
@@ -192,17 +231,19 @@ func (s *Switch) Inject(p *packet.Packet) {
 
 func (o *outPort) enqueue(p *packet.Packet) {
 	if o.qBytes+p.WireLen() > o.sw.cfg.PortBufferBytes {
-		o.sw.Drops.Inc(1)
+		o.sw.Drops.Inc()
 		o.link.pool.Put(p)
 		return
 	}
 	// DCTCP marking: mark on instantaneous queue depth at enqueue.
 	if o.qBytes > o.sw.cfg.ECNThresholdBytes && p.ECN == packet.ECT0 {
 		p.ECN = packet.CE
-		o.sw.Marks.Inc(1)
+		o.sw.Marks.Inc()
+		o.sw.trMarks.Set(o.sw.e.Now(), float64(o.sw.Marks.Total()))
 	}
 	o.queue.Push(p)
 	o.qBytes += p.WireLen()
+	o.trQueue.Set(o.sw.e.Now(), float64(o.qBytes))
 	o.pump()
 }
 
@@ -213,6 +254,7 @@ func (o *outPort) pump() {
 	o.busy = true
 	p := o.queue.Pop()
 	o.qBytes -= p.WireLen()
+	o.trQueue.Set(o.sw.e.Now(), float64(o.qBytes))
 	// Hold the serializer for the packet's own transmission time, then
 	// hand it to the link (which adds propagation).
 	o.serFlight = p
@@ -245,4 +287,29 @@ func (s *Switch) QueueBytes(id packet.HostID) int {
 		return p.qBytes
 	}
 	return 0
+}
+
+// Validate reports the first invalid link parameter.
+func (c LinkConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("fabric: link Rate %v must be positive", c.Rate)
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("fabric: negative link Delay %v", c.Delay)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("fabric: LossProb %v outside [0,1]", c.LossProb)
+	}
+	return nil
+}
+
+// Validate reports the first invalid switch parameter.
+func (c SwitchConfig) Validate() error {
+	if c.PortBufferBytes <= 0 {
+		return fmt.Errorf("fabric: PortBufferBytes %d must be positive", c.PortBufferBytes)
+	}
+	if c.ECNThresholdBytes < 0 {
+		return fmt.Errorf("fabric: negative ECNThresholdBytes %d", c.ECNThresholdBytes)
+	}
+	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -200,4 +201,45 @@ func (h *Host) RegisterSnapshots(reg *snapshot.Registry, prefix string) {
 		reg.Register(prefix+"/mapp", h.mapp)
 	}
 	reg.Register(prefix+"/transport", h.EP)
+}
+
+// RegisterInstruments registers every component's telemetry instruments
+// with reg, named under prefix in datapath order (wire to app).
+func (h *Host) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	h.NIC.RegisterInstruments(reg, prefix)
+	h.Link.RegisterInstruments(reg, prefix)
+	h.IIO.RegisterInstruments(reg, prefix)
+	if h.DDIO != nil {
+		h.DDIO.RegisterInstruments(reg, prefix)
+	}
+	if h.IOMMU != nil {
+		h.IOMMU.RegisterInstruments(reg, prefix)
+	}
+	h.MC.RegisterInstruments(reg, prefix)
+	h.MBA.RegisterInstruments(reg, prefix)
+	h.Rx.RegisterInstruments(reg, prefix)
+	h.EP.RegisterInstruments(reg, prefix)
+}
+
+// AttachTracer attaches the packet-lifecycle tracer and counter tracks to
+// every component of this host, with tracks named under prefix.
+func (h *Host) AttachTracer(t *telemetry.Tracer, prefix string) {
+	h.NIC.SetTracer(t)
+	h.Link.SetTracer(t, prefix)
+	h.IIO.SetTracer(t, prefix)
+	h.Rx.SetTracer(t)
+	h.MBA.SetTracer(t, prefix)
+}
+
+// Validate reports the first invalid parameter across the host's
+// component configurations.
+func (c Config) Validate() error {
+	for _, v := range []interface{ Validate() error }{
+		c.Mem, c.Cache, c.NIC, c.PCIe, c.IIO, c.Rx, c.MBA, c.Transport, c.IOMMU,
+	} {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -13,6 +13,8 @@
 package iio
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/iommu"
 	"repro/internal/mem"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the IIO.
@@ -57,6 +60,12 @@ type IIO struct {
 	occLines int
 	occ      stats.TimeWeighted
 	rins     uint64
+
+	// Telemetry (nil when disabled): per-packet DMA+memory residence
+	// spans and the on-change IIO occupancy track — the paper's
+	// congestion signal, as a Perfetto counter timeline.
+	tr    *telemetry.Tracer
+	trOcc *telemetry.Track
 
 	// Optional IOMMU on the DMA path: writes are gated on address
 	// translation, which happens *before* the transaction enters the IIO
@@ -116,6 +125,24 @@ func (io *IIO) SetLink(l *pcie.Link) { io.link = l }
 // SetIOMMU enables DMA address translation in front of the IIO buffer.
 func (io *IIO) SetIOMMU(u *iommu.IOMMU) { io.mmu = u }
 
+// SetTracer attaches packet spans plus the occupancy counter track,
+// named under prefix.
+func (io *IIO) SetTracer(t *telemetry.Tracer, prefix string) {
+	io.tr = t
+	io.trOcc = t.NewTrack(prefix+"/iio/occupancy", "lines")
+	io.trOcc.Set(io.e.Now(), float64(io.occLines))
+}
+
+// RegisterInstruments registers the IIO's metrics under prefix.
+func (io *IIO) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+"/iio/occupancy", "lines", "instantaneous buffer occupancy",
+		func() float64 { return float64(io.occLines) })
+	reg.Counter(prefix+"/iio/rocc", "line-ticks", "cumulative occupancy counter (ROCC)",
+		func() float64 { return float64(io.ROCC()) })
+	reg.Counter(prefix+"/iio/rins", "lines", "cumulative line insertions (RINS)",
+		func() float64 { return float64(io.rins) })
+}
+
 // delivery is the state needed to hand a finished packet to the CPU.
 type delivery struct {
 	pkt      *packet.Packet
@@ -147,6 +174,7 @@ func (io *IIO) submit(slot, _ uint64) {
 // delivery slot.
 func (io *IIO) deliverDone(slot, _ uint64) {
 	d := io.delivs.Take(slot)
+	io.tr.PacketSpanEnd(telemetry.HopIIOMem, d.pkt, io.e.Now(), "dram-write")
 	io.out(d.pkt, d.entry, d.hasEntry)
 }
 
@@ -200,6 +228,7 @@ func (io *IIO) processTLP(t *pcie.TLP) {
 	io.setOcc(io.occLines + t.Lines)
 
 	if t.First {
+		io.tr.PacketSpanBegin(telemetry.HopIIOMem, t.Pkt, io.e.Now())
 		io.startPacket(t.Pkt)
 	}
 
@@ -300,6 +329,7 @@ func (io *IIO) ddioDone(slot, _ uint64) {
 	io.setOcc(io.occLines - op.lines)
 	io.link.ReleaseCredits(op.lines)
 	if op.last {
+		io.tr.PacketSpanEnd(telemetry.HopIIOMem, op.d.pkt, io.e.Now(), "llc-write")
 		io.out(op.d.pkt, op.d.entry, op.d.hasEntry)
 	}
 }
@@ -310,6 +340,7 @@ func (io *IIO) setOcc(lines int) {
 	}
 	io.occLines = lines
 	io.occ.Set(io.e.Now(), float64(lines))
+	io.trOcc.Set(io.e.Now(), float64(lines))
 }
 
 // Occupancy returns the instantaneous buffer occupancy in lines.
@@ -324,3 +355,11 @@ func (io *IIO) ROCC() uint64 {
 
 // RINS returns the cumulative line-insertion counter.
 func (io *IIO) RINS() uint64 { return io.rins }
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.PipelineLatency < 0 {
+		return fmt.Errorf("iio: negative PipelineLatency %v", c.PipelineLatency)
+	}
+	return nil
+}

@@ -18,11 +18,14 @@
 package iommu
 
 import (
+	"fmt"
+
 	"container/list"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the IOMMU.
@@ -112,12 +115,12 @@ func (u *IOMMU) Translate(page uint64, done func()) {
 		panic("iommu: nil done")
 	}
 	if el, ok := u.entries[page]; ok {
-		u.Hits.Inc(1)
+		u.Hits.Inc()
 		u.lru.MoveToFront(el)
 		u.e.After(u.cfg.HitLatency, done)
 		return
 	}
-	u.Misses.Inc(1)
+	u.Misses.Inc()
 	start := u.e.Now()
 	u.walk(u.cfg.WalkLevels, func() {
 		u.WalkTime += u.e.Now() - start
@@ -165,3 +168,35 @@ func (u *IOMMU) MissRate() float64 {
 
 // Resident returns the number of cached translations.
 func (u *IOMMU) Resident() int { return u.lru.Len() }
+
+// RegisterInstruments registers the IOMMU's metrics under prefix.
+func (u *IOMMU) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/iommu/hits", "xlats", "IOTLB hits",
+		func() float64 { return float64(u.Hits.Total()) })
+	reg.Counter(prefix+"/iommu/misses", "xlats", "IOTLB misses (page walks)",
+		func() float64 { return float64(u.Misses.Total()) })
+}
+
+// Validate reports the first invalid parameter. The zero Config (Enabled
+// false) is valid: a disabled IOMMU needs no other parameters.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.IOTLBEntries <= 0 {
+		return fmt.Errorf("iommu: IOTLBEntries %d must be positive", c.IOTLBEntries)
+	}
+	if c.PageBytes <= 0 {
+		return fmt.Errorf("iommu: PageBytes %d must be positive", c.PageBytes)
+	}
+	if c.WalkLevels <= 0 {
+		return fmt.Errorf("iommu: WalkLevels %d must be positive", c.WalkLevels)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("iommu: negative HitLatency %v", c.HitLatency)
+	}
+	if c.WorkingSetPages <= 0 {
+		return fmt.Errorf("iommu: WorkingSetPages %d must be positive", c.WorkingSetPages)
+	}
+	return nil
+}

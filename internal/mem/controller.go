@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Class labels the requester of a memory transaction, for bandwidth
@@ -340,4 +341,43 @@ func (c *Controller) TotalUtilization() float64 {
 // BytesOf returns the total bytes moved for a class since the last mark.
 func (c *Controller) BytesOf(class Class) int64 {
 	return c.meters[class].BytesSinceMark()
+}
+
+// RegisterInstruments registers the controller's metrics under prefix:
+// per-class byte counters plus queueing/backlog/utilization gauges.
+func (c *Controller) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	for cl := Class(0); cl < NumClasses; cl++ {
+		cl := cl
+		reg.Counter(prefix+"/mem/bytes/"+cl.String(), "bytes",
+			"bytes moved for the "+cl.String()+" class",
+			func() float64 { return float64(c.meters[cl].Total()) })
+	}
+	reg.Gauge(prefix+"/mem/queue-delay", "ns", "current queueing delay at the controller",
+		func() float64 { return float64(c.QueueDelay()) })
+	reg.Gauge(prefix+"/mem/backlog", "bytes", "bytes admitted but not yet departed",
+		func() float64 { return c.BacklogBytes() })
+	reg.Gauge(prefix+"/mem/in-flight", "reqs", "requests currently in the controller",
+		func() float64 { return float64(c.InFlight()) })
+	reg.Gauge(prefix+"/mem/utilization", "frac", "total utilization vs theoretical bandwidth",
+		func() float64 { return c.TotalUtilization() })
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.TheoreticalBW <= 0 {
+		return fmt.Errorf("mem: TheoreticalBW %v must be positive", c.TheoreticalBW)
+	}
+	if c.EffectiveBW <= 0 || c.EffectiveBW > c.TheoreticalBW {
+		return fmt.Errorf("mem: EffectiveBW %v outside (0, TheoreticalBW]", c.EffectiveBW)
+	}
+	if c.BaseLatency < 0 {
+		return fmt.Errorf("mem: negative BaseLatency %v", c.BaseLatency)
+	}
+	if c.WriteQueueBytes <= 0 {
+		return fmt.Errorf("mem: WriteQueueBytes %d must be positive", c.WriteQueueBytes)
+	}
+	if c.WriteLoadFactor < 0 || c.LoadLatencyNs < 0 {
+		return fmt.Errorf("mem: negative load factors (%v, %v)", c.WriteLoadFactor, c.LoadLatencyNs)
+	}
+	return nil
 }

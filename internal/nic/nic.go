@@ -12,12 +12,15 @@
 package nic
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/packet"
 	"repro/internal/pcie"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the NIC.
@@ -88,6 +91,12 @@ type NIC struct {
 	// burst loss, a resetting MAC).
 	rxFault func(*packet.Packet) bool
 
+	// tr records rx-buffer residence spans and drop events (nil when
+	// telemetry is disabled); stallCause remembers what most recently
+	// blocked the DMA pump, attributing queueing to credits/descriptors.
+	tr         *telemetry.Tracer
+	stallCause string
+
 	// Metrics.
 	Arrivals   stats.Counter
 	Drops      stats.Counter
@@ -134,23 +143,56 @@ type rxEntry struct {
 // SetPool directs dropped packets back to pool (nil disables recycling).
 func (n *NIC) SetPool(pool *packet.Pool) { n.pool = pool }
 
+// SetTracer attaches the packet-lifecycle tracer (nil disables).
+func (n *NIC) SetTracer(t *telemetry.Tracer) { n.tr = t }
+
+// RegisterInstruments registers the NIC's metrics under prefix.
+func (n *NIC) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/nic/arrivals", "pkts", "packets arriving from the wire",
+		func() float64 { return float64(n.Arrivals.Total()) })
+	reg.Counter(prefix+"/nic/drops", "pkts", "rx-buffer overflow drops",
+		func() float64 { return float64(n.Drops.Total()) })
+	reg.Counter(prefix+"/nic/fault-drops", "pkts", "drops forced by fault injection",
+		func() float64 { return float64(n.FaultDrops.Total()) })
+	reg.Counter(prefix+"/nic/dma-started", "pkts", "packets whose DMA has been initiated",
+		func() float64 { return float64(n.DMAStarted.Total()) })
+	reg.Counter(prefix+"/nic/tx-sent", "pkts", "packets serialized onto the wire",
+		func() float64 { return float64(n.TxSent.Total()) })
+	reg.Gauge(prefix+"/nic/rx-bytes", "bytes", "rx buffer occupancy",
+		func() float64 { return float64(n.rxBytes) })
+	reg.Gauge(prefix+"/nic/free-descriptors", "descriptors", "available rx descriptors",
+		func() float64 { return float64(n.descFree) })
+	reg.Histogram(prefix+"/nic/queue-delay", "ns", "rx-buffer residence before DMA",
+		n.QueueDelay)
+}
+
 // SetOutput attaches the transmit side to the fabric.
 func (n *NIC) SetOutput(out func(*packet.Packet)) { n.out = out }
 
 // Receive accepts a packet from the wire; it is dropped if the rx buffer
 // is full (the only loss point in the host network).
 func (n *NIC) Receive(p *packet.Packet) {
-	n.Arrivals.Inc(1)
+	n.Arrivals.Inc()
 	if n.rxFault != nil && n.rxFault(p) {
-		n.FaultDrops.Inc(1)
+		n.FaultDrops.Inc()
+		if n.tr != nil {
+			n.tr.Instant(telemetry.HopNICQueue, "nic-fault-drop", n.e.Now(),
+				telemetry.KV{Key: "seq", Val: float64(p.Seq)})
+		}
 		n.pool.Put(p)
 		return
 	}
 	if n.rxBytes+p.WireLen() > n.cfg.RxBufferBytes {
-		n.Drops.Inc(1)
+		n.Drops.Inc()
+		if n.tr != nil {
+			n.tr.Instant(telemetry.HopNICQueue, "nic-drop", n.e.Now(),
+				telemetry.KV{Key: "seq", Val: float64(p.Seq)},
+				telemetry.KV{Key: "bytes", Val: float64(p.WireLen())})
+		}
 		n.pool.Put(p)
 		return
 	}
+	n.tr.PacketSpanBegin(telemetry.HopNICQueue, p, n.e.Now())
 	n.rxQ.Push(rxEntry{p: p, at: n.e.Now()})
 	n.rxBytes += p.WireLen()
 	n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
@@ -162,7 +204,11 @@ func (n *NIC) Receive(p *packet.Packet) {
 func (n *NIC) pump() {
 	for {
 		if n.curIdx >= len(n.cur) {
-			if n.rxQ.Len() == 0 || n.descFree == 0 {
+			if n.rxQ.Len() == 0 {
+				return
+			}
+			if n.descFree == 0 {
+				n.stallCause = "rx-descriptors"
 				return
 			}
 			p := n.rxQ.Peek().p
@@ -171,6 +217,7 @@ func (n *NIC) pump() {
 		}
 		t := n.cur[n.curIdx]
 		if !n.link.TrySend(t) {
+			n.stallCause = "pcie-credits"
 			if !n.waiting {
 				n.waiting = true
 				n.link.NotifyCredits(n.creditResume)
@@ -180,8 +227,15 @@ func (n *NIC) pump() {
 		if t.First {
 			// DMA initiated: the packet leaves the NIC buffer and a
 			// descriptor is consumed.
-			n.DMAStarted.Inc(1)
+			n.DMAStarted.Inc()
 			ent := n.rxQ.Pop()
+			if n.tr != nil {
+				cause := ""
+				if n.e.Now() > ent.at {
+					cause = n.stallCause
+				}
+				n.tr.PacketSpanEnd(telemetry.HopNICQueue, t.Pkt, n.e.Now(), cause)
+			}
 			n.QueueDelay.Add(float64(n.e.Now() - ent.at))
 			n.rxBytes -= t.Pkt.WireLen()
 			n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
@@ -245,7 +299,7 @@ func (n *NIC) txReadDone(slot, _ uint64) {
 // txDone fires when the serializer finishes a packet; arg0 is its slot.
 func (n *NIC) txDone(slot, _ uint64) {
 	p := n.txSlots.Take(slot)
-	n.TxSent.Inc(1)
+	n.TxSent.Inc()
 	if n.out != nil {
 		n.out(p)
 	}
@@ -296,4 +350,19 @@ func (n *NIC) MarkWindow() {
 	n.Arrivals.Mark()
 	n.Drops.Mark()
 	n.TxSent.Mark()
+}
+
+// Validate reports the first invalid parameter (New panics on the same
+// conditions; Validate lets callers check first).
+func (c Config) Validate() error {
+	if c.RxBufferBytes <= 0 {
+		return fmt.Errorf("nic: RxBufferBytes %d must be positive", c.RxBufferBytes)
+	}
+	if c.RxDescriptors <= 0 {
+		return fmt.Errorf("nic: RxDescriptors %d must be positive", c.RxDescriptors)
+	}
+	if c.LineRate <= 0 {
+		return fmt.Errorf("nic: LineRate %v must be positive", c.LineRate)
+	}
+	return nil
 }

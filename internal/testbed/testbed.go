@@ -6,6 +6,8 @@
 package testbed
 
 import (
+	"fmt"
+
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -16,17 +18,33 @@ import (
 	"repro/internal/msr"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
-// Options selects one experimental configuration.
-type Options struct {
+// Config selects one experimental configuration.
+//
+// Naming convention (repo-wide): the parameter struct a package's New
+// function takes is named Config, built by DefaultConfig, and checked by
+// Validate. testbed.Options is a deprecated alias from before the
+// convention.
+type Config struct {
 	Seed    int64
 	MTU     int
 	DDIO    bool
 	Flows   int     // NetApp-T flows
 	Senders int     // sending hosts (2 for incast)
 	Degree  float64 // degree of host congestion (MApp units at receiver)
+
+	// LinkRate overrides every fabric link's rate and each NIC's line
+	// rate together (0 keeps the paper's 100 Gbps).
+	LinkRate sim.Rate
+
+	// Telemetry enables the event tracer: per-hop packet spans and
+	// counter tracks, collected into a telemetry.Timeline. Instrument
+	// registration is always on (it costs nothing per event); the tracer
+	// is opt-in because it records per-packet state.
+	Telemetry bool
 
 	// CC is the network congestion control (nil = DCTCP).
 	CC transport.CCFactory
@@ -83,9 +101,53 @@ type Options struct {
 	mba *cpu.MBAConfig
 }
 
-// DefaultOptions returns the baseline single-sender setup.
-func DefaultOptions() Options {
-	return Options{
+// Options is the pre-convention name for Config.
+//
+// Deprecated: use Config.
+type Options = Config
+
+// Validate reports the first invalid parameter. Zero values are not
+// errors — withDefaults fills them — so this catches only parameters no
+// default can repair.
+func (o Config) Validate() error {
+	if o.MTU < 0 {
+		return fmt.Errorf("testbed: negative MTU %d", o.MTU)
+	}
+	if o.Flows < 0 {
+		return fmt.Errorf("testbed: negative Flows %d", o.Flows)
+	}
+	if o.Senders < 0 {
+		return fmt.Errorf("testbed: negative Senders %d", o.Senders)
+	}
+	if o.Degree < 0 {
+		return fmt.Errorf("testbed: negative Degree %v", o.Degree)
+	}
+	if o.LinkRate < 0 {
+		return fmt.Errorf("testbed: negative LinkRate %v", o.LinkRate)
+	}
+	if o.WireLossProb < 0 || o.WireLossProb > 1 {
+		return fmt.Errorf("testbed: WireLossProb %v outside [0,1]", o.WireLossProb)
+	}
+	if o.Warmup < 0 || o.Measure < 0 {
+		return fmt.Errorf("testbed: negative window (warmup %v, measure %v)", o.Warmup, o.Measure)
+	}
+	if o.Mode < core.ModeFull || o.Mode > core.ModeOff {
+		return fmt.Errorf("testbed: unknown hostCC mode %d", o.Mode)
+	}
+	if o.FixedLevel < -1 {
+		return fmt.Errorf("testbed: FixedLevel %d below -1 (use -1 for dynamic)", o.FixedLevel)
+	}
+	if o.Watchdog != nil {
+		if err := o.Watchdog.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultConfig returns the baseline single-sender setup.
+func DefaultConfig() Config {
+	return Config{
 		Seed:       42,
 		MTU:        4096,
 		Flows:      4,
@@ -96,8 +158,13 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) withDefaults() Options {
-	d := DefaultOptions()
+// DefaultOptions is the pre-convention name for DefaultConfig.
+//
+// Deprecated: use DefaultConfig.
+func DefaultOptions() Options { return DefaultConfig() }
+
+func (o Config) withDefaults() Config {
+	d := DefaultConfig()
 	if o.Seed == 0 {
 		o.Seed = d.Seed
 	}
@@ -137,6 +204,13 @@ type Testbed struct {
 	// Inv is the invariant checker (nil without Options.Invariants).
 	Inv *core.InvariantChecker
 
+	// Reg indexes every instrument of the testbed (always built — a
+	// registered instrument is a name plus a read closure, with no
+	// per-event cost). Prefixes: receiver, senderN, switch, fabric/linkN.
+	Reg *telemetry.Registry
+	// Tr is the event tracer (nil unless Config.Telemetry).
+	Tr *telemetry.Tracer
+
 	// Window bookkeeping for exact signal averages.
 	winStart   sim.Time
 	winROCC    uint64
@@ -158,7 +232,10 @@ func New(opts Options) *Testbed {
 	// per-packet serialization/propagation events across every link);
 	// reserving up front means warm-up never pays a heap regrowth copy.
 	e.Reserve(4096 * (1 + opts.Senders))
-	tb := &Testbed{E: e, Opts: opts}
+	tb := &Testbed{E: e, Opts: opts, Reg: telemetry.NewRegistry()}
+	if opts.Telemetry {
+		tb.Tr = telemetry.NewTracer()
+	}
 
 	// One pool for the whole testbed: sender transports Get the packets
 	// that the receiver's rx path Puts, so the free list must be shared.
@@ -177,6 +254,9 @@ func New(opts Options) *Testbed {
 		hcfg := host.DefaultConfig(id, opts.MTU, opts.DDIO)
 		hcfg.Transport = tcfg
 		hcfg.Pool = pool
+		if opts.LinkRate > 0 {
+			hcfg.NIC.LineRate = opts.LinkRate
+		}
 		if opts.MBAWriteLatency > 0 {
 			hcfg.MBA.WriteLatency = opts.MBAWriteLatency
 		}
@@ -194,10 +274,17 @@ func New(opts Options) *Testbed {
 		tb.Senders = append(tb.Senders, mkHost(receiverID+1+packet.HostID(i)))
 	}
 
-	// Topology: every host connects to the single switch.
+	// Topology: every host connects to the single switch. SetTracer must
+	// precede AttachPort so per-port queue tracks exist from the start.
 	tb.Sw = fabric.NewSwitch(e, fabric.DefaultSwitchConfig())
+	if tb.Tr != nil {
+		tb.Sw.SetTracer(tb.Tr, "switch")
+	}
 	lcfg := fabric.DefaultLinkConfig()
 	lcfg.LossProb = opts.WireLossProb
+	if opts.LinkRate > 0 {
+		lcfg.Rate = opts.LinkRate
+	}
 	attach := func(h *host.Host) {
 		up := fabric.NewLink(e, lcfg, tb.Sw.Inject)
 		up.SetPool(pool)
@@ -236,6 +323,10 @@ func New(opts Options) *Testbed {
 	}
 	ccfg.Watchdog = opts.Watchdog
 	tb.HCC = core.New(e, tb.Receiver.MSR, tb.Receiver.MBA, ccfg)
+	if tb.Tr != nil {
+		tb.Receiver.AttachTracer(tb.Tr, "receiver")
+		tb.HCC.SetTracer(tb.Tr, "receiver")
+	}
 	tb.Receiver.AddReceiveHook(tb.HCC.ReceiveHook())
 	tb.HCC.Start()
 
@@ -280,6 +371,18 @@ func New(opts Options) *Testbed {
 			MBALevels: mba.NumLevels,
 		})
 		tb.Inv.Start()
+	}
+
+	// Instrument registration, last so every component exists. Order is
+	// fixed (registry iteration follows registration order).
+	tb.Receiver.RegisterInstruments(tb.Reg, "receiver")
+	tb.HCC.RegisterInstruments(tb.Reg, "receiver")
+	for i, s := range tb.Senders {
+		s.RegisterInstruments(tb.Reg, fmt.Sprintf("sender%d", i+1))
+	}
+	tb.Sw.RegisterInstruments(tb.Reg, "switch")
+	for i, l := range tb.Links {
+		l.RegisterInstruments(tb.Reg, fmt.Sprintf("fabric/link%d", i))
 	}
 
 	return tb

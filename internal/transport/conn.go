@@ -275,7 +275,7 @@ func (c *Conn) transmitSeg(s *seg, retx bool) {
 	s.sentAt = c.e.Now()
 	if retx {
 		s.retx++
-		c.Retransmits.Inc(1)
+		c.Retransmits.Inc()
 	}
 	p := c.pool.Get()
 	p.Flow = c.flow
@@ -383,7 +383,7 @@ func (c *Conn) handleAck(p *packet.Packet) {
 	}
 
 	c.sndUna = p.Ack
-	c.AckedBytes.Inc(newly)
+	c.AckedBytes.Add(newly)
 	c.dupAcks = 0
 	c.rtoBackoff = 0
 	for c.segs.Len() > 0 {
@@ -401,7 +401,7 @@ func (c *Conn) handleAck(p *packet.Packet) {
 		c.updateRTT(rtt)
 	}
 	if p.Flags.Has(packet.FlagECE) {
-		c.MarkedAcks.Inc(1)
+		c.MarkedAcks.Inc()
 	}
 
 	if c.inRecovery {
@@ -506,7 +506,7 @@ func (c *Conn) onRTO() {
 	if c.Flight() == 0 {
 		return
 	}
-	c.Timeouts.Inc(1)
+	c.Timeouts.Inc()
 	c.cc.OnLoss(LossTimeout)
 	c.rtoBackoff++
 	c.inRecovery = true
@@ -533,7 +533,7 @@ func (c *Conn) onTLP() {
 		return
 	}
 	// Probe: retransmit the highest-sequence unacked segment.
-	c.TLPProbes.Inc(1)
+	c.TLPProbes.Inc()
 	if c.segs.Len() > 0 {
 		c.transmitSeg(c.segs.At(c.segs.Len()-1), true)
 	}
@@ -574,7 +574,7 @@ func (c *Conn) handleData(p *packet.Packet) {
 		c.rcvNxt = p.End()
 		c.mergeOOO()
 		delivered := int(c.rcvNxt - old)
-		c.DeliveredData.Inc(int64(delivered))
+		c.DeliveredData.Add(int64(delivered))
 		if c.onData != nil && delivered > 0 {
 			c.onData(delivered)
 		}
@@ -669,4 +669,27 @@ func (c *Conn) ReceivedBytes() int64 { return c.DeliveredData.Total() }
 func (c *Conn) String() string {
 	return fmt.Sprintf("conn %v cc=%s cwnd=%d flight=%d una=%d nxt=%d",
 		c.flow, c.cc.Name(), c.cc.Cwnd(), c.Flight(), c.sndUna, c.sndNxt)
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.MSS <= 0 {
+		return fmt.Errorf("transport: MSS %d must be positive", c.MSS)
+	}
+	if c.MinRTO <= 0 || c.MaxRTO < c.MinRTO || c.InitialRTO <= 0 {
+		return fmt.Errorf("transport: bad RTO bounds (min %v, max %v, initial %v)", c.MinRTO, c.MaxRTO, c.InitialRTO)
+	}
+	if c.TLP && c.TLPMin <= 0 {
+		return fmt.Errorf("transport: TLP requires a positive TLPMin, got %v", c.TLPMin)
+	}
+	if c.DelayedAckCount < 0 || c.DelayedAckTimeout < 0 {
+		return fmt.Errorf("transport: negative delayed-ACK parameters")
+	}
+	if c.MaxCwnd <= 0 || c.RcvWnd <= 0 {
+		return fmt.Errorf("transport: MaxCwnd %d and RcvWnd %d must be positive", c.MaxCwnd, c.RcvWnd)
+	}
+	if c.PacingFactor < 0 {
+		return fmt.Errorf("transport: negative PacingFactor %v", c.PacingFactor)
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Endpoint is the per-host transport layer: it demultiplexes inbound
@@ -108,4 +109,28 @@ func (ep *Endpoint) Conns() []*Conn {
 		out = append(out, c)
 	}
 	return out
+}
+
+// RegisterInstruments registers endpoint-wide transport metrics under
+// prefix, aggregated over all connections at read time.
+func (ep *Endpoint) RegisterInstruments(reg *telemetry.Registry, prefix string) {
+	sum := func(read func(*Conn) int64) func() float64 {
+		return func() float64 {
+			var t int64
+			for _, c := range ep.cons {
+				t += read(c)
+			}
+			return float64(t)
+		}
+	}
+	reg.Counter(prefix+"/transport/retransmits", "pkts", "retransmitted packets",
+		sum(func(c *Conn) int64 { return c.Retransmits.Total() }))
+	reg.Counter(prefix+"/transport/timeouts", "events", "retransmission timeouts fired",
+		sum(func(c *Conn) int64 { return c.Timeouts.Total() }))
+	reg.Counter(prefix+"/transport/marked-acks", "acks", "ACKs carrying ECN-echo",
+		sum(func(c *Conn) int64 { return c.MarkedAcks.Total() }))
+	reg.Counter(prefix+"/transport/acked-bytes", "bytes", "bytes cumulatively ACKed",
+		sum(func(c *Conn) int64 { return c.AckedBytes.Total() }))
+	reg.Counter(prefix+"/transport/delivered-bytes", "bytes", "payload bytes delivered in order",
+		sum(func(c *Conn) int64 { return c.DeliveredData.Total() }))
 }
