@@ -16,10 +16,13 @@
 #                   vs BENCH_baseline.json (telemetry disabled-path
 #                   budget, default 2%; override TOLERANCE_PCT=N)
 #   make figures    regenerate the quick-scale figures
+#   make topology-smoke
+#                   short leaf-spine scale-out run, replay-verified
+#                   (two runs must produce bit-identical digests)
 
 GO ?= go
 
-.PHONY: all build test verify race chaos bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay
+.PHONY: all build test verify race chaos bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay topology-smoke
 
 all: verify race
 
@@ -46,6 +49,12 @@ staticcheck:
 # Determinism gate: golden digests, checkpoint replay, sentinel.
 replay:
 	$(GO) test ./internal/testbed/ -run 'TestGoldenDigest|TestReplay|TestSentinel|TestDivergence|TestCheckpoint' -count=1
+
+# Scale-out smoke: a short leaf-spine run with replay verification — the
+# bench runs the fabric twice and fails unless every digest frame and the
+# final combined digest match bit-for-bit. Fast enough for CI (~2 s).
+topology-smoke:
+	$(GO) run ./cmd/hostcc-bench -topology leafspine -senders 32 -seed 42
 
 race:
 	$(GO) test -race -short ./...

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
@@ -83,6 +84,27 @@ func WithFlows(n int) Option { return func(x *Experiment) { x.cfg.Flows = n } }
 
 // WithSenders sets the number of sending hosts (default 1; 2 for incast).
 func WithSenders(n int) Option { return func(x *Experiment) { x.cfg.Senders = n } }
+
+// WithReceivers sets the number of receiving hosts (default 1). Every
+// receiver runs hostCC and the configured host congestion; NetApp-T
+// flows fan in round-robin across receivers.
+func WithReceivers(n int) Option { return func(x *Experiment) { x.cfg.Receivers = n } }
+
+// WithLeafSpine replaces the single-switch star with a leaf–spine
+// fabric: `leaves` top-of-rack switches fully meshed to `spines` spine
+// switches over trunk links with their own queues and ECN marking
+// (0, 0 selects the defaults: 2 leaves, 2 spines). Hosts are placed
+// round-robin across racks, so most traffic crosses the spine.
+func WithLeafSpine(leaves, spines int) Option {
+	return func(x *Experiment) { x.cfg.Topology = fabric.LeafSpine(leaves, spines) }
+}
+
+// WithDumbbell replaces the single-switch star with the classic
+// two-switch dumbbell: receivers on one switch, senders on the other,
+// one trunk bottleneck between them.
+func WithDumbbell() Option {
+	return func(x *Experiment) { x.cfg.Topology = fabric.Dumbbell() }
+}
 
 // WithHostCongestion sets the degree of host congestion: MApp units
 // generating CPU-to-memory traffic at the receiver (default 0; the

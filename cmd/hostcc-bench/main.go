@@ -10,6 +10,12 @@
 //	hostcc-bench -chaos credit-stall -checkpoint run.ckpt -verify-replay
 //	hostcc-bench -resume run.ckpt
 //	hostcc-bench -timeline out.json -degree 3
+//	hostcc-bench -topology leafspine -senders 128
+//
+// -topology runs a scale-out experiment through a multi-switch fabric
+// (leaf–spine or dumbbell): many senders fanning NetApp-T flows across
+// several hostCC-equipped receivers, run twice with frame-by-frame
+// digest verification (replay determinism) unless -no-verify.
 //
 // -timeline records one telemetry-enabled throughput run and writes it in
 // Chrome Trace Event Format; open the file at https://ui.perfetto.dev to
@@ -58,6 +64,11 @@ func run() error {
 	timeline := flag.String("timeline", "", "run one telemetry-enabled experiment and write its Chrome trace (Perfetto JSON) to this file")
 	degree := flag.Float64("degree", 3, "with -timeline: degree of host congestion")
 	noHostCC := flag.Bool("no-hostcc", false, "with -timeline: disable the hostCC module")
+	topology := flag.String("topology", "", "run a scale-out topology experiment: star, leafspine, dumbbell")
+	senders := flag.Int("senders", 32, "with -topology: number of sending hosts")
+	receivers := flag.Int("receivers", 0, "with -topology: number of receiving hosts (0 = one per 16 senders)")
+	flows := flag.Int("flows", 0, "with -topology: NetApp-T flows (0 = one per sender)")
+	noVerify := flag.Bool("no-verify", false, "with -topology: skip the second run that verifies replay determinism")
 	flag.Parse()
 
 	stopProf, err := startProfiling(*cpuprofile, *memprofile, *tracePath)
@@ -68,6 +79,9 @@ func run() error {
 
 	if *timeline != "" {
 		return runTimeline(*timeline, *degree, !*noHostCC, *seed)
+	}
+	if *topology != "" {
+		return runScaleOut(*topology, *senders, *receivers, *flows, *seed, !*noVerify)
 	}
 	if *resume != "" {
 		return resumeChaos(*resume)
@@ -274,6 +288,28 @@ func runTimeline(path string, degree float64, enableHostCC bool, seed int64) err
 	fmt.Printf("   %d spans, %d counter tracks, %d dropped -> %s [%.1fs]\n",
 		res.Timeline.Spans(), res.Timeline.Tracks(), res.Timeline.Dropped(), path, time.Since(start).Seconds())
 	fmt.Println("   open at https://ui.perfetto.dev (or chrome://tracing)")
+	return nil
+}
+
+// runScaleOut runs one scale-out topology experiment (run twice with
+// frame-by-frame digest verification unless -no-verify).
+func runScaleOut(topology string, senders, receivers, flows int, seed int64, verify bool) error {
+	start := time.Now()
+	r, err := hostcc.RunScaleOut(hostcc.ScaleOutConfig{
+		Topology:     topology,
+		Senders:      senders,
+		Receivers:    receivers,
+		Flows:        flows,
+		Seed:         seed,
+		VerifyReplay: verify,
+	})
+	if err != nil {
+		return fmt.Errorf("topology %s: %w", topology, err)
+	}
+	fmt.Printf("== Scale-out — %s fabric (seed %d)\n", r.Topology, r.Seed)
+	fmt.Printf("   %s\n", r)
+	fmt.Printf("   event heap: peak %d pending of %d reserved\n", r.MaxPending, r.HeapCap)
+	fmt.Printf("   [%.1fs]\n", time.Since(start).Seconds())
 	return nil
 }
 

@@ -252,3 +252,20 @@ const (
 // ChaosConfig.CheckpointPath (or SnapshotOnStall), verifying the replay
 // against the recorded digest timeline.
 func ResumeChaos(path string) (ReplayReport, error) { return testbed.ResumeChaos(path) }
+
+// Scale-out topology runs (see internal/fabric and DESIGN.md
+// "Topology").
+type (
+	// ScaleOutConfig parameterizes a scale-out run: many senders fanning
+	// flows across several hostCC-equipped receivers through a
+	// multi-switch fabric.
+	ScaleOutConfig = testbed.ScaleOutConfig
+	// ScaleOutResult reports aggregate goodput, in-fabric congestion and
+	// the determinism proof of one scale-out run.
+	ScaleOutResult = testbed.ScaleOutResult
+)
+
+// RunScaleOut executes one scale-out run (twice under VerifyReplay,
+// comparing the digest timelines frame by frame). The run is a
+// deterministic function of its config.
+func RunScaleOut(cfg ScaleOutConfig) (ScaleOutResult, error) { return testbed.RunScaleOut(cfg) }

@@ -34,20 +34,33 @@ type NetAppT struct {
 // over the senders, and starts them (infinite sources). Flows use
 // distinct source ports, so the receiver steers each to its own RX core.
 func NewNetAppT(e *sim.Engine, senders []*host.Host, receiver *host.Host, flows int) *NetAppT {
+	return NewNetAppTAcross(e, senders, []*host.Host{receiver}, flows)
+}
+
+// NewNetAppTAcross is NewNetAppT over multiple receivers: flow i runs
+// sender[i%S] → receiver[i%R], producing a cross-rack traffic matrix in
+// multi-rack topologies. With one receiver it is exactly NewNetAppT.
+func NewNetAppTAcross(e *sim.Engine, senders, receivers []*host.Host, flows int) *NetAppT {
 	if flows <= 0 {
 		panic("apps: NetAppT needs at least one flow")
 	}
 	if len(senders) == 0 {
 		panic("apps: NetAppT needs at least one sender")
 	}
+	if len(receivers) == 0 {
+		panic("apps: NetAppT needs at least one receiver")
+	}
 	t := &NetAppT{e: e}
-	receiver.EP.Listen(NetAppTPort, func(c *transport.Conn) {
-		t.recvConns = append(t.recvConns, c)
-		c.OnData(func(n int) { t.delivered.Add(int64(n)) })
-	})
+	for _, r := range receivers {
+		r.EP.Listen(NetAppTPort, func(c *transport.Conn) {
+			t.recvConns = append(t.recvConns, c)
+			c.OnData(func(n int) { t.delivered.Add(int64(n)) })
+		})
+	}
 	for i := 0; i < flows; i++ {
 		s := senders[i%len(senders)]
-		c := s.EP.DialFrom(uint16(20000+i), receiver.ID(), NetAppTPort)
+		r := receivers[i%len(receivers)]
+		c := s.EP.DialFrom(uint16(20000+i), r.ID(), NetAppTPort)
 		c.SetInfiniteSource(true)
 		t.conns = append(t.conns, c)
 	}

@@ -149,12 +149,27 @@ func DefaultSwitchConfig() SwitchConfig {
 	}
 }
 
+// PortID indexes one output port of a Switch, in attach order.
+type PortID int32
+
+// noRoute marks an unrouted destination in the forwarding table.
+const noRoute PortID = -1
+
+// trunkKeyBase offsets the snapshot keys of trunk ports so they can never
+// collide with host IDs.
+const trunkKeyBase uint64 = 1 << 32
+
 // Switch is an output-queued switch: one queue + serializer per attached
-// output port, keyed by destination host.
+// output port. Host-facing ports are attached with AttachPort, trunk
+// ports toward other switches with AttachTrunk; the static forwarding
+// table (SetRoute) maps destination hosts onto ports. Both tables are
+// slices — the hot path and the snapshot encoder never iterate a map.
 type Switch struct {
-	e     *sim.Engine
-	cfg   SwitchConfig
-	ports map[packet.HostID]*outPort
+	e      *sim.Engine
+	cfg    SwitchConfig
+	ports  []*outPort // attach order
+	routes []PortID   // dense, indexed by destination HostID
+	trunks int        // trunk ports attached so far
 
 	// Drops and Marks count switch-level drops and CE marks.
 	Drops stats.Counter
@@ -164,6 +179,7 @@ type Switch struct {
 	// counter track plus a switch-wide CE-mark track.
 	tr      *telemetry.Tracer
 	trMarks *telemetry.Track
+	prefix  string
 }
 
 type outPort struct {
@@ -172,6 +188,10 @@ type outPort struct {
 	queue  ring.Queue[*packet.Packet]
 	qBytes int
 	busy   bool
+
+	// key identifies the port in snapshots: the host ID for host-facing
+	// ports, trunkKeyBase+n for the n-th trunk port.
+	key uint64
 
 	// trQueue records the port's queue depth over time (nil when disabled).
 	trQueue *telemetry.Track
@@ -184,10 +204,10 @@ type outPort struct {
 
 // NewSwitch creates an empty switch.
 func NewSwitch(e *sim.Engine, cfg SwitchConfig) *Switch {
-	if cfg.PortBufferBytes <= 0 {
-		panic("fabric: non-positive switch buffer")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	return &Switch{e: e, cfg: cfg, ports: make(map[packet.HostID]*outPort)}
+	return &Switch{e: e, cfg: cfg}
 }
 
 // SetTracer attaches counter tracks for per-port queue depth and CE
@@ -195,6 +215,7 @@ func NewSwitch(e *sim.Engine, cfg SwitchConfig) *Switch {
 // port tracks exist from the start.
 func (s *Switch) SetTracer(t *telemetry.Tracer, prefix string) {
 	s.tr = t
+	s.prefix = prefix
 	s.trMarks = t.NewTrack(prefix+"/marks", "pkts")
 }
 
@@ -206,27 +227,64 @@ func (s *Switch) RegisterInstruments(reg *telemetry.Registry, prefix string) {
 		func() float64 { return float64(s.Marks.Total()) })
 }
 
-// AttachPort connects the output port toward host id over the given link.
-func (s *Switch) AttachPort(id packet.HostID, link *Link) {
-	if _, dup := s.ports[id]; dup {
+// AttachPort connects the output port toward host id over the given link
+// and routes the host's packets to it.
+func (s *Switch) AttachPort(id packet.HostID, link *Link) PortID {
+	if s.routeFor(id) != noRoute {
 		panic(fmt.Sprintf("fabric: duplicate port for host %d", id))
 	}
-	o := &outPort{sw: s, link: link}
+	p := s.attach(link, uint64(id), fmt.Sprintf("port%d", id))
+	s.SetRoute(id, p)
+	return p
+}
+
+// AttachTrunk connects an output port toward another switch over the
+// given link (whose deliver function is typically the peer's Inject).
+// Trunk ports get the same drop-tail buffering and ECN marking as host
+// ports; route destinations onto the returned PortID with SetRoute.
+func (s *Switch) AttachTrunk(link *Link) PortID {
+	p := s.attach(link, trunkKeyBase+uint64(s.trunks), fmt.Sprintf("trunk%d", s.trunks))
+	s.trunks++
+	return p
+}
+
+func (s *Switch) attach(link *Link, key uint64, name string) PortID {
+	o := &outPort{sw: s, link: link, key: key}
 	o.doneH = s.e.Handler(o.serDone)
 	if s.tr != nil {
-		o.trQueue = s.tr.NewTrack(fmt.Sprintf("switch/port%d/queue", id), "bytes")
+		o.trQueue = s.tr.NewTrack(fmt.Sprintf("%s/%s/queue", s.prefix, name), "bytes")
 		o.trQueue.Set(s.e.Now(), 0)
 	}
-	s.ports[id] = o
+	s.ports = append(s.ports, o)
+	return PortID(len(s.ports) - 1)
+}
+
+// SetRoute directs packets for destination host id onto port (static
+// forwarding table entry).
+func (s *Switch) SetRoute(id packet.HostID, port PortID) {
+	if int(port) < 0 || int(port) >= len(s.ports) {
+		panic(fmt.Sprintf("fabric: route to unattached port %d", port))
+	}
+	for int(id) >= len(s.routes) {
+		s.routes = append(s.routes, noRoute)
+	}
+	s.routes[id] = port
+}
+
+func (s *Switch) routeFor(id packet.HostID) PortID {
+	if int(id) >= len(s.routes) {
+		return noRoute
+	}
+	return s.routes[id]
 }
 
 // Inject delivers a packet into the switch (from an ingress link).
 func (s *Switch) Inject(p *packet.Packet) {
-	port, ok := s.ports[p.Flow.Dst]
-	if !ok {
+	port := s.routeFor(p.Flow.Dst)
+	if port == noRoute {
 		panic(fmt.Sprintf("fabric: no route to host %d", p.Flow.Dst))
 	}
-	port.enqueue(p)
+	s.ports[port].enqueue(p)
 }
 
 func (o *outPort) enqueue(p *packet.Packet) {
@@ -283,11 +341,15 @@ func (l *Link) deliver2(p *packet.Packet) {
 
 // QueueBytes returns the current queue depth toward host id.
 func (s *Switch) QueueBytes(id packet.HostID) int {
-	if p, ok := s.ports[id]; ok {
-		return p.qBytes
+	if p := s.routeFor(id); p != noRoute {
+		return s.ports[p].qBytes
 	}
 	return 0
 }
+
+// PortQueueBytes returns the queue depth of one output port (trunk
+// instrumentation).
+func (s *Switch) PortQueueBytes(p PortID) int { return s.ports[p].qBytes }
 
 // Validate reports the first invalid link parameter.
 func (c LinkConfig) Validate() error {
@@ -308,8 +370,16 @@ func (c SwitchConfig) Validate() error {
 	if c.PortBufferBytes <= 0 {
 		return fmt.Errorf("fabric: PortBufferBytes %d must be positive", c.PortBufferBytes)
 	}
-	if c.ECNThresholdBytes < 0 {
-		return fmt.Errorf("fabric: negative ECNThresholdBytes %d", c.ECNThresholdBytes)
+	// A zero or negative mark threshold would CE-mark every ECT packet
+	// (DCTCP collapses to one-segment windows); a threshold at or above
+	// the buffer can never mark before drop-tail loss. Both are
+	// misconfigurations, not policies.
+	if c.ECNThresholdBytes <= 0 {
+		return fmt.Errorf("fabric: ECNThresholdBytes %d must be positive", c.ECNThresholdBytes)
+	}
+	if c.ECNThresholdBytes >= c.PortBufferBytes {
+		return fmt.Errorf("fabric: ECNThresholdBytes %d must be below PortBufferBytes %d",
+			c.ECNThresholdBytes, c.PortBufferBytes)
 	}
 	return nil
 }

@@ -3,7 +3,6 @@ package fabric
 import (
 	"sort"
 
-	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 )
@@ -30,19 +29,18 @@ func (l *Link) Restore(d *snapshot.Decoder) error {
 	return l.FlapDrops.Restore(d)
 }
 
-// Snapshot encodes the switch's port queues in sorted host order, so the
-// encoding is deterministic despite the map-backed port table. Queued
-// packets are digest-only (wire lengths).
+// Snapshot encodes the switch's port queues in sorted key order (host
+// IDs, then trunk keys), so the encoding is stable and — for the
+// single-switch star, whose attach order is ascending host IDs — remains
+// byte-identical to the encoding of the earlier map-backed port table.
+// Queued packets are digest-only (wire lengths).
 func (s *Switch) Snapshot(e *snapshot.Encoder) {
-	ids := make([]packet.HostID, 0, len(s.ports))
-	for id := range s.ports {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	e.U32(uint32(len(ids)))
-	for _, id := range ids {
-		p := s.ports[id]
-		e.U64(uint64(id))
+	ports := make([]*outPort, len(s.ports))
+	copy(ports, s.ports)
+	sort.Slice(ports, func(i, j int) bool { return ports[i].key < ports[j].key })
+	e.U32(uint32(len(ports)))
+	for _, p := range ports {
+		e.U64(p.key)
 		e.Int(p.qBytes)
 		e.Bool(p.busy)
 		e.U32(uint32(p.queue.Len()))
@@ -59,16 +57,19 @@ func (s *Switch) Snapshot(e *snapshot.Encoder) {
 func (s *Switch) Restore(d *snapshot.Decoder) error {
 	n := int(d.U32())
 	for i := 0; i < n && d.Err() == nil; i++ {
-		id := packet.HostID(d.U64())
+		key := d.U64()
 		qBytes := d.Int()
 		busy := d.Bool()
 		nq := int(d.U32())
 		for j := 0; j < nq && d.Err() == nil; j++ {
 			_ = d.Int()
 		}
-		if p, ok := s.ports[id]; ok {
-			p.qBytes = qBytes
-			p.busy = busy
+		for _, p := range s.ports {
+			if p.key == key {
+				p.qBytes = qBytes
+				p.busy = busy
+				break
+			}
 		}
 	}
 	if err := s.Drops.Restore(d); err != nil {

@@ -1,0 +1,320 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TopologyKind selects the fabric shape compiled by Build.
+type TopologyKind int
+
+const (
+	// TopoStar is the paper's setup: every host on one switch.
+	TopoStar TopologyKind = iota
+	// TopoLeafSpine is a two-tier Clos: hosts attach to leaf switches,
+	// leaves interconnect through spines over trunk links. Cross-rack
+	// traffic picks its spine statically by destination host (ECMP-style
+	// hashing, deterministic).
+	TopoLeafSpine
+	// TopoDumbbell is two switches joined by one trunk pair — the classic
+	// shared-bottleneck CC evaluation shape.
+	TopoDumbbell
+)
+
+// String returns the name accepted by ParseTopologyKind.
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoStar:
+		return "star"
+	case TopoLeafSpine:
+		return "leafspine"
+	case TopoDumbbell:
+		return "dumbbell"
+	}
+	return fmt.Sprintf("TopologyKind(%d)", int(k))
+}
+
+// ParseTopologyKind parses a topology name ("star", "leafspine",
+// "dumbbell").
+func ParseTopologyKind(name string) (TopologyKind, error) {
+	switch name {
+	case "star", "":
+		return TopoStar, nil
+	case "leafspine", "leaf-spine":
+		return TopoLeafSpine, nil
+	case "dumbbell":
+		return TopoDumbbell, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown topology %q (want star, leafspine or dumbbell)", name)
+}
+
+// Topology describes a fabric to compile with Build. The zero value is
+// the single-switch star.
+type Topology struct {
+	Kind TopologyKind
+
+	// Leaves and Spines shape the leaf–spine fabric (ignored otherwise;
+	// zero values default to 2 leaves × 2 spines).
+	Leaves int
+	Spines int
+
+	// Switch parameterizes every switch. The zero value selects
+	// DefaultSwitchConfig.
+	Switch SwitchConfig
+
+	// Trunk parameterizes the inter-switch links. The zero value inherits
+	// the access-link config passed to Build.
+	Trunk LinkConfig
+}
+
+// Star returns the single-switch topology (the default).
+func Star() Topology { return Topology{Kind: TopoStar} }
+
+// LeafSpine returns a two-tier Clos with the given shape (0 defaults to
+// 2 leaves × 2 spines).
+func LeafSpine(leaves, spines int) Topology {
+	return Topology{Kind: TopoLeafSpine, Leaves: leaves, Spines: spines}
+}
+
+// Dumbbell returns the two-switch shared-bottleneck topology.
+func Dumbbell() Topology { return Topology{Kind: TopoDumbbell} }
+
+// Racks returns how many distinct host attachment points (HostPort.Rack
+// values) the topology offers.
+func (t Topology) Racks() int {
+	switch t.Kind {
+	case TopoLeafSpine:
+		if t.Leaves == 0 {
+			return 2
+		}
+		return t.Leaves
+	case TopoDumbbell:
+		return 2
+	}
+	return 1
+}
+
+// Switches returns how many switches Build will create.
+func (t Topology) Switches() int {
+	switch t.Kind {
+	case TopoLeafSpine:
+		return t.Racks() + t.spines()
+	case TopoDumbbell:
+		return 2
+	}
+	return 1
+}
+
+func (t Topology) spines() int {
+	if t.Spines == 0 {
+		return 2
+	}
+	return t.Spines
+}
+
+// String returns the topology's kind name.
+func (t Topology) String() string { return t.Kind.String() }
+
+// Validate reports the first invalid topology parameter. Zero values are
+// not errors — Build fills defaults — so this catches only parameters no
+// default can repair.
+func (t Topology) Validate() error {
+	switch t.Kind {
+	case TopoStar, TopoLeafSpine, TopoDumbbell:
+	default:
+		return fmt.Errorf("fabric: unknown topology kind %d", int(t.Kind))
+	}
+	if t.Leaves < 0 || t.Spines < 0 {
+		return fmt.Errorf("fabric: negative leaf–spine shape %dx%d", t.Leaves, t.Spines)
+	}
+	if t.Kind == TopoLeafSpine && t.Leaves == 1 {
+		return fmt.Errorf("fabric: leaf–spine needs at least 2 leaves")
+	}
+	if t.Switch != (SwitchConfig{}) {
+		if err := t.Switch.Validate(); err != nil {
+			return err
+		}
+	}
+	if t.Trunk != (LinkConfig{}) {
+		if err := t.Trunk.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostPort is one host's attachment to the fabric: its ID, the rack
+// (leaf index) it lives in, and its wire-delivery function.
+type HostPort struct {
+	ID      packet.HostID
+	Rack    int
+	Deliver func(*packet.Packet)
+}
+
+// Fabric is a compiled topology: switches, per-host access links and
+// inter-switch trunks, with forwarding tables installed.
+type Fabric struct {
+	Topo Topology
+	// Switches in deterministic order: leaves (rack order) first, then
+	// spines.
+	Switches []*Switch
+	// Access holds every host access link, up link before down link, in
+	// host order — the layout testbed.Links has always had.
+	Access []*Link
+	// Trunks holds the inter-switch links: for leaf–spine, the
+	// (leaf→spine, spine→leaf) pair for each leaf×spine in row-major
+	// order; for the dumbbell, the left→right and right→left pair.
+	Trunks []*Link
+
+	sends []func(*packet.Packet)
+}
+
+// HostSend returns the transmit function of host i (index into the hosts
+// slice given to Build) — wire this into host.SetOutput.
+func (f *Fabric) HostSend(i int) func(*packet.Packet) { return f.sends[i] }
+
+// Drops sums drop-tail losses across every switch.
+func (f *Fabric) Drops() int64 {
+	var n int64
+	for _, s := range f.Switches {
+		n += s.Drops.Total()
+	}
+	return n
+}
+
+// Marks sums CE marks across every switch.
+func (f *Fabric) Marks() int64 {
+	var n int64
+	for _, s := range f.Switches {
+		n += s.Marks.Total()
+	}
+	return n
+}
+
+// SwitchName returns the display name of switch i: "switch" for the
+// single-switch star (matching the pre-topology testbed), otherwise
+// "leafN"/"spineN" ("swN" for the dumbbell).
+func (f *Fabric) SwitchName(i int) string {
+	switch f.Topo.Kind {
+	case TopoLeafSpine:
+		if i < f.Topo.Racks() {
+			return fmt.Sprintf("leaf%d", i)
+		}
+		return fmt.Sprintf("spine%d", i-f.Topo.Racks())
+	case TopoDumbbell:
+		return fmt.Sprintf("sw%d", i)
+	}
+	return "switch"
+}
+
+// Build compiles the topology: switches are created leaves-first, hosts
+// attach in slice order (up link, then down link, then switch port — the
+// exact construction order of the pre-topology star, so star digests are
+// unchanged), trunks attach after the hosts, and static shortest-path
+// routes are installed last. The construction makes no engine calls
+// beyond handler registration, so it is digest-deterministic.
+func Build(e *sim.Engine, topo Topology, access LinkConfig, hosts []HostPort, pool *packet.Pool, tr *telemetry.Tracer) (*Fabric, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := access.Validate(); err != nil {
+		return nil, err
+	}
+	swcfg := topo.Switch
+	if swcfg == (SwitchConfig{}) {
+		swcfg = DefaultSwitchConfig()
+	}
+	trunkCfg := topo.Trunk
+	if trunkCfg == (LinkConfig{}) {
+		trunkCfg = access
+	}
+	racks := topo.Racks()
+	for i, h := range hosts {
+		if h.Rack < 0 || h.Rack >= racks {
+			return nil, fmt.Errorf("fabric: host %d rack %d outside [0,%d)", h.ID, h.Rack, racks)
+		}
+		if h.ID == 0 {
+			return nil, fmt.Errorf("fabric: host at index %d has zero ID", i)
+		}
+	}
+
+	f := &Fabric{Topo: topo, sends: make([]func(*packet.Packet), len(hosts))}
+	for i := 0; i < topo.Switches(); i++ {
+		sw := NewSwitch(e, swcfg)
+		if tr != nil {
+			sw.SetTracer(tr, f.SwitchName(i))
+		}
+		f.Switches = append(f.Switches, sw)
+	}
+	leaves := f.Switches[:racks]
+
+	// Host access links, in host order.
+	for i, h := range hosts {
+		sw := leaves[h.Rack]
+		up := NewLink(e, access, sw.Inject)
+		up.SetPool(pool)
+		down := NewLink(e, access, h.Deliver)
+		down.SetPool(pool)
+		sw.AttachPort(h.ID, down)
+		f.sends[i] = up.Send
+		f.Access = append(f.Access, up, down)
+	}
+
+	// Trunks and routes.
+	switch topo.Kind {
+	case TopoLeafSpine:
+		spines := f.Switches[racks:]
+		// leafUp[l][s] is leaf l's port toward spine s; spineDown[s][l]
+		// is spine s's port toward leaf l.
+		leafUp := make([][]PortID, racks)
+		spineDown := make([][]PortID, len(spines))
+		for s := range spineDown {
+			spineDown[s] = make([]PortID, racks)
+		}
+		for l := range leaves {
+			leafUp[l] = make([]PortID, len(spines))
+			for s := range spines {
+				up := NewLink(e, trunkCfg, spines[s].Inject)
+				up.SetPool(pool)
+				leafUp[l][s] = leaves[l].AttachTrunk(up)
+				down := NewLink(e, trunkCfg, leaves[l].Inject)
+				down.SetPool(pool)
+				spineDown[s][l] = spines[s].AttachTrunk(down)
+				f.Trunks = append(f.Trunks, up, down)
+			}
+		}
+		for _, h := range hosts {
+			// Deterministic ECMP: all traffic to one destination takes
+			// one spine, chosen by destination ID.
+			spine := int(h.ID) % len(spines)
+			for s := range spines {
+				spines[s].SetRoute(h.ID, spineDown[s][h.Rack])
+			}
+			for l := range leaves {
+				if l != h.Rack {
+					leaves[l].SetRoute(h.ID, leafUp[l][spine])
+				}
+			}
+		}
+	case TopoDumbbell:
+		left, right := f.Switches[0], f.Switches[1]
+		lr := NewLink(e, trunkCfg, right.Inject)
+		lr.SetPool(pool)
+		lrPort := left.AttachTrunk(lr)
+		rl := NewLink(e, trunkCfg, left.Inject)
+		rl.SetPool(pool)
+		rlPort := right.AttachTrunk(rl)
+		f.Trunks = append(f.Trunks, lr, rl)
+		for _, h := range hosts {
+			if h.Rack == 0 {
+				right.SetRoute(h.ID, rlPort)
+			} else {
+				left.SetRoute(h.ID, lrPort)
+			}
+		}
+	}
+	return f, nil
+}

@@ -77,6 +77,15 @@ var builtins = map[string]func(at, dur sim.Time) Plan{
 			OneShot(MAppBurst, at, dur).WithMagnitude(3),
 		}}
 	},
+	// trunk-flap: the inter-switch trunk links drop carrier for the
+	// window (the fabric partitions at the spine while host access links
+	// stay up). Reuses the LinkFlap kind; the testbed aims the Links seam
+	// at the trunks, so multi-switch topologies are required.
+	"trunk-flap": func(at, dur sim.Time) Plan {
+		return Plan{Name: "trunk-flap", Injections: []Injection{
+			OneShot(LinkFlap, at, dur),
+		}}
+	},
 	// storm: everything flaky at once — latency spikes on reads, a third
 	// of MBA writes dropped, 10% NIC loss — none total, all overlapping.
 	"storm": func(at, dur sim.Time) Plan {

@@ -142,6 +142,10 @@ type Engine struct {
 
 	// Processed counts events executed so far; useful for perf accounting.
 	Processed uint64
+
+	// maxPending is the high-water mark of the event queue — diagnostic
+	// only (Reserve sizing audits), deliberately excluded from Snapshot.
+	maxPending int
 }
 
 // countingSource wraps the standard seeded source and counts draws, making
@@ -234,6 +238,9 @@ func (e *Engine) Schedule(t Time, id HandlerID, arg0, arg1 uint64) {
 	}
 	e.seq++
 	e.q.push(event{at: t, seq: e.seq, id: id, arg0: arg0, arg1: arg1})
+	if n := len(e.q.ev); n > e.maxPending {
+		e.maxPending = n
+	}
 }
 
 // ScheduleAfter schedules handler id to run d nanoseconds from now.
@@ -298,6 +305,15 @@ func (e *Engine) After(d Time, fn func()) {
 
 // Pending reports how many events are queued.
 func (e *Engine) Pending() int { return e.q.len() }
+
+// MaxPending reports the high-water mark of the event queue over the
+// engine's lifetime (Reserve sizing audits).
+func (e *Engine) MaxPending() int { return e.maxPending }
+
+// HeapCap reports the event heap's backing capacity. Comparing it before
+// and after a run detects regrowth — a Reserve hint that was too small —
+// with no hot-path cost.
+func (e *Engine) HeapCap() int { return cap(e.q.ev) }
 
 // Stop makes the current Run call return after the current event.
 func (e *Engine) Stop() { e.stopped = true }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -27,6 +28,11 @@ type ChaosConfig struct {
 	// should open at FaultAt and clear by FaultAt+FaultFor for the
 	// recovery accounting to be meaningful.
 	Plan *faults.Plan
+
+	// Topology names the fabric shape ("star", "leafspine", "dumbbell";
+	// "" selects the scenario's natural topology — leaf–spine for
+	// trunk-flap, star otherwise).
+	Topology string
 
 	Seed int64
 	// Degree of host congestion at the receiver (default 2x).
@@ -75,6 +81,13 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	}
 	if c.RecoveryRTTBudget == 0 {
 		c.RecoveryRTTBudget = 50
+		// A spine partition kills every cross-rack in-flight packet at
+		// once, so trunk-flap recovery is pure RTO backoff — 10–120 RTTs
+		// depending on whether the first retry lands inside the flap
+		// window. 50 RTTs would truncate the probe before the retry fires.
+		if c.Scenario == "trunk-flap" {
+			c.RecoveryRTTBudget = 150
+		}
 	}
 	if c.CheckpointEvery > 0 && c.DigestEvery == 0 {
 		c.DigestEvery = 500 * sim.Microsecond
@@ -161,11 +174,22 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
 		return ChaosResult{}, nil, fmt.Errorf("testbed: ChaosConfig.CheckpointEvery set without CheckpointPath")
 	}
+	topoName := cfg.Topology
+	if topoName == "" && plan.Name == "trunk-flap" {
+		topoName = "leafspine"
+	}
+	topoKind, err := fabric.ParseTopologyKind(topoName)
+	if err != nil {
+		return ChaosResult{}, nil, err
+	}
 	wd := core.DefaultWatchdogConfig()
 	opts := DefaultOptions()
 	opts.Seed = cfg.Seed
 	opts.HostCC = true
 	opts.Degree = cfg.Degree
+	opts.Topology = fabric.Topology{Kind: topoKind}
+	// trunk-flap aims the link-flap seam at the inter-switch trunks.
+	opts.FaultTrunks = plan.Name == "trunk-flap"
 	// A 1 ms MinRTO keeps RTO-driven recovery (link flaps kill every
 	// in-flight packet) well inside the 50-RTT acceptance window; the
 	// Linux 200 ms default would dwarf any host-side effect.
@@ -173,6 +197,9 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	opts.Faults = plan
 	opts.Watchdog = &wd
 	opts.Invariants = true
+	if err := opts.Validate(); err != nil {
+		return ChaosResult{}, nil, err
+	}
 
 	tb := New(opts)
 	res := ChaosResult{Scenario: plan.Name, Seed: cfg.Seed}
@@ -188,7 +215,7 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	// to a same-config run), and the sentinel watches for stalled progress.
 	reg := tb.Registry()
 	timeline := &snapshot.Timeline{}
-	meta := chaosMeta(cfg, scenarioKey)
+	meta := chaosMeta(cfg, scenarioKey, topoKind.String())
 	capture := func() *snapshot.Checkpoint {
 		return &snapshot.Checkpoint{
 			Meta:        meta,
@@ -298,9 +325,10 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 
 // chaosMeta flattens the (defaulted) run configuration into checkpoint
 // metadata, enough to re-execute the run deterministically.
-func chaosMeta(cfg ChaosConfig, scenarioKey string) map[string]string {
+func chaosMeta(cfg ChaosConfig, scenarioKey, topology string) map[string]string {
 	return map[string]string{
 		"scenario":       scenarioKey,
+		"topology":       topology,
 		"seed":           strconv.FormatInt(cfg.Seed, 10),
 		"degree":         strconv.FormatFloat(cfg.Degree, 'g', -1, 64),
 		"faultAt":        strconv.FormatInt(int64(cfg.FaultAt), 10),
@@ -337,7 +365,11 @@ func chaosConfigFromCheckpoint(ck *snapshot.Checkpoint) (ChaosConfig, error) {
 		firstErr = fmt.Errorf("testbed: checkpoint meta \"degree\": %w", err)
 	}
 	cfg := ChaosConfig{
-		Scenario:          scen,
+		Scenario: scen,
+		// Checkpoints from before the topology field carry no key; the
+		// blank value selects the scenario's natural topology, which is
+		// what those runs used.
+		Topology:          ck.Get("topology"),
 		Seed:              geti("seed"),
 		Degree:            degree,
 		FaultAt:           sim.Time(geti("faultAt")),

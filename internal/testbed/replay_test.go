@@ -55,7 +55,9 @@ func TestGoldenDigestDeterminism(t *testing.T) {
 // scenarios per the acceptance bar (1 × 1 in -short mode).
 func TestReplayFidelity(t *testing.T) {
 	seeds := []int64{7, 19, 101}
-	scenarios := []string{"credit-stall", "link-flap"}
+	// trunk-flap exercises checkpoint/resume of a multi-switch (leaf–
+	// spine) testbed: the topology round-trips through checkpoint meta.
+	scenarios := []string{"credit-stall", "link-flap", "trunk-flap"}
 	if testing.Short() {
 		seeds, scenarios = seeds[:1], scenarios[:1]
 	}

@@ -1,0 +1,217 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// ScaleOutConfig parameterizes a scale-out run: many senders fanning
+// flows across several hostCC-equipped receivers through a multi-switch
+// fabric. Where ChaosConfig studies fault recovery, ScaleOutConfig
+// studies scale — the run is fault-free and the interesting outputs are
+// aggregate goodput, in-fabric congestion (trunk queues, switch drops
+// and marks), and the determinism proof (two runs, identical digest
+// timelines).
+type ScaleOutConfig struct {
+	// Topology names the fabric shape ("star", "leafspine", "dumbbell";
+	// "" = leafspine, the scale-out default).
+	Topology string
+	// Leaves / Spines size a leaf–spine fabric (0 keeps the topology
+	// defaults: 2 leaves, 2 spines).
+	Leaves, Spines int
+
+	// Senders is the sending-host count (0 = 32). Receivers defaults to
+	// one per 16 senders (min 2, so cross-rack fan-in actually fans);
+	// Flows defaults to one per sender.
+	Senders   int
+	Receivers int
+	Flows     int
+
+	Seed int64
+	// Degree of host congestion at every receiver (default 2x).
+	Degree float64
+	// Warmup / Measure bound the run (defaults 2 ms / 8 ms — shorter
+	// than the figure runners because the event population scales with
+	// Senders).
+	Warmup  sim.Time
+	Measure sim.Time
+
+	// DigestEvery is the digest-frame recording period (0 = 500 µs).
+	DigestEvery sim.Time
+	// VerifyReplay re-executes the run from the same config and compares
+	// the two digest timelines frame by frame; a divergence is returned
+	// as an error naming the most upstream divergent component.
+	VerifyReplay bool
+}
+
+func (c ScaleOutConfig) withDefaults() ScaleOutConfig {
+	if c.Topology == "" {
+		c.Topology = "leafspine"
+	}
+	if c.Senders == 0 {
+		c.Senders = 32
+	}
+	if c.Receivers == 0 {
+		c.Receivers = max(2, c.Senders/16)
+	}
+	if c.Flows == 0 {
+		c.Flows = c.Senders
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * sim.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 8 * sim.Millisecond
+	}
+	if c.DigestEvery == 0 {
+		c.DigestEvery = 500 * sim.Microsecond
+	}
+	return c
+}
+
+// ScaleOutResult summarizes one scale-out run.
+type ScaleOutResult struct {
+	Topology  string
+	Switches  int
+	Trunks    int
+	Senders   int
+	Receivers int
+	Flows     int
+	Seed      int64
+
+	// Aggregate NetApp-T goodput over the measurement window, and the
+	// in-fabric congestion it produced.
+	ThroughputGbps float64
+	SwitchDrops    int64
+	SwitchMarks    int64
+	NetTimeouts    int64
+	NetRetx        int64
+
+	// MaxPending / HeapCap report the engine's peak pending-event count
+	// against its reserved capacity — the Reserve-sizing audit.
+	MaxPending int
+	HeapCap    int
+
+	// Digest is the combined final-state hash; ComponentDigests the
+	// per-component breakdown; Frames the digest frames recorded;
+	// Verified whether a second run reproduced every frame (false when
+	// VerifyReplay is off).
+	Digest           uint64
+	ComponentDigests []snapshot.Digest
+	Frames           int
+	Verified         bool
+}
+
+// String renders the result as a one-line summary.
+func (r ScaleOutResult) String() string {
+	v := ""
+	if r.Verified {
+		v = ", replay verified"
+	}
+	return fmt.Sprintf(
+		"%s (%d switches, %d trunks): %d senders -> %d receivers, %d flows: %.1f Gbps; switch drops=%d marks=%d rto=%d retx=%d; digest %#016x over %d frames%s",
+		r.Topology, r.Switches, r.Trunks, r.Senders, r.Receivers, r.Flows,
+		r.ThroughputGbps, r.SwitchDrops, r.SwitchMarks, r.NetTimeouts, r.NetRetx,
+		r.Digest, r.Frames, v)
+}
+
+// RunScaleOut executes one scale-out run (twice under VerifyReplay) and
+// returns the aggregate metrics. The run is a deterministic function of
+// cfg: same config, same digest timeline, frame for frame.
+func RunScaleOut(cfg ScaleOutConfig) (ScaleOutResult, error) {
+	cfg = cfg.withDefaults()
+	res, tl, err := runScaleOut(cfg)
+	if err != nil {
+		return res, err
+	}
+	if cfg.VerifyReplay {
+		res2, tl2, err := runScaleOut(cfg)
+		if err != nil {
+			return res, fmt.Errorf("testbed: scale-out replay: %w", err)
+		}
+		if div, found := snapshot.FirstDivergence(tl, tl2); found {
+			return res, fmt.Errorf("testbed: scale-out replay diverged: %s", div)
+		}
+		if res2.Digest != res.Digest {
+			return res, fmt.Errorf("testbed: scale-out replay final digest %#016x != %#016x",
+				res2.Digest, res.Digest)
+		}
+		res.Verified = true
+	}
+	return res, nil
+}
+
+// runScaleOut is one execution: build, load, record, measure.
+func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error) {
+	kind, err := fabric.ParseTopologyKind(cfg.Topology)
+	if err != nil {
+		return ScaleOutResult{}, nil, err
+	}
+	topo := fabric.Topology{Kind: kind, Leaves: cfg.Leaves, Spines: cfg.Spines}
+
+	opts := DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.HostCC = true
+	opts.Degree = cfg.Degree
+	opts.Topology = topo
+	opts.Senders = cfg.Senders
+	opts.Receivers = cfg.Receivers
+	opts.Flows = cfg.Flows
+	opts.Warmup = cfg.Warmup
+	opts.Measure = cfg.Measure
+	// Incast at scale recovers by RTO; the Linux 200 ms default would
+	// park most flows for the entire measurement window.
+	opts.MinRTO = sim.Millisecond
+	if err := opts.Validate(); err != nil {
+		return ScaleOutResult{}, nil, err
+	}
+
+	tb := New(opts)
+	res := ScaleOutResult{
+		Topology:  kind.String(),
+		Switches:  topo.Switches(),
+		Trunks:    len(tb.Trunks),
+		Senders:   opts.Senders,
+		Receivers: opts.Receivers,
+		Flows:     opts.Flows,
+		Seed:      opts.Seed,
+	}
+	tb.StartNetAppT()
+
+	reg := tb.Registry()
+	timeline := &snapshot.Timeline{}
+	recorder := sim.NewTicker(tb.E, cfg.DigestEvery, func() {
+		timeline.Append(snapshot.Frame{
+			At:      int64(tb.E.Now()),
+			Events:  tb.E.Processed,
+			Digests: reg.Digests(),
+		})
+	})
+
+	m := tb.RunWindow()
+	res.ThroughputGbps = m.ThroughputGbps
+	res.NetTimeouts = m.NetTimeouts
+	res.NetRetx = m.NetRetx
+	res.SwitchDrops = tb.Fabric.Drops()
+	res.SwitchMarks = tb.Fabric.Marks()
+	res.MaxPending = tb.E.MaxPending()
+	res.HeapCap = tb.E.HeapCap()
+
+	for _, h := range tb.HCCs {
+		h.Stop()
+	}
+	recorder.Stop()
+	res.Frames = timeline.Len()
+	res.ComponentDigests = reg.Digests()
+	res.Digest = snapshot.Combined(res.ComponentDigests)
+	return res, timeline, nil
+}

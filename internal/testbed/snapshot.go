@@ -19,15 +19,34 @@ import (
 func (tb *Testbed) Registry() *snapshot.Registry {
 	reg := snapshot.NewRegistry()
 	reg.Register("engine", tb.E)
-	tb.Receiver.RegisterSnapshots(reg, "rx")
+	for i, r := range tb.Receivers {
+		prefix := "rx"
+		if i > 0 {
+			prefix = fmt.Sprintf("rx%d", i+1)
+		}
+		r.RegisterSnapshots(reg, prefix)
+	}
 	for i, s := range tb.Senders {
 		s.RegisterSnapshots(reg, fmt.Sprintf("s%d", i+1))
 	}
-	reg.Register("switch", tb.Sw)
+	// SwitchName keeps the star's historical component name ("switch")
+	// and names multi-switch fabrics by role (leafN/spineN/swN).
+	for i, sw := range tb.Fabric.Switches {
+		reg.Register(tb.Fabric.SwitchName(i), sw)
+	}
 	for i, l := range tb.Links {
 		reg.Register(fmt.Sprintf("link/%d", i), l)
 	}
-	reg.Register("hostcc", tb.HCC)
+	for i, l := range tb.Trunks {
+		reg.Register(fmt.Sprintf("trunk/%d", i), l)
+	}
+	for i, h := range tb.HCCs {
+		name := "hostcc"
+		if i > 0 {
+			name = fmt.Sprintf("hostcc%d", i+1)
+		}
+		reg.Register(name, h)
+	}
 	if tb.Injector != nil {
 		reg.Register("faults", tb.Injector)
 	}
@@ -80,6 +99,11 @@ func (tb *Testbed) buildWaitGraph() *sim.WaitGraph {
 			downLinks++
 		}
 	}
+	for _, l := range tb.Trunks {
+		if l.IsDown() {
+			downLinks++
+		}
+	}
 
 	g := sim.NewWaitGraph()
 	g.AddNode("nic-dma", queued > 0, !waiting,
@@ -89,7 +113,7 @@ func (tb *Testbed) buildWaitGraph() *sim.WaitGraph {
 	g.AddNode("iio-release", seq > 0, !stalled,
 		fmt.Sprintf("credit return path stalled=%v, %d lines held", stalled, seq))
 	g.AddNode("fabric", downLinks > 0, downLinks == 0,
-		fmt.Sprintf("%d/%d links down", downLinks, len(tb.Links)))
+		fmt.Sprintf("%d/%d links down", downLinks, len(tb.Links)+len(tb.Trunks)))
 
 	g.AddEdge("nic-dma", "pcie-credits", "DMA engine needs TLP credit lines")
 	g.AddEdge("pcie-credits", "iio-release", "lines return on IIO write completion")

@@ -34,7 +34,23 @@ type Config struct {
 	DDIO    bool
 	Flows   int     // NetApp-T flows
 	Senders int     // sending hosts (2 for incast)
-	Degree  float64 // degree of host congestion (MApp units at receiver)
+	Degree  float64 // degree of host congestion (MApp units at receivers)
+
+	// Topology selects the fabric shape (zero value = the paper's
+	// single-switch star). Leaf–spine and dumbbell fabrics add trunk
+	// links with their own queues and ECN marking; hosts are placed
+	// round-robin across racks (dumbbell: receivers right, senders left).
+	Topology fabric.Topology
+
+	// Receivers is the number of receiving hosts (0 = 1). Every receiver
+	// runs hostCC (ModeOff when disabled) and the MApp at Degree;
+	// NetApp-T flows fan in round-robin across receivers.
+	Receivers int
+
+	// FaultTrunks aims link-flap faults at the inter-switch trunk links
+	// instead of the host access links (requires a multi-switch
+	// Topology).
+	FaultTrunks bool
 
 	// LinkRate overrides every fabric link's rate and each NIC's line
 	// rate together (0 keeps the paper's 100 Gbps).
@@ -119,6 +135,15 @@ func (o Config) Validate() error {
 	if o.Senders < 0 {
 		return fmt.Errorf("testbed: negative Senders %d", o.Senders)
 	}
+	if o.Receivers < 0 {
+		return fmt.Errorf("testbed: negative Receivers %d", o.Receivers)
+	}
+	if err := o.Topology.Validate(); err != nil {
+		return err
+	}
+	if o.FaultTrunks && o.Topology.Switches() < 2 {
+		return fmt.Errorf("testbed: FaultTrunks requires a multi-switch Topology")
+	}
 	if o.Degree < 0 {
 		return fmt.Errorf("testbed: negative Degree %v", o.Degree)
 	}
@@ -177,6 +202,9 @@ func (o Config) withDefaults() Config {
 	if o.Senders == 0 {
 		o.Senders = d.Senders
 	}
+	if o.Receivers == 0 {
+		o.Receivers = 1
+	}
 	if o.Warmup == 0 {
 		o.Warmup = d.Warmup
 	}
@@ -188,17 +216,26 @@ func (o Config) withDefaults() Config {
 
 // Testbed is one constructed experiment.
 type Testbed struct {
-	E        *sim.Engine
-	Opts     Options
-	Receiver *host.Host
-	Senders  []*host.Host
-	Sw       *fabric.Switch
-	HCC      *core.HostCC
-	NetT     *apps.NetAppT
+	E    *sim.Engine
+	Opts Options
+	// Receiver, Sw and HCC are the primary receiver, first switch and
+	// primary hostCC instance — the full sets live in Receivers,
+	// Fabric.Switches and HCCs (all length 1 in the default star).
+	Receiver  *host.Host
+	Receivers []*host.Host
+	Senders   []*host.Host
+	Sw        *fabric.Switch
+	Fabric    *fabric.Fabric
+	HCC       *core.HostCC
+	HCCs      []*core.HostCC
+	NetT      *apps.NetAppT
 
-	// Links holds every fabric link (receiver first, then senders; up
-	// link before down link) — the LinkFlap fault seam.
+	// Links holds every host access link (receivers first, then senders;
+	// up link before down link) — the default LinkFlap fault seam.
 	Links []*fabric.Link
+	// Trunks holds the inter-switch links (empty in the star) — the
+	// LinkFlap seam under Config.FaultTrunks.
+	Trunks []*fabric.Link
 	// Injector is the armed fault injector (nil without Options.Faults).
 	Injector *faults.Injector
 	// Inv is the invariant checker (nil without Options.Invariants).
@@ -219,19 +256,83 @@ type Testbed struct {
 	winSwDrops int64
 }
 
-// receiverID is the receiver's host ID; senders are 2, 3, ...
+// receiverID is the primary receiver's host ID; with R receivers, the
+// receivers hold IDs 1..R and the senders R+1, R+2, ...
 const receiverID packet.HostID = 1
 
-// New builds the testbed: hosts, bidirectional links through one switch,
-// hostCC on the receiver (in ModeOff when disabled, so signals are still
-// measured), and the receiver-side MApp at the requested degree.
+// eventHeapHint derives the Reserve pre-size from the experiment shape.
+// The pending-event population of a loaded run is bounded by: per flow,
+// the receive-window's worth of in-flight packets (each holds at most
+// one serializer or propagation event at a time, and each delivered
+// window generates up to as many ACKs in flight) plus the connection
+// timer set on both ends; per host, the bounded device pipeline (NIC,
+// PCIe, IIO, memory, MApp completions); a constant floor for the
+// harness (hostCC sampler, watchdog, chaos recorders, sentinel); and
+// the stale-timer population — sim.Timer cancellation is lazy (a Reset
+// leaves the superseded event in the heap until its old deadline), and
+// the transport re-arms its RTO timer on every ACK, so stale events
+// accumulate at the per-receiver packet rate for up to one RTO (or the
+// run length, whichever ends first). The pre-topology hint —
+// 4096*(1+Senders) — ignored Flows and the stale-timer term entirely:
+// it under-reserved both flow-heavy incast and long-RTO runs (regrowth
+// copies mid-run) while reserving megabytes that sender-heavy,
+// flow-light runs never touched.
+func eventHeapHint(opts Config, tcfg transport.Config) int {
+	winPkts := tcfg.RcvWnd/tcfg.MSS + 1
+	perFlow := 2*winPkts + 16
+	hosts := opts.Receivers + opts.Senders
+
+	rate := opts.LinkRate
+	if rate == 0 {
+		rate = sim.Gbps(100)
+	}
+	staleWindow := min(tcfg.MinRTO, opts.Warmup+opts.Measure)
+	stalePkts := float64(rate) * staleWindow.Seconds() / float64(opts.MTU)
+	stale := opts.Receivers * int(stalePkts)
+
+	return 2048 + 64*hosts + opts.Flows*perFlow + stale
+}
+
+// receiverName is the telemetry prefix of receiver i ("receiver" for the
+// primary, matching the single-receiver testbed's historical names).
+func receiverName(i int) string {
+	if i == 0 {
+		return "receiver"
+	}
+	return fmt.Sprintf("receiver%d", i+1)
+}
+
+// rackFor places host i (global index, receivers first) in the topology:
+// the star keeps everyone on the one switch; the dumbbell puts receivers
+// right of the bottleneck (rack 1) and senders left; leaf–spine strides
+// receivers and senders round-robin across leaves in opposite
+// directions, so a flow's round-robin endpoints (sender i%S → receiver
+// i%R) land in different racks and the traffic matrix crosses the spine
+// (same-direction striping would pin every flow intra-rack whenever the
+// counts share the rack count's parity).
+func rackFor(t fabric.Topology, i, receivers int) int {
+	switch t.Kind {
+	case fabric.TopoLeafSpine:
+		if i < receivers {
+			return i % t.Racks()
+		}
+		return t.Racks() - 1 - (i-receivers)%t.Racks()
+	case fabric.TopoDumbbell:
+		if i < receivers {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// New builds the testbed: hosts, bidirectional links through the
+// compiled fabric topology, hostCC on every receiver (in ModeOff when
+// disabled, so signals are still measured), and the receiver-side MApps
+// at the requested degree.
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
 	e := sim.NewEngine(opts.Seed)
-	// A loaded multi-host run keeps a few thousand events pending (timers,
-	// per-packet serialization/propagation events across every link);
-	// reserving up front means warm-up never pays a heap regrowth copy.
-	e.Reserve(4096 * (1 + opts.Senders))
 	tb := &Testbed{E: e, Opts: opts, Reg: telemetry.NewRegistry()}
 	if opts.Telemetry {
 		tb.Tr = telemetry.NewTracer()
@@ -249,6 +350,8 @@ func New(opts Options) *Testbed {
 		tcfg.MinRTO = opts.MinRTO
 		tcfg.InitialRTO = opts.MinRTO
 	}
+	// Pre-size the event heap so warm-up never pays a regrowth copy.
+	e.Reserve(eventHeapHint(opts, tcfg))
 
 	mkHost := func(id packet.HostID) *host.Host {
 		hcfg := host.DefaultConfig(id, opts.MTU, opts.DDIO)
@@ -269,37 +372,47 @@ func New(opts Options) *Testbed {
 		return host.New(e, hcfg)
 	}
 
-	tb.Receiver = mkHost(receiverID)
+	for i := 0; i < opts.Receivers; i++ {
+		tb.Receivers = append(tb.Receivers, mkHost(receiverID+packet.HostID(i)))
+	}
+	tb.Receiver = tb.Receivers[0]
+	senderBase := receiverID + packet.HostID(opts.Receivers)
 	for i := 0; i < opts.Senders; i++ {
-		tb.Senders = append(tb.Senders, mkHost(receiverID+1+packet.HostID(i)))
+		tb.Senders = append(tb.Senders, mkHost(senderBase+packet.HostID(i)))
 	}
 
-	// Topology: every host connects to the single switch. SetTracer must
-	// precede AttachPort so per-port queue tracks exist from the start.
-	tb.Sw = fabric.NewSwitch(e, fabric.DefaultSwitchConfig())
-	if tb.Tr != nil {
-		tb.Sw.SetTracer(tb.Tr, "switch")
-	}
+	// Fabric: compile the topology. For the star this reproduces the
+	// exact pre-topology construction order (switch, then per host: up
+	// link, down link, switch port), keeping digests bit-identical.
 	lcfg := fabric.DefaultLinkConfig()
 	lcfg.LossProb = opts.WireLossProb
 	if opts.LinkRate > 0 {
 		lcfg.Rate = opts.LinkRate
 	}
-	attach := func(h *host.Host) {
-		up := fabric.NewLink(e, lcfg, tb.Sw.Inject)
-		up.SetPool(pool)
-		h.SetOutput(up.Send)
-		down := fabric.NewLink(e, lcfg, h.ReceiveFromWire)
-		down.SetPool(pool)
-		tb.Sw.AttachPort(h.ID(), down)
-		tb.Links = append(tb.Links, up, down)
+	hosts := make([]*host.Host, 0, len(tb.Receivers)+len(tb.Senders))
+	hosts = append(hosts, tb.Receivers...)
+	hosts = append(hosts, tb.Senders...)
+	ports := make([]fabric.HostPort, len(hosts))
+	for i, h := range hosts {
+		ports[i] = fabric.HostPort{
+			ID:      h.ID(),
+			Rack:    rackFor(opts.Topology, i, opts.Receivers),
+			Deliver: h.ReceiveFromWire,
+		}
 	}
-	attach(tb.Receiver)
-	for _, s := range tb.Senders {
-		attach(s)
+	fb, err := fabric.Build(e, opts.Topology, lcfg, ports, pool, tb.Tr)
+	if err != nil {
+		panic(err) // Config.Validate rejects invalid topologies up front
+	}
+	tb.Fabric = fb
+	tb.Sw = fb.Switches[0]
+	tb.Links = fb.Access
+	tb.Trunks = fb.Trunks
+	for i, h := range hosts {
+		h.SetOutput(fb.HostSend(i))
 	}
 
-	// hostCC on the receiver. When disabled we still run the module in
+	// hostCC on every receiver. When disabled we still run the module in
 	// ModeOff so every experiment measures I_S and B_S identically.
 	ccfg := core.DefaultConfig(opts.DDIO)
 	if opts.IT > 0 {
@@ -322,33 +435,46 @@ func New(opts Options) *Testbed {
 		}
 	}
 	ccfg.Watchdog = opts.Watchdog
-	tb.HCC = core.New(e, tb.Receiver.MSR, tb.Receiver.MBA, ccfg)
-	if tb.Tr != nil {
-		tb.Receiver.AttachTracer(tb.Tr, "receiver")
-		tb.HCC.SetTracer(tb.Tr, "receiver")
+	for i, r := range tb.Receivers {
+		hcc := core.New(e, r.MSR, r.MBA, ccfg)
+		if tb.Tr != nil {
+			r.AttachTracer(tb.Tr, receiverName(i))
+			hcc.SetTracer(tb.Tr, receiverName(i))
+		}
+		r.AddReceiveHook(hcc.ReceiveHook())
+		hcc.Start()
+		tb.HCCs = append(tb.HCCs, hcc)
 	}
-	tb.Receiver.AddReceiveHook(tb.HCC.ReceiveHook())
-	tb.HCC.Start()
+	tb.HCC = tb.HCCs[0]
 
-	// Host-local traffic at the receiver.
+	// Host-local traffic at the receivers.
 	if opts.Degree > 0 {
-		tb.Receiver.StartMApp(opts.Degree)
+		for _, r := range tb.Receivers {
+			r.StartMApp(opts.Degree)
+		}
 	}
 
 	// Hard-coded response level (Figure 9).
 	if opts.FixedLevel >= 0 {
-		tb.Receiver.MBA.RequestLevel(opts.FixedLevel)
+		for _, r := range tb.Receivers {
+			r.MBA.RequestLevel(opts.FixedLevel)
+		}
 	}
 
-	// Fault injection against the receiver's hardware seams. Armed last
-	// so the MApp (if any) exists.
+	// Fault injection against the primary receiver's hardware seams.
+	// Armed last so the MApp (if any) exists. FaultTrunks retargets link
+	// flaps at the inter-switch trunks.
 	if opts.Faults != nil {
+		flapLinks := tb.Links
+		if opts.FaultTrunks {
+			flapLinks = tb.Trunks
+		}
 		tb.Injector = faults.MustNewInjector(e, *opts.Faults, faults.Seams{
 			MSR:   tb.Receiver.MSR,
 			MBA:   tb.Receiver.MBA,
 			NIC:   tb.Receiver.NIC,
 			PCIe:  tb.Receiver.Link,
-			Links: tb.Links,
+			Links: flapLinks,
 			MApp:  tb.Receiver.MApp(),
 		})
 		tb.Injector.Arm()
@@ -375,25 +501,33 @@ func New(opts Options) *Testbed {
 
 	// Instrument registration, last so every component exists. Order is
 	// fixed (registry iteration follows registration order).
-	tb.Receiver.RegisterInstruments(tb.Reg, "receiver")
-	tb.HCC.RegisterInstruments(tb.Reg, "receiver")
+	for i, r := range tb.Receivers {
+		r.RegisterInstruments(tb.Reg, receiverName(i))
+		tb.HCCs[i].RegisterInstruments(tb.Reg, receiverName(i))
+	}
 	for i, s := range tb.Senders {
 		s.RegisterInstruments(tb.Reg, fmt.Sprintf("sender%d", i+1))
 	}
-	tb.Sw.RegisterInstruments(tb.Reg, "switch")
+	for i, sw := range fb.Switches {
+		sw.RegisterInstruments(tb.Reg, fb.SwitchName(i))
+	}
 	for i, l := range tb.Links {
 		l.RegisterInstruments(tb.Reg, fmt.Sprintf("fabric/link%d", i))
+	}
+	for i, l := range tb.Trunks {
+		l.RegisterInstruments(tb.Reg, fmt.Sprintf("fabric/trunk%d", i))
 	}
 
 	return tb
 }
 
-// StartNetAppT launches the throughput flows.
+// StartNetAppT launches the throughput flows, fanned in round-robin
+// across every receiver (cross-rack in multi-rack topologies).
 func (tb *Testbed) StartNetAppT() *apps.NetAppT {
 	if tb.NetT != nil {
 		panic("testbed: NetApp-T already started")
 	}
-	tb.NetT = apps.NewNetAppT(tb.E, tb.Senders, tb.Receiver, tb.Opts.Flows)
+	tb.NetT = apps.NewNetAppTAcross(tb.E, tb.Senders, tb.Receivers, tb.Opts.Flows)
 	return tb.NetT
 }
 
@@ -406,7 +540,9 @@ func (tb *Testbed) StartNetAppL(size, maxCount int, onDone func()) *apps.NetAppL
 
 // MarkWindow begins the measurement window.
 func (tb *Testbed) MarkWindow() {
-	tb.Receiver.MarkWindow()
+	for _, r := range tb.Receivers {
+		r.MarkWindow()
+	}
 	for _, s := range tb.Senders {
 		s.MarkWindow()
 	}
@@ -416,8 +552,17 @@ func (tb *Testbed) MarkWindow() {
 	tb.winStart = tb.E.Now()
 	tb.winROCC = tb.Receiver.IIO.ROCC()
 	tb.winRINS = tb.Receiver.IIO.RINS()
-	tb.winMarked = tb.HCC.MarkedPackets.Total()
-	tb.winSwDrops = tb.Sw.Drops.Total()
+	tb.winMarked = tb.markedPackets()
+	tb.winSwDrops = tb.Fabric.Drops()
+}
+
+// markedPackets sums hostCC CE marks across receivers.
+func (tb *Testbed) markedPackets() int64 {
+	var n int64
+	for _, h := range tb.HCCs {
+		n += h.MarkedPackets.Total()
+	}
+	return n
 }
 
 // Metrics summarizes one measurement window.
@@ -459,8 +604,8 @@ func (tb *Testbed) Collect() Metrics {
 
 	arrivals := tb.Receiver.NIC.Arrivals.SinceMark()
 	if arrivals > 0 {
-		m.SwitchDropPct = float64(tb.Sw.Drops.Total()-tb.winSwDrops) / float64(arrivals) * 100
-		m.MarkedPct = float64(tb.HCC.MarkedPackets.Total()-tb.winMarked) / float64(arrivals) * 100
+		m.SwitchDropPct = float64(tb.Fabric.Drops()-tb.winSwDrops) / float64(arrivals) * 100
+		m.MarkedPct = float64(tb.markedPackets()-tb.winMarked) / float64(arrivals) * 100
 	}
 
 	mc := tb.Receiver.MC

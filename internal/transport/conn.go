@@ -400,7 +400,10 @@ func (c *Conn) handleAck(p *packet.Packet) {
 		rtt = c.e.Now() - p.EchoTS
 		c.updateRTT(rtt)
 	}
-	if p.Flags.Has(packet.FlagECE) {
+	// Symmetric to the receive side: a non-ECN sender never negotiated
+	// ECN, so an ECE from an asymmetric peer is noise, not a signal.
+	marked := c.cfg.ECN && p.Flags.Has(packet.FlagECE)
+	if marked {
 		c.MarkedAcks.Inc()
 	}
 
@@ -415,7 +418,7 @@ func (c *Conn) handleAck(p *packet.Packet) {
 
 	c.cc.OnAck(AckEvent{
 		Bytes:  int(newly),
-		Marked: p.Flags.Has(packet.FlagECE),
+		Marked: marked,
 		RTT:    rtt,
 		AckSeq: p.Ack,
 		SndNxt: c.sndNxt,
@@ -554,7 +557,11 @@ func (c *Conn) updateRTT(rtt sim.Time) {
 }
 
 func (c *Conn) handleData(p *packet.Packet) {
-	ce := p.ECN == packet.CE
+	// A non-ECN endpoint must not interpret CE: without the gate, a CE
+	// codepoint set upstream (hostCC's marker or an ECN switch facing an
+	// asymmetric peer) latched ceSinceLastAck and every later ACK echoed
+	// a stale ECE that nothing would ever consume.
+	ce := c.cfg.ECN && p.ECN == packet.CE
 	if ce {
 		c.ceSinceLastAck = true
 	}

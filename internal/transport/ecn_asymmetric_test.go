@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// TestNonECNReceiverNeverEchoesECE: an endpoint with ECN disabled must
+// ignore CE marks on arriving data — it never latches the echo state,
+// so its ACKs never carry ECE. The pre-fix receiver latched CE
+// unconditionally (a stale-ECE bug): a non-ECN receiver paired with an
+// ECN sender would echo marks it had no business reading, collapsing
+// the sender's window from a signal the receiver never negotiated.
+func TestNonECNReceiverNeverEchoesECE(t *testing.T) {
+	e := sim.NewEngine(1)
+	pp := newPipe(e, 10*sim.Microsecond)
+	pp.rate = sim.Gbps(10)
+	pp.markAt = 3 * 4096
+
+	scfg := testCfg(NewDCTCP()) // ECN on: data goes out ECT0 and gets marked
+	rcfg := testCfg(NewDCTCP())
+	rcfg.ECN = false
+
+	sender := pp.attach(1, scfg)
+	receiver := pp.attach(2, rcfg)
+	receiver.Listen(5000, func(c *Conn) {})
+	var eceAcks int
+	pp.tap = func(p *packet.Packet) {
+		if !p.IsData() && p.Flags.Has(packet.FlagECE) {
+			eceAcks++
+		}
+	}
+	c := sender.Dial(2, 5000)
+	c.SetInfiniteSource(true)
+	e.RunUntil(20 * sim.Millisecond)
+
+	if pp.marked == 0 {
+		t.Fatal("pipe never CE-marked; test misconfigured")
+	}
+	if eceAcks != 0 {
+		t.Fatalf("non-ECN receiver echoed ECE on %d ACKs", eceAcks)
+	}
+	if got := c.MarkedAcks.Total(); got != 0 {
+		t.Fatalf("sender counted %d marked ACKs from a non-ECN receiver", got)
+	}
+}
+
+// TestNonECNSenderIgnoresStrayECE: an endpoint with ECN disabled must
+// not feed ECE flags on arriving ACKs into its congestion control (a
+// buggy or hostile peer setting ECE is noise, not signal). The pre-fix
+// sender counted and acted on ECE regardless of its own configuration.
+func TestNonECNSenderIgnoresStrayECE(t *testing.T) {
+	e := sim.NewEngine(1)
+	pp := newPipe(e, 10*sim.Microsecond)
+	pp.rate = sim.Gbps(10)
+
+	scfg := testCfg(NewDCTCP())
+	scfg.ECN = false
+	rcfg := testCfg(NewDCTCP())
+
+	sender := pp.attach(1, scfg)
+	receiver := pp.attach(2, rcfg)
+	receiver.Listen(5000, func(c *Conn) {})
+	// Forge ECE onto every ACK in flight.
+	pp.tapMutate = func(p *packet.Packet) {
+		if !p.IsData() {
+			p.Flags |= packet.FlagECE
+		}
+	}
+	c := sender.Dial(2, 5000)
+	c.SetInfiniteSource(true)
+	e.RunUntil(20 * sim.Millisecond)
+
+	if c.AckedBytes.Total() == 0 {
+		t.Fatal("no progress; test misconfigured")
+	}
+	if got := c.MarkedAcks.Total(); got != 0 {
+		t.Fatalf("non-ECN sender counted %d forged ECE ACKs as marks", got)
+	}
+	d := c.CC().(*dctcp)
+	if d.Alpha() != 0 {
+		t.Fatalf("forged ECE reached the CC: alpha = %v", d.Alpha())
+	}
+}
+
+// TestECNDisabledSendsNotECT: with ECN off, data leaves NotECT so
+// switches cannot CE-mark it (sanity companion to the asymmetric
+// cases).
+func TestECNDisabledSendsNotECT(t *testing.T) {
+	e := sim.NewEngine(1)
+	pp := newPipe(e, 10*sim.Microsecond)
+	cfg := testCfg(NewDCTCP())
+	cfg.ECN = false
+	sender := pp.attach(1, cfg)
+	receiver := pp.attach(2, cfg)
+	receiver.Listen(5000, func(c *Conn) {})
+	var ect int
+	pp.tap = func(p *packet.Packet) {
+		if p.IsData() && p.ECN != packet.NotECT {
+			ect++
+		}
+	}
+	c := sender.Dial(2, 5000)
+	c.SetInfiniteSource(true)
+	e.RunUntil(2 * sim.Millisecond)
+	if c.AckedBytes.Total() == 0 {
+		t.Fatal("no data acknowledged")
+	}
+	if ect != 0 {
+		t.Fatalf("%d data packets left ECT with ECN disabled", ect)
+	}
+}

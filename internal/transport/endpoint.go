@@ -102,11 +102,14 @@ func (ep *Endpoint) Receive(p *packet.Packet) {
 	ep.StrayPackets++
 }
 
-// Conns returns all connections (diagnostics).
+// Conns returns all connections in sorted flow order (diagnostics).
+// The stable order keeps any sim-visible use — iterating connections to
+// schedule work or fold non-commutative state — deterministic despite
+// the map-backed connection table.
 func (ep *Endpoint) Conns() []*Conn {
 	out := make([]*Conn, 0, len(ep.cons))
-	for _, c := range ep.cons {
-		out = append(out, c)
+	for _, f := range ep.sortedFlows() {
+		out = append(out, ep.cons[f])
 	}
 	return out
 }
