@@ -7,6 +7,8 @@
 #                   race coverage; -short keeps the concurrent paths —
 #                   sweeps, meters — under the detector in ~2 min)
 #   make chaos      fault-injection suite only
+#   make chaos-race chaos acceptance + sentinel tests under the race
+#                   detector (-short), its own CI job
 #   make bench      microbenchmarks (engine + datapath + full-system
 #                   throughput) -> BENCH_baseline.json
 #   make api-compat build + vet the examples module against the public
@@ -22,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race chaos bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay topology-smoke
+.PHONY: all build test verify race chaos chaos-race bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay topology-smoke
 
 all: verify race
 
@@ -61,6 +63,14 @@ race:
 
 chaos:
 	$(GO) test ./internal/faults/ ./internal/testbed/ -run 'TestChaos' -count=1
+
+# Chaos acceptance under the race detector: the acceptance table (incl.
+# the replay-verified lossless scenarios) and the sentinel tests, -short
+# so the full-scenario sweep stays out of the detector. This is the
+# "faults + pause machinery + sentinel classifier race-free" gate; the
+# blanket `make race` already covers the rest of the tree.
+chaos-race:
+	$(GO) test -race -short ./internal/faults/ ./internal/testbed/ -run 'TestChaos|TestSentinel' -count=1
 
 # Microbenchmark suite. The -json stream is written to BENCH_baseline.json
 # (one test2json object per line); reconstruct benchstat input with

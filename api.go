@@ -42,6 +42,11 @@ var (
 	CCReno = CC{factory: transport.NewReno(), name: "reno"}
 	// CCCubic is loss-based CUBIC.
 	CCCubic = CC{factory: transport.NewCubic(), name: "cubic"}
+	// CCDCQCN is DCQCN rate-based congestion control (the protocol PFC
+	// fabrics deploy): CNP-driven multiplicative decrease with timer- and
+	// byte-counter recovery. Pair with WithLossless — without a PFC
+	// fabric no CNPs are generated and the sender never slows.
+	CCDCQCN = CC{factory: transport.NewDCQCN(), name: "dcqcn"}
 )
 
 // CCDelay returns a Swift-like delay-based congestion control targeting
@@ -104,6 +109,19 @@ func WithLeafSpine(leaves, spines int) Option {
 // one trunk bottleneck between them.
 func WithDumbbell() Option {
 	return func(x *Experiment) { x.cfg.Topology = fabric.Dumbbell() }
+}
+
+// WithLossless converts the fabric and NICs to PFC lossless operation:
+// switch ingresses pause their upstream instead of dropping, NIC rx
+// buffers pause the leaf instead of overflowing, and the default
+// congestion control becomes DCQCN (override with WithCC). The watchdog
+// duration, when positive, force-releases any pause asserted longer
+// than that (0 leaves stuck pauses wedged — the storm failure mode).
+func WithLossless(watchdog time.Duration) Option {
+	return func(x *Experiment) {
+		x.cfg.Lossless = true
+		x.cfg.PauseWatchdog = sim.Time(watchdog.Nanoseconds())
+	}
 }
 
 // WithHostCongestion sets the degree of host congestion: MApp units

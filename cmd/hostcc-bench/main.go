@@ -11,11 +11,17 @@
 //	hostcc-bench -resume run.ckpt
 //	hostcc-bench -timeline out.json -degree 3
 //	hostcc-bench -topology leafspine -senders 128
+//	hostcc-bench -lossless
 //
 // -topology runs a scale-out experiment through a multi-switch fabric
 // (leaf–spine or dumbbell): many senders fanning NetApp-T flows across
 // several hostCC-equipped receivers, run twice with frame-by-frame
 // digest verification (replay determinism) unless -no-verify.
+//
+// -lossless runs the congestion-spreading study on a PFC + DCQCN
+// leaf–spine fabric: the same MApp squeeze with hostCC off and on,
+// comparing pause-storm frequency (pause asserts, trunk paused time)
+// and the victim RPC flow's tail latency between the two arms.
 //
 // -timeline records one telemetry-enabled throughput run and writes it in
 // Chrome Trace Event Format; open the file at https://ui.perfetto.dev to
@@ -49,27 +55,80 @@ func main() {
 	}
 }
 
+// benchFlags holds every hostcc-bench flag; registerFlags binds them to
+// a FlagSet so the usage output is testable (see usage_test.go).
+type benchFlags struct {
+	fig             *string
+	scaleName       *string
+	chaos           *string
+	seed            *int64
+	checkpoint      *string
+	checkpointEvery *uint64
+	resume          *string
+	verifyReplay    *bool
+	cpuprofile      *string
+	memprofile      *string
+	tracePath       *string
+	timeline        *string
+	degree          *float64
+	noHostCC        *bool
+	topology        *string
+	senders         *int
+	receivers       *int
+	flows           *int
+	noVerify        *bool
+	lossless        *bool
+}
+
+func registerFlags(fs *flag.FlagSet) benchFlags {
+	return benchFlags{
+		fig:             fs.String("fig", "10", "figure number to regenerate, or 'all'"),
+		scaleName:       fs.String("scale", "quick", "experiment scale: bench, quick, default, paper"),
+		chaos:           fs.String("chaos", "", "run a chaos scenario ('list' to enumerate, 'all' for every one) and print recovery metrics"),
+		seed:            fs.Int64("seed", 42, "simulation seed (chaos, timeline, topology and lossless runs)"),
+		checkpoint:      fs.String("checkpoint", "", "with -chaos: record digest frames and write checkpoints to this file"),
+		checkpointEvery: fs.Uint64("checkpoint-every", 100_000, "with -checkpoint: processed events between checkpoint captures"),
+		resume:          fs.String("resume", "", "resume a chaos run from a checkpoint file (verified replay)"),
+		verifyReplay:    fs.Bool("verify-replay", false, "with -chaos and -checkpoint: replay from the written checkpoint afterwards and verify digests"),
+		cpuprofile:      fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
+		memprofile:      fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		tracePath:       fs.String("trace", "", "write a runtime execution trace to this file"),
+		timeline:        fs.String("timeline", "", "run one telemetry-enabled experiment and write its Chrome trace (Perfetto JSON) to this file"),
+		degree:          fs.Float64("degree", 3, "with -timeline or -lossless: degree of host congestion"),
+		noHostCC:        fs.Bool("no-hostcc", false, "with -timeline: disable the hostCC module"),
+		topology:        fs.String("topology", "", "run a scale-out topology experiment: star, leafspine, dumbbell"),
+		senders:         fs.Int("senders", 32, "with -topology: number of sending hosts"),
+		receivers:       fs.Int("receivers", 0, "with -topology: number of receiving hosts (0 = one per 16 senders)"),
+		flows:           fs.Int("flows", 0, "with -topology: NetApp-T flows (0 = one per sender)"),
+		noVerify:        fs.Bool("no-verify", false, "with -topology: skip the second run that verifies replay determinism"),
+		lossless:        fs.Bool("lossless", false, "run the lossless-fabric study: PFC + DCQCN congestion spreading, hostCC off vs on"),
+	}
+}
+
 func run() error {
-	fig := flag.String("fig", "10", "figure number to regenerate, or 'all'")
-	scaleName := flag.String("scale", "quick", "experiment scale: bench, quick, default, paper")
-	chaos := flag.String("chaos", "", "run a chaos scenario ('list' to enumerate, 'all' for every one) and print recovery metrics")
-	seed := flag.Int64("seed", 42, "simulation seed (chaos runs)")
-	checkpoint := flag.String("checkpoint", "", "with -chaos: record digest frames and write checkpoints to this file")
-	checkpointEvery := flag.Uint64("checkpoint-every", 100_000, "with -checkpoint: processed events between checkpoint captures")
-	resume := flag.String("resume", "", "resume a chaos run from a checkpoint file (verified replay)")
-	verifyReplay := flag.Bool("verify-replay", false, "with -chaos and -checkpoint: replay from the written checkpoint afterwards and verify digests")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
-	timeline := flag.String("timeline", "", "run one telemetry-enabled experiment and write its Chrome trace (Perfetto JSON) to this file")
-	degree := flag.Float64("degree", 3, "with -timeline: degree of host congestion")
-	noHostCC := flag.Bool("no-hostcc", false, "with -timeline: disable the hostCC module")
-	topology := flag.String("topology", "", "run a scale-out topology experiment: star, leafspine, dumbbell")
-	senders := flag.Int("senders", 32, "with -topology: number of sending hosts")
-	receivers := flag.Int("receivers", 0, "with -topology: number of receiving hosts (0 = one per 16 senders)")
-	flows := flag.Int("flows", 0, "with -topology: NetApp-T flows (0 = one per sender)")
-	noVerify := flag.Bool("no-verify", false, "with -topology: skip the second run that verifies replay determinism")
-	flag.Parse()
+	fs := flag.NewFlagSet("hostcc-bench", flag.ExitOnError)
+	f := registerFlags(fs)
+	fs.Parse(os.Args[1:])
+	fig := f.fig
+	scaleName := f.scaleName
+	chaos := f.chaos
+	seed := f.seed
+	checkpoint := f.checkpoint
+	checkpointEvery := f.checkpointEvery
+	resume := f.resume
+	verifyReplay := f.verifyReplay
+	cpuprofile := f.cpuprofile
+	memprofile := f.memprofile
+	tracePath := f.tracePath
+	timeline := f.timeline
+	degree := f.degree
+	noHostCC := f.noHostCC
+	topology := f.topology
+	senders := f.senders
+	receivers := f.receivers
+	flows := f.flows
+	noVerify := f.noVerify
+	lossless := f.lossless
 
 	stopProf, err := startProfiling(*cpuprofile, *memprofile, *tracePath)
 	if err != nil {
@@ -82,6 +141,9 @@ func run() error {
 	}
 	if *topology != "" {
 		return runScaleOut(*topology, *senders, *receivers, *flows, *seed, !*noVerify)
+	}
+	if *lossless {
+		return runLossless(*seed, *degree)
 	}
 	if *resume != "" {
 		return resumeChaos(*resume)
@@ -309,6 +371,20 @@ func runScaleOut(topology string, senders, receivers, flows int, seed int64, ver
 	fmt.Printf("== Scale-out — %s fabric (seed %d)\n", r.Topology, r.Seed)
 	fmt.Printf("   %s\n", r)
 	fmt.Printf("   event heap: peak %d pending of %d reserved\n", r.MaxPending, r.HeapCap)
+	fmt.Printf("   [%.1fs]\n", time.Since(start).Seconds())
+	return nil
+}
+
+// runLossless runs the PFC + DCQCN congestion-spreading study: the same
+// load with hostCC off and on, one table row per arm.
+func runLossless(seed int64, degree float64) error {
+	start := time.Now()
+	r, err := hostcc.RunLosslessStudy(hostcc.LosslessStudyConfig{Seed: seed, Degree: degree})
+	if err != nil {
+		return fmt.Errorf("lossless: %w", err)
+	}
+	fmt.Printf("== Lossless fabric — PFC + DCQCN congestion spreading, %gx MApp squeeze (seed %d)\n", degree, seed)
+	fmt.Printf("   %s\n   %s\n", r.Off, r.On)
 	fmt.Printf("   [%.1fs]\n", time.Since(start).Seconds())
 	return nil
 }

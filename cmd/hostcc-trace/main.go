@@ -31,13 +31,35 @@ func main() {
 	}
 }
 
+// traceFlags holds every hostcc-trace flag; registerFlags binds them to
+// a FlagSet so the usage output is testable (see usage_test.go).
+type traceFlags struct {
+	out       *string
+	scaleName *string
+	perfetto  *string
+	degree    *float64
+	seed      *int64
+}
+
+func registerFlags(fs *flag.FlagSet) traceFlags {
+	return traceFlags{
+		out:       fs.String("out", "traces", "output directory for CSV files"),
+		scaleName: fs.String("scale", "quick", "experiment scale: quick, default, paper"),
+		perfetto:  fs.String("perfetto", "", "write a Chrome/Perfetto trace of one telemetry-enabled run to this file (skips the CSV figures)"),
+		degree:    fs.Float64("degree", 3, "with -perfetto: degree of host congestion"),
+		seed:      fs.Int64("seed", 42, "with -perfetto: simulation seed"),
+	}
+}
+
 func run() error {
-	out := flag.String("out", "traces", "output directory for CSV files")
-	scaleName := flag.String("scale", "quick", "experiment scale: quick, default, paper")
-	perfetto := flag.String("perfetto", "", "write a Chrome/Perfetto trace of one telemetry-enabled run to this file (skips the CSV figures)")
-	degree := flag.Float64("degree", 3, "with -perfetto: degree of host congestion")
-	seed := flag.Int64("seed", 42, "with -perfetto: simulation seed")
-	flag.Parse()
+	fs := flag.NewFlagSet("hostcc-trace", flag.ExitOnError)
+	f := registerFlags(fs)
+	fs.Parse(os.Args[1:])
+	out := f.out
+	scaleName := f.scaleName
+	perfetto := f.perfetto
+	degree := f.degree
+	seed := f.seed
 
 	if *perfetto != "" {
 		return dumpPerfetto(*perfetto, *degree, *seed)

@@ -269,3 +269,19 @@ type (
 // comparing the digest timelines frame by frame). The run is a
 // deterministic function of its config.
 func RunScaleOut(cfg ScaleOutConfig) (ScaleOutResult, error) { return testbed.RunScaleOut(cfg) }
+
+// Lossless-fabric study (see DESIGN.md "Lossless fabrics").
+type (
+	// LosslessStudyConfig parameterizes the PFC + DCQCN
+	// congestion-spreading study.
+	LosslessStudyConfig = testbed.LosslessStudyConfig
+	// LosslessStudyResult pairs the hostCC-off and hostCC-on arms.
+	LosslessStudyResult = testbed.LosslessStudyResult
+)
+
+// RunLosslessStudy runs the identical congestion-spreading load on a
+// PFC + DCQCN leaf–spine fabric twice — hostCC off, then on — and
+// reports per-arm pause-storm metrics and victim-flow tail latency.
+func RunLosslessStudy(cfg LosslessStudyConfig) (LosslessStudyResult, error) {
+	return testbed.RunLosslessStudy(cfg)
+}

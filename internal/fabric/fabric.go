@@ -139,6 +139,10 @@ type SwitchConfig struct {
 	// ECNThresholdBytes is the instantaneous queue depth above which
 	// ECN-capable packets are marked CE (DCTCP-style marking, K).
 	ECNThresholdBytes int
+	// PFC enables priority flow control (lossless mode): per-ingress
+	// occupancy accounting with XOFF/XON pause thresholds instead of
+	// drop-tail for PFC-tracked ingresses. See PFCConfig.
+	PFC PFCConfig
 }
 
 // DefaultSwitchConfig returns DCTCP-appropriate marking for 100 Gbps.
@@ -175,6 +179,20 @@ type Switch struct {
 	Drops stats.Counter
 	Marks stats.Counter
 
+	// PFC state (populated only when cfg.PFC.Enabled). HeadroomDrops
+	// counts packets lost despite PFC — headroom provisioned too small
+	// for the in-flight data (also counted in Drops). PauseFrames and
+	// PauseLost count pause frames emitted and lost to injected faults;
+	// PauseAsserts counts output-port pause transitions into the paused
+	// state; WatchdogReleases counts forced releases by the PFC watchdog.
+	HeadroomDrops    stats.Counter
+	PauseFrames      stats.Counter
+	PauseLost        stats.Counter
+	PauseAsserts     stats.Counter
+	WatchdogReleases stats.Counter
+	ingresses        []*Ingress
+	pauseFault       func() bool
+
 	// tr, when set before AttachPort, gives every port a queue-depth
 	// counter track plus a switch-wide CE-mark track.
 	tr      *telemetry.Tracer
@@ -182,16 +200,34 @@ type Switch struct {
 	prefix  string
 }
 
+// qent is one queued packet plus the PFC ingress it arrived on (nil when
+// the ingress is not PFC-tracked).
+type qent struct {
+	p  *packet.Packet
+	ig *Ingress
+}
+
 type outPort struct {
 	sw     *Switch
 	link   *Link
-	queue  ring.Queue[*packet.Packet]
+	queue  ring.Queue[qent]
 	qBytes int
 	busy   bool
+	name   string
 
 	// key identifies the port in snapshots: the host ID for host-facing
 	// ports, trunkKeyBase+n for the n-th trunk port.
 	key uint64
+
+	// PFC pause state: paused is protocol pause (XOFF from downstream),
+	// forced is injected pause (storm fault); the union gates the pump.
+	// pauseGen invalidates stale watchdog timers across transitions.
+	paused      bool
+	forced      bool
+	pauseGen    uint64
+	pausedAt    sim.Time
+	pausedTotal sim.Time
+	trPauseID   uint64
 
 	// trQueue records the port's queue depth over time (nil when disabled).
 	trQueue *telemetry.Track
@@ -219,12 +255,28 @@ func (s *Switch) SetTracer(t *telemetry.Tracer, prefix string) {
 	s.trMarks = t.NewTrack(prefix+"/marks", "pkts")
 }
 
-// RegisterInstruments registers the switch's metrics under prefix.
+// RegisterInstruments registers the switch's metrics under prefix. PFC
+// instruments appear only when PFC is enabled, keeping the non-lossless
+// metric namespace unchanged.
 func (s *Switch) RegisterInstruments(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/drops", "pkts", "packets dropped at full output queues",
 		func() float64 { return float64(s.Drops.Total()) })
 	reg.Counter(prefix+"/marks", "pkts", "packets CE-marked at the ECN threshold",
 		func() float64 { return float64(s.Marks.Total()) })
+	if s.cfg.PFC.Enabled {
+		reg.Counter(prefix+"/pfc/pause-frames", "frames", "PFC pause frames emitted (XOFF and XON)",
+			func() float64 { return float64(s.PauseFrames.Total()) })
+		reg.Counter(prefix+"/pfc/pause-lost", "frames", "pause frames lost to injected faults",
+			func() float64 { return float64(s.PauseLost.Total()) })
+		reg.Counter(prefix+"/pfc/pause-asserts", "events", "output-port transitions into the paused state",
+			func() float64 { return float64(s.PauseAsserts.Total()) })
+		reg.Counter(prefix+"/pfc/watchdog-releases", "events", "pauses force-released by the PFC watchdog",
+			func() float64 { return float64(s.WatchdogReleases.Total()) })
+		reg.Counter(prefix+"/pfc/headroom-drops", "pkts", "packets lost despite PFC (headroom exhausted)",
+			func() float64 { return float64(s.HeadroomDrops.Total()) })
+		reg.Gauge(prefix+"/pfc/xoff-occupancy", "bytes", "buffered bytes across PFC ingresses",
+			func() float64 { return float64(s.IngressOccupancy()) })
+	}
 }
 
 // AttachPort connects the output port toward host id over the given link
@@ -249,11 +301,12 @@ func (s *Switch) AttachTrunk(link *Link) PortID {
 }
 
 func (s *Switch) attach(link *Link, key uint64, name string) PortID {
-	o := &outPort{sw: s, link: link, key: key}
+	o := &outPort{sw: s, link: link, key: key, name: name}
 	o.doneH = s.e.Handler(o.serDone)
 	if s.tr != nil {
 		o.trQueue = s.tr.NewTrack(fmt.Sprintf("%s/%s/queue", s.prefix, name), "bytes")
 		o.trQueue.Set(s.e.Now(), 0)
+		o.trPauseID = pauseRangeID(s.prefix, name)
 	}
 	s.ports = append(s.ports, o)
 	return PortID(len(s.ports) - 1)
@@ -287,32 +340,50 @@ func (s *Switch) Inject(p *packet.Packet) {
 	s.ports[port].enqueue(p)
 }
 
-func (o *outPort) enqueue(p *packet.Packet) {
-	if o.qBytes+p.WireLen() > o.sw.cfg.PortBufferBytes {
+func (o *outPort) enqueue(p *packet.Packet) { o.enqueueFrom(nil, p) }
+
+func (o *outPort) enqueueFrom(ig *Ingress, p *packet.Packet) {
+	if ig != nil {
+		// Lossless admission: the ingress quota (XOFF + headroom), not
+		// the output queue, bounds buffering. A failed admit means the
+		// headroom was provisioned too small for the in-flight data.
+		if !ig.admit(p.WireLen()) {
+			o.sw.Drops.Inc()
+			o.sw.HeadroomDrops.Inc()
+			o.link.pool.Put(p)
+			return
+		}
+	} else if o.qBytes+p.WireLen() > o.sw.cfg.PortBufferBytes {
 		o.sw.Drops.Inc()
 		o.link.pool.Put(p)
 		return
 	}
 	// DCTCP marking: mark on instantaneous queue depth at enqueue.
+	// PFC does not replace ECN — DCQCN's CNPs are generated from exactly
+	// these marks; pause frames are the backstop, not the signal.
 	if o.qBytes > o.sw.cfg.ECNThresholdBytes && p.ECN == packet.ECT0 {
 		p.ECN = packet.CE
 		o.sw.Marks.Inc()
 		o.sw.trMarks.Set(o.sw.e.Now(), float64(o.sw.Marks.Total()))
 	}
-	o.queue.Push(p)
+	o.queue.Push(qent{p: p, ig: ig})
 	o.qBytes += p.WireLen()
 	o.trQueue.Set(o.sw.e.Now(), float64(o.qBytes))
 	o.pump()
 }
 
 func (o *outPort) pump() {
-	if o.busy || o.queue.Len() == 0 {
+	if o.busy || o.paused || o.forced || o.queue.Len() == 0 {
 		return
 	}
 	o.busy = true
-	p := o.queue.Pop()
+	ent := o.queue.Pop()
+	p := ent.p
 	o.qBytes -= p.WireLen()
 	o.trQueue.Set(o.sw.e.Now(), float64(o.qBytes))
+	if ent.ig != nil {
+		ent.ig.release(p.WireLen())
+	}
 	// Hold the serializer for the packet's own transmission time, then
 	// hand it to the link (which adds propagation).
 	o.serFlight = p
@@ -381,5 +452,5 @@ func (c SwitchConfig) Validate() error {
 		return fmt.Errorf("fabric: ECNThresholdBytes %d must be below PortBufferBytes %d",
 			c.ECNThresholdBytes, c.PortBufferBytes)
 	}
-	return nil
+	return c.PFC.Validate(c.PortBufferBytes)
 }

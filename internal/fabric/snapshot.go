@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/snapshot"
+	"repro/internal/stats"
 )
 
 // Snapshot encodes the link serializer and fault state.
@@ -45,11 +46,33 @@ func (s *Switch) Snapshot(e *snapshot.Encoder) {
 		e.Bool(p.busy)
 		e.U32(uint32(p.queue.Len()))
 		for i := 0; i < p.queue.Len(); i++ {
-			e.Int(p.queue.At(i).WireLen())
+			e.Int(p.queue.At(i).p.WireLen())
 		}
 	}
 	s.Drops.Snapshot(e)
 	s.Marks.Snapshot(e)
+	// PFC state is appended only when enabled, so non-lossless images stay
+	// byte-identical to the pre-PFC encoding.
+	if s.cfg.PFC.Enabled {
+		for _, p := range ports {
+			e.U64(p.key)
+			e.Bool(p.paused)
+			e.Bool(p.forced)
+			e.I64(int64(p.pausedAt))
+			e.I64(int64(p.pausedTotal))
+		}
+		e.U32(uint32(len(s.ingresses)))
+		for _, ig := range s.ingresses {
+			e.Int(ig.occ)
+			e.Bool(ig.xoff)
+			ig.Xoffs.Snapshot(e)
+		}
+		s.HeadroomDrops.Snapshot(e)
+		s.PauseFrames.Snapshot(e)
+		s.PauseLost.Snapshot(e)
+		s.PauseAsserts.Snapshot(e)
+		s.WatchdogReleases.Snapshot(e)
+	}
 }
 
 // Restore reverses Snapshot for the scalar port state; queued packets are
@@ -75,5 +98,48 @@ func (s *Switch) Restore(d *snapshot.Decoder) error {
 	if err := s.Drops.Restore(d); err != nil {
 		return err
 	}
-	return s.Marks.Restore(d)
+	if err := s.Marks.Restore(d); err != nil {
+		return err
+	}
+	if s.cfg.PFC.Enabled {
+		for i := 0; i < len(s.ports) && d.Err() == nil; i++ {
+			key := d.U64()
+			paused := d.Bool()
+			forced := d.Bool()
+			pausedAt := sim.Time(d.I64())
+			pausedTotal := sim.Time(d.I64())
+			for _, p := range s.ports {
+				if p.key == key {
+					p.paused, p.forced = paused, forced
+					p.pausedAt, p.pausedTotal = pausedAt, pausedTotal
+					break
+				}
+			}
+		}
+		nIg := int(d.U32())
+		for i := 0; i < nIg && d.Err() == nil; i++ {
+			occ := d.Int()
+			xoff := d.Bool()
+			if i < len(s.ingresses) {
+				ig := s.ingresses[i]
+				ig.occ, ig.xoff = occ, xoff
+				if err := ig.Xoffs.Restore(d); err != nil {
+					return err
+				}
+			} else {
+				var scratch stats.Counter
+				if err := scratch.Restore(d); err != nil {
+					return err
+				}
+			}
+		}
+		for _, c := range []*stats.Counter{
+			&s.HeadroomDrops, &s.PauseFrames, &s.PauseLost, &s.PauseAsserts, &s.WatchdogReleases,
+		} {
+			if err := c.Restore(d); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
 }

@@ -133,6 +133,10 @@ func (t Topology) Validate() error {
 	if t.Kind == TopoLeafSpine && t.Leaves == 1 {
 		return fmt.Errorf("fabric: leaf–spine needs at least 2 leaves")
 	}
+	if t.Kind == TopoDumbbell && (t.Leaves != 0 || t.Spines != 0) {
+		return fmt.Errorf("fabric: dumbbell shape is fixed at 2 switches; leaves/spines %dx%d must be zero",
+			t.Leaves, t.Spines)
+	}
 	if t.Switch != (SwitchConfig{}) {
 		if err := t.Switch.Validate(); err != nil {
 			return err
@@ -147,11 +151,32 @@ func (t Topology) Validate() error {
 }
 
 // HostPort is one host's attachment to the fabric: its ID, the rack
-// (leaf index) it lives in, and its wire-delivery function.
+// (leaf index) it lives in, and its wire-delivery function. Pause, when
+// non-nil and the fabric is built with PFC enabled, receives the leaf
+// switch's XOFF/XON toward this host (wire it to the host NIC's transmit
+// pause).
 type HostPort struct {
 	ID      packet.HostID
 	Rack    int
 	Deliver func(*packet.Packet)
+	Pause   func(bool)
+}
+
+// TrunkPort locates one directed trunk's transmitting port: the switch
+// that owns the output port, the switch indices it connects (into
+// Fabric.Switches), and a display name like "leaf0->spine1". Parallel to
+// Fabric.Trunks.
+type TrunkPort struct {
+	Sw       *Switch
+	Port     PortID
+	From, To int
+	Name     string
+}
+
+// hostPortRef locates the leaf output port facing one host.
+type hostPortRef struct {
+	sw   *Switch
+	port PortID
 }
 
 // Fabric is a compiled topology: switches, per-host access links and
@@ -168,13 +193,29 @@ type Fabric struct {
 	// (leaf→spine, spine→leaf) pair for each leaf×spine in row-major
 	// order; for the dumbbell, the left→right and right→left pair.
 	Trunks []*Link
+	// TrunkPorts locates the transmitting switch port of each trunk,
+	// index-parallel to Trunks (pause injection and instrumentation).
+	TrunkPorts []TrunkPort
 
-	sends []func(*packet.Packet)
+	sends       []func(*packet.Packet)
+	hostPorts   []hostPortRef
+	accessDelay sim.Time
 }
 
 // HostSend returns the transmit function of host i (index into the hosts
 // slice given to Build) — wire this into host.SetOutput.
 func (f *Fabric) HostSend(i int) func(*packet.Packet) { return f.sends[i] }
+
+// HostPauser returns a pause-assertion function for host i's leaf port:
+// calling it models the host NIC emitting a PFC pause frame upstream,
+// which (after the access link's flight time) gates the leaf's queue
+// toward that host. Wire it into the NIC's rx-buffer pause hook. Only
+// meaningful on a PFC-enabled fabric.
+func (f *Fabric) HostPauser(i int) func(bool) {
+	ref := f.hostPorts[i]
+	delay := f.accessDelay
+	return func(on bool) { ref.sw.PausePortFrom(ref.port, delay, on) }
+}
 
 // Drops sums drop-tail losses across every switch.
 func (f *Fabric) Drops() int64 {
@@ -232,6 +273,7 @@ func Build(e *sim.Engine, topo Topology, access LinkConfig, hosts []HostPort, po
 		trunkCfg = access
 	}
 	racks := topo.Racks()
+	seen := make(map[packet.HostID]bool, len(hosts))
 	for i, h := range hosts {
 		if h.Rack < 0 || h.Rack >= racks {
 			return nil, fmt.Errorf("fabric: host %d rack %d outside [0,%d)", h.ID, h.Rack, racks)
@@ -239,9 +281,29 @@ func Build(e *sim.Engine, topo Topology, access LinkConfig, hosts []HostPort, po
 		if h.ID == 0 {
 			return nil, fmt.Errorf("fabric: host at index %d has zero ID", i)
 		}
+		if seen[h.ID] {
+			return nil, fmt.Errorf("fabric: duplicate host ID %d", h.ID)
+		}
+		seen[h.ID] = true
+	}
+	pfcOn := swcfg.PFC.Enabled
+	if pfcOn {
+		// A "lossless" fabric with too little headroom silently loses
+		// packets after XOFF — reject the configuration rather than let
+		// the contradiction surface as unexplained drops.
+		const maxFrame = 9216 // jumbo-frame allowance
+		for _, lc := range []struct {
+			name string
+			cfg  LinkConfig
+		}{{"access", access}, {"trunk", trunkCfg}} {
+			if need := headroomFor(lc.cfg, maxFrame); swcfg.PFC.HeadroomBytes < need {
+				return nil, fmt.Errorf("fabric: PFC HeadroomBytes %d below the %d needed for lossless %s links (2xBDP + frames)",
+					swcfg.PFC.HeadroomBytes, need, lc.name)
+			}
+		}
 	}
 
-	f := &Fabric{Topo: topo, sends: make([]func(*packet.Packet), len(hosts))}
+	f := &Fabric{Topo: topo, sends: make([]func(*packet.Packet), len(hosts)), accessDelay: access.Delay}
 	for i := 0; i < topo.Switches(); i++ {
 		sw := NewSwitch(e, swcfg)
 		if tr != nil {
@@ -251,14 +313,28 @@ func Build(e *sim.Engine, topo Topology, access LinkConfig, hosts []HostPort, po
 	}
 	leaves := f.Switches[:racks]
 
-	// Host access links, in host order.
+	// Host access links, in host order. With PFC on, the up link's
+	// delivery is ingress-tracked so the leaf can XOFF the host NIC, and
+	// the leaf's port toward the host is recorded so the NIC can pause
+	// the leaf in turn (HostPauser).
 	for i, h := range hosts {
 		sw := leaves[h.Rack]
-		up := NewLink(e, access, sw.Inject)
+		var up *Link
+		if pfcOn {
+			pauseNIC := h.Pause
+			if pauseNIC == nil {
+				pauseNIC = func(bool) {}
+			}
+			ig := sw.NewIngress(fmt.Sprintf("host%d", h.ID), access.Delay, pauseNIC)
+			up = NewLink(e, access, func(p *packet.Packet) { sw.InjectFrom(ig, p) })
+		} else {
+			up = NewLink(e, access, sw.Inject)
+		}
 		up.SetPool(pool)
 		down := NewLink(e, access, h.Deliver)
 		down.SetPool(pool)
-		sw.AttachPort(h.ID, down)
+		port := sw.AttachPort(h.ID, down)
+		f.hostPorts = append(f.hostPorts, hostPortRef{sw: sw, port: port})
 		f.sends[i] = up.Send
 		f.Access = append(f.Access, up, down)
 	}
@@ -277,13 +353,43 @@ func Build(e *sim.Engine, topo Topology, access LinkConfig, hosts []HostPort, po
 		for l := range leaves {
 			leafUp[l] = make([]PortID, len(spines))
 			for s := range spines {
-				up := NewLink(e, trunkCfg, spines[s].Inject)
+				lf, sp := leaves[l], spines[s]
+				// With PFC on, each trunk's receiving switch tracks the
+				// trunk as an ingress whose XOFF pauses the transmitting
+				// switch's port — pause propagation across tiers, and the
+				// loop a pfc-cycle verdict names.
+				var up, down *Link
+				var upIg, downIg *Ingress
+				if pfcOn {
+					up = NewLink(e, trunkCfg, func(p *packet.Packet) { sp.InjectFrom(upIg, p) })
+				} else {
+					up = NewLink(e, trunkCfg, sp.Inject)
+				}
 				up.SetPool(pool)
-				leafUp[l][s] = leaves[l].AttachTrunk(up)
-				down := NewLink(e, trunkCfg, leaves[l].Inject)
+				leafUp[l][s] = lf.AttachTrunk(up)
+				if pfcOn {
+					upPort := leafUp[l][s]
+					upIg = sp.NewIngress(fmt.Sprintf("leaf%d", l), trunkCfg.Delay,
+						func(on bool) { lf.PortPause(upPort, on) })
+				}
+				if pfcOn {
+					down = NewLink(e, trunkCfg, func(p *packet.Packet) { lf.InjectFrom(downIg, p) })
+				} else {
+					down = NewLink(e, trunkCfg, lf.Inject)
+				}
 				down.SetPool(pool)
-				spineDown[s][l] = spines[s].AttachTrunk(down)
+				spineDown[s][l] = sp.AttachTrunk(down)
+				if pfcOn {
+					downPort := spineDown[s][l]
+					downIg = lf.NewIngress(fmt.Sprintf("spine%d", s), trunkCfg.Delay,
+						func(on bool) { sp.PortPause(downPort, on) })
+				}
 				f.Trunks = append(f.Trunks, up, down)
+				f.TrunkPorts = append(f.TrunkPorts,
+					TrunkPort{Sw: lf, Port: leafUp[l][s], From: l, To: racks + s,
+						Name: fmt.Sprintf("leaf%d->spine%d", l, s)},
+					TrunkPort{Sw: sp, Port: spineDown[s][l], From: racks + s, To: l,
+						Name: fmt.Sprintf("spine%d->leaf%d", s, l)})
 			}
 		}
 		for _, h := range hosts {
@@ -301,13 +407,34 @@ func Build(e *sim.Engine, topo Topology, access LinkConfig, hosts []HostPort, po
 		}
 	case TopoDumbbell:
 		left, right := f.Switches[0], f.Switches[1]
-		lr := NewLink(e, trunkCfg, right.Inject)
+		var lr, rl *Link
+		var lrIg, rlIg *Ingress
+		if pfcOn {
+			lr = NewLink(e, trunkCfg, func(p *packet.Packet) { right.InjectFrom(lrIg, p) })
+		} else {
+			lr = NewLink(e, trunkCfg, right.Inject)
+		}
 		lr.SetPool(pool)
 		lrPort := left.AttachTrunk(lr)
-		rl := NewLink(e, trunkCfg, left.Inject)
+		if pfcOn {
+			lrIg = right.NewIngress("sw0", trunkCfg.Delay,
+				func(on bool) { left.PortPause(lrPort, on) })
+		}
+		if pfcOn {
+			rl = NewLink(e, trunkCfg, func(p *packet.Packet) { left.InjectFrom(rlIg, p) })
+		} else {
+			rl = NewLink(e, trunkCfg, left.Inject)
+		}
 		rl.SetPool(pool)
 		rlPort := right.AttachTrunk(rl)
+		if pfcOn {
+			rlIg = left.NewIngress("sw1", trunkCfg.Delay,
+				func(on bool) { right.PortPause(rlPort, on) })
+		}
 		f.Trunks = append(f.Trunks, lr, rl)
+		f.TrunkPorts = append(f.TrunkPorts,
+			TrunkPort{Sw: left, Port: lrPort, From: 0, To: 1, Name: "sw0->sw1"},
+			TrunkPort{Sw: right, Port: rlPort, From: 1, To: 0, Name: "sw1->sw0"})
 		for _, h := range hosts {
 			if h.Rack == 0 {
 				right.SetRoute(h.ID, rlPort)

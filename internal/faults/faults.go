@@ -49,12 +49,28 @@ const (
 	MAppStall
 	// MAppBurst scales MApp issue aggressiveness by Magnitude (>1).
 	MAppBurst
+	// PauseStorm forces PFC pause asserted on the targeted trunk ports
+	// for the window (a malfunctioning peer emitting continuous pause
+	// frames — the classic storm mechanism). Requires a lossless fabric
+	// and a Seams.Pause target list.
+	PauseStorm
+	// PauseLoss drops PFC pause frames in flight with probability Prob —
+	// a lost XON leaves the peer paused until the watchdog (if armed)
+	// force-releases it. Applies per frame at every Seams.Switches entry.
+	PauseLoss
 	numKinds
 )
+
+// legacyKinds marks the end of the pre-PFC kind set. Injector snapshots
+// encode per-kind state for these kinds unconditionally and for the PFC
+// kinds only when the plan uses them, keeping old recordings
+// byte-identical.
+const legacyKinds = PauseStorm
 
 var kindNames = [numKinds]string{
 	"msr-stale", "msr-fail", "msr-latency", "mba-drop", "mba-delay",
 	"nic-drop", "link-flap", "pcie-stall", "mapp-stall", "mapp-burst",
+	"pause-storm", "pause-loss",
 }
 
 func (k Kind) String() string {
@@ -136,7 +152,7 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faults: injection %d: MAppBurst needs magnitude > 1", n)
 		}
 		switch inj.Kind {
-		case LinkFlap, PCIeStall, MAppStall, MAppBurst:
+		case LinkFlap, PCIeStall, MAppStall, MAppBurst, PauseStorm:
 			if inj.Duration == 0 {
 				return fmt.Errorf("faults: injection %d (%v): window kind needs a duration", n, inj.Kind)
 			}

@@ -22,6 +22,13 @@ type Seams struct {
 	PCIe  *pcie.Link
 	Links []*fabric.Link
 	MApp  *cpu.MApp
+	// Pause is the PauseStorm target list: each closure forces PFC pause
+	// asserted (true) or released (false) on one fabric port, typically
+	// built from fabric.TrunkPort entries.
+	Pause []func(bool)
+	// Switches is the PauseLoss seam: every switch whose pause frames may
+	// be dropped in flight.
+	Switches []*fabric.Switch
 }
 
 // Event records one window transition, for tests and diagnostics.
@@ -43,6 +50,10 @@ type Injector struct {
 	prob   [numKinds]float64 // per-event probability while active
 	mag    [numKinds]float64 // magnitude while active
 	armed  bool
+	// ext reports whether the plan uses any post-legacy kind; snapshots
+	// append the extended per-kind state only then, so recordings of old
+	// plans keep their original byte layout.
+	ext bool
 
 	// Events is the ordered log of window transitions.
 	Events []Event
@@ -55,7 +66,13 @@ func NewInjector(e *sim.Engine, plan Plan, s Seams) (*Injector, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{e: e, plan: plan, s: s}, nil
+	in := &Injector{e: e, plan: plan, s: s}
+	for _, inj := range plan.Injections {
+		if inj.Kind >= legacyKinds {
+			in.ext = true
+		}
+	}
+	return in, nil
 }
 
 // MustNewInjector is NewInjector, panicking on an invalid plan.
@@ -141,6 +158,10 @@ func (in *Injector) open(inj Injection) {
 		if in.s.MApp != nil {
 			in.s.MApp.SetBurst(inj.Magnitude)
 		}
+	case PauseStorm:
+		for _, f := range in.s.Pause {
+			f(true)
+		}
 	}
 }
 
@@ -170,6 +191,10 @@ func (in *Injector) close(inj Injection) {
 	case MAppBurst:
 		if in.s.MApp != nil {
 			in.s.MApp.SetBurst(1)
+		}
+	case PauseStorm:
+		for _, f := range in.s.Pause {
+			f(false)
 		}
 	}
 }
@@ -219,6 +244,11 @@ func (in *Injector) installHooks() {
 	if in.s.NIC != nil {
 		in.s.NIC.SetRxFault(func(*packet.Packet) bool {
 			return in.roll(NICDrop)
+		})
+	}
+	for _, sw := range in.s.Switches {
+		sw.SetPauseFault(func() bool {
+			return in.roll(PauseLoss)
 		})
 	}
 }

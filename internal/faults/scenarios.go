@@ -95,6 +95,36 @@ var builtins = map[string]func(at, dur sim.Time) Plan{
 			Probabilistic(NICDrop, at, dur, 0.1),
 		}}
 	},
+	// pfc-storm: a malfunctioning peer holds PFC pause asserted on a
+	// trunk pair for the window — the classic pause storm. Cross-rack
+	// traffic freezes behind the paused trunks; the sentinel must name
+	// the pause cycle and the fabric must drain when the storm clears.
+	// Requires a lossless multi-switch testbed with pause targets armed.
+	"pfc-storm": func(at, dur sim.Time) Plan {
+		return Plan{Name: "pfc-storm", Injections: []Injection{
+			OneShot(PauseStorm, at, dur),
+		}}
+	},
+	// pause-loss: half of all PFC pause frames vanish in flight. A lost
+	// XOFF costs headroom; a lost XON leaves the peer paused until the
+	// PFC watchdog force-releases it — the storm mechanism §PFC
+	// deployments guard against.
+	"pause-loss": func(at, dur sim.Time) Plan {
+		return Plan{Name: "pause-loss", Injections: []Injection{
+			Probabilistic(PauseLoss, at, dur, 0.5),
+		}}
+	},
+	// congestion-spread: the victim receiver's MApp goes 6x aggressive —
+	// host congestion squeezes the NIC buffer, and on a lossless fabric
+	// the NIC's pause backpressure spreads that one host's congestion up
+	// the access link into the leaf, pausing innocent flows. The hostCC
+	// experiment: with the controller on, the MApp is throttled before
+	// the NIC fills and the spreading never starts.
+	"congestion-spread": func(at, dur sim.Time) Plan {
+		return Plan{Name: "congestion-spread", Injections: []Injection{
+			OneShot(MAppBurst, at, dur).WithMagnitude(6),
+		}}
+	},
 }
 
 // Builtin returns the named built-in scenario with its fault window

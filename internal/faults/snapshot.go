@@ -9,7 +9,13 @@ import (
 // transition log and injection counters (the plan itself is configuration).
 func (in *Injector) Snapshot(e *snapshot.Encoder) {
 	e.Bool(in.armed)
-	for k := 0; k < int(numKinds); k++ {
+	// Per-kind state for the PFC kinds is appended only when the plan uses
+	// them (in.ext), so recordings of legacy plans keep their byte layout.
+	kinds := int(legacyKinds)
+	if in.ext {
+		kinds = int(numKinds)
+	}
+	for k := 0; k < kinds; k++ {
 		e.Int(in.active[k])
 		e.F64(in.prob[k])
 		e.F64(in.mag[k])
@@ -26,7 +32,11 @@ func (in *Injector) Snapshot(e *snapshot.Encoder) {
 // Restore reverses Snapshot.
 func (in *Injector) Restore(d *snapshot.Decoder) error {
 	in.armed = d.Bool()
-	for k := 0; k < int(numKinds); k++ {
+	kinds := int(legacyKinds)
+	if in.ext {
+		kinds = int(numKinds)
+	}
+	for k := 0; k < kinds; k++ {
 		in.active[k] = d.Int()
 		in.prob[k] = d.F64()
 		in.mag[k] = d.F64()

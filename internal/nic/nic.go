@@ -40,6 +40,9 @@ type Config struct {
 	// host congestion to the transmit path (used by sender-side hostCC
 	// experiments). Off by default: reads are posted.
 	TxBlockingReads bool
+	// PFC makes the rx buffer lossless (pause instead of drop) and
+	// enables CNP generation; see PFCConfig. Disabled by default.
+	PFC PFCConfig
 }
 
 // DefaultConfig returns the paper-calibrated NIC.
@@ -91,6 +94,19 @@ type NIC struct {
 	// burst loss, a resetting MAC).
 	rxFault func(*packet.Packet) bool
 
+	// PFC state (lossless mode; see PFCConfig). pauseUpstream carries
+	// XOFF/XON toward the fabric; txPaused gates the serializer when the
+	// switch pauses us; cnpLast rate-limits CNP generation per flow
+	// (lookup/insert only — never iterated, so map order cannot leak
+	// into the simulation).
+	pauseUpstream func(bool)
+	rxXoff        bool
+	txPaused      bool
+	txPauseGen    uint64
+	txPausedAt    sim.Time
+	txPausedTotal sim.Time
+	cnpLast       map[packet.FlowID]sim.Time
+
 	// tr records rx-buffer residence spans and drop events (nil when
 	// telemetry is disabled); stallCause remembers what most recently
 	// blocked the DMA pump, attributing queueing to credits/descriptors.
@@ -105,6 +121,14 @@ type NIC struct {
 	TxSent     stats.Counter
 	rxOcc      stats.TimeWeighted
 	QueueDelay *stats.Histogram // ns spent in the rx buffer before DMA
+
+	// PFC metrics (counted only in lossless mode). HeadroomDrops are
+	// packets lost despite PFC — the headroom above XOFF was exhausted —
+	// also counted in Drops so conservation invariants keep holding.
+	PauseAsserts     stats.Counter
+	WatchdogReleases stats.Counter
+	CNPsSent         stats.Counter
+	HeadroomDrops    stats.Counter
 }
 
 // New creates a NIC. link is the PCIe path to the IIO; mc (optional)
@@ -164,6 +188,23 @@ func (n *NIC) RegisterInstruments(reg *telemetry.Registry, prefix string) {
 		func() float64 { return float64(n.descFree) })
 	reg.Histogram(prefix+"/nic/queue-delay", "ns", "rx-buffer residence before DMA",
 		n.QueueDelay)
+	if n.cfg.PFC.Enabled {
+		reg.Counter(prefix+"/nic/pfc/pause-asserts", "events", "rx-buffer XOFF assertions toward the fabric",
+			func() float64 { return float64(n.PauseAsserts.Total()) })
+		reg.Counter(prefix+"/nic/pfc/watchdog-releases", "events", "tx pauses force-released by the watchdog",
+			func() float64 { return float64(n.WatchdogReleases.Total()) })
+		reg.Counter(prefix+"/nic/pfc/cnps-sent", "pkts", "congestion notification packets generated from CE marks",
+			func() float64 { return float64(n.CNPsSent.Total()) })
+		reg.Counter(prefix+"/nic/pfc/headroom-drops", "pkts", "packets lost despite PFC (headroom exhausted)",
+			func() float64 { return float64(n.HeadroomDrops.Total()) })
+		reg.Gauge(prefix+"/nic/pfc/tx-paused", "bool", "transmit path pause-gated by the switch",
+			func() float64 {
+				if n.txPaused {
+					return 1
+				}
+				return 0
+			})
+	}
 }
 
 // SetOutput attaches the transmit side to the fabric.
@@ -183,7 +224,13 @@ func (n *NIC) Receive(p *packet.Packet) {
 		return
 	}
 	if n.rxBytes+p.WireLen() > n.cfg.RxBufferBytes {
+		// In lossless mode this is a headroom overrun: pause was asserted
+		// at XOFF and the in-flight data still overran the buffer — an
+		// accounted provisioning failure, not normal operation.
 		n.Drops.Inc()
+		if n.cfg.PFC.Enabled {
+			n.HeadroomDrops.Inc()
+		}
 		if n.tr != nil {
 			n.tr.Instant(telemetry.HopNICQueue, "nic-drop", n.e.Now(),
 				telemetry.KV{Key: "seq", Val: float64(p.Seq)},
@@ -192,10 +239,16 @@ func (n *NIC) Receive(p *packet.Packet) {
 		n.pool.Put(p)
 		return
 	}
+	if n.cfg.PFC.Enabled && p.ECN == packet.CE && p.IsData() {
+		n.maybeSendCNP(p)
+	}
 	n.tr.PacketSpanBegin(telemetry.HopNICQueue, p, n.e.Now())
 	n.rxQ.Push(rxEntry{p: p, at: n.e.Now()})
 	n.rxBytes += p.WireLen()
 	n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
+	if n.cfg.PFC.Enabled && !n.rxXoff && n.rxBytes > n.cfg.PFC.XoffBytes {
+		n.setRxXoff(true)
+	}
 	n.pump()
 }
 
@@ -239,6 +292,9 @@ func (n *NIC) pump() {
 			n.QueueDelay.Add(float64(n.e.Now() - ent.at))
 			n.rxBytes -= t.Pkt.WireLen()
 			n.rxOcc.Set(n.e.Now(), float64(n.rxBytes))
+			if n.rxXoff && n.rxBytes <= n.cfg.PFC.XonBytes {
+				n.setRxXoff(false)
+			}
 			n.descFree--
 		}
 		n.cur[n.curIdx] = nil // ownership moved to the PCIe link
@@ -264,7 +320,7 @@ func (n *NIC) Transmit(p *packet.Packet) {
 }
 
 func (n *NIC) txPump() {
-	if n.txBusy || n.txQ.Len() == 0 {
+	if n.txBusy || n.txPaused || n.txQ.Len() == 0 {
 		return
 	}
 	n.txBusy = true
@@ -364,5 +420,5 @@ func (c Config) Validate() error {
 	if c.LineRate <= 0 {
 		return fmt.Errorf("nic: LineRate %v must be positive", c.LineRate)
 	}
-	return nil
+	return c.PFC.Validate(c.RxBufferBytes)
 }

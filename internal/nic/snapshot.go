@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
@@ -33,6 +34,19 @@ func (n *NIC) Snapshot(e *snapshot.Encoder) {
 	n.TxSent.Snapshot(e)
 	n.rxOcc.Snapshot(e)
 	n.QueueDelay.Snapshot(e)
+	// PFC state is appended only in lossless mode so non-lossless images
+	// stay byte-identical to the pre-PFC encoding.
+	if n.cfg.PFC.Enabled {
+		e.Bool(n.rxXoff)
+		e.Bool(n.txPaused)
+		e.I64(int64(n.txPausedAt))
+		e.I64(int64(n.txPausedTotal))
+		e.U32(uint32(len(n.cnpLast)))
+		n.PauseAsserts.Snapshot(e)
+		n.WatchdogReleases.Snapshot(e)
+		n.CNPsSent.Snapshot(e)
+		n.HeadroomDrops.Snapshot(e)
+	}
 }
 
 // Restore reverses Snapshot for scalars and counters; queue contents are
@@ -61,7 +75,22 @@ func (n *NIC) Restore(d *snapshot.Decoder) error {
 	if err := n.rxOcc.Restore(d); err != nil {
 		return err
 	}
-	return n.QueueDelay.Restore(d)
+	if err := n.QueueDelay.Restore(d); err != nil {
+		return err
+	}
+	if n.cfg.PFC.Enabled {
+		n.rxXoff = d.Bool()
+		n.txPaused = d.Bool()
+		n.txPausedAt = sim.Time(d.I64())
+		n.txPausedTotal = sim.Time(d.I64())
+		_ = d.U32() // CNP rate-limiter population: digest-only
+		for _, c := range []*stats.Counter{&n.PauseAsserts, &n.WatchdogReleases, &n.CNPsSent, &n.HeadroomDrops} {
+			if err := c.Restore(d); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
 }
 
 var _ snapshot.Snapshotter = (*NIC)(nil)

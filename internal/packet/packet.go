@@ -54,6 +54,10 @@ const (
 	FlagECE // ECN-echo: receiver reflects CE back to the sender
 	FlagCWR // congestion window reduced
 	FlagPSH
+	// FlagCNP marks a Congestion Notification Packet (RoCEv2/DCQCN): the
+	// receiver NIC's hardware echo of a CE mark, consumed by the sender's
+	// rate-based congestion control without touching the byte stream.
+	FlagCNP
 )
 
 func (f Flags) Has(bit Flags) bool { return f&bit != 0 }
@@ -66,6 +70,7 @@ func (f Flags) String() string {
 	}{
 		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
 		{FlagECE, "ECE"}, {FlagCWR, "CWR"}, {FlagPSH, "PSH"},
+		{FlagCNP, "CNP"},
 	} {
 		if f.Has(fb.bit) {
 			if s != "" {

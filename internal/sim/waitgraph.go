@@ -15,6 +15,11 @@ type WaitNode struct {
 	Demand bool
 	Moving bool
 	Detail string // human-readable state, e.g. "0/64 credit lines free"
+	// Kind tags the resource class the node represents ("" for the
+	// classic host datapath resources, "pfc" for paused fabric ports).
+	// Classification uses it to name a cycle made entirely of PFC pauses
+	// as a pfc-cycle rather than a generic deadlock.
+	Kind string
 }
 
 type waitEdge struct {
@@ -40,11 +45,16 @@ func NewWaitGraph() *WaitGraph {
 // AddNode inserts a node. Re-adding a name panics: the builder constructs
 // the graph in one pass, so a duplicate is a programming error.
 func (g *WaitGraph) AddNode(name string, demand, moving bool, detail string) {
+	g.AddNodeKind(name, "", demand, moving, detail)
+}
+
+// AddNodeKind inserts a node tagged with a resource kind (see WaitNode.Kind).
+func (g *WaitGraph) AddNodeKind(name, kind string, demand, moving bool, detail string) {
 	if _, dup := g.index[name]; dup {
 		panic(fmt.Sprintf("sim: duplicate wait-graph node %q", name))
 	}
 	g.index[name] = len(g.nodes)
-	g.nodes = append(g.nodes, WaitNode{Name: name, Demand: demand, Moving: moving, Detail: detail})
+	g.nodes = append(g.nodes, WaitNode{Name: name, Demand: demand, Moving: moving, Detail: detail, Kind: kind})
 	g.edges = append(g.edges, nil)
 }
 
@@ -84,6 +94,12 @@ const (
 	// e.g. a PCIe credit loop where the NIC waits for credits and the
 	// credit-release path is itself wedged.
 	StallDeadlock
+	// StallPFCCycle: a deadlock whose cycle consists entirely of paused
+	// fabric ports (WaitNode.Kind "pfc") — a PFC pause loop across trunks,
+	// the lossless-fabric storm/deadlock signature. Distinct from
+	// StallDeadlock so the verdict names the failing layer: the fabric's
+	// flow control, not the host's credit machinery.
+	StallPFCCycle
 )
 
 func (c StallClass) String() string {
@@ -94,6 +110,8 @@ func (c StallClass) String() string {
 		return "starvation"
 	case StallDeadlock:
 		return "deadlock"
+	case StallPFCCycle:
+		return "pfc-cycle"
 	}
 	return fmt.Sprintf("StallClass(%d)", int(c))
 }
@@ -149,10 +167,21 @@ func (g *WaitGraph) FindCycle() []string {
 	return nil
 }
 
-// Classify renders the verdict: deadlock (with the cycle members),
-// starvation (with the wedged nodes), or idle.
+// Classify renders the verdict: pfc-cycle (a cycle made entirely of
+// paused fabric ports), deadlock (with the cycle members), starvation
+// (with the wedged nodes), or idle.
 func (g *WaitGraph) Classify() (StallClass, []string) {
 	if cycle := g.FindCycle(); cycle != nil {
+		allPFC := true
+		for _, name := range cycle {
+			if g.nodes[g.index[name]].Kind != "pfc" {
+				allPFC = false
+				break
+			}
+		}
+		if allPFC {
+			return StallPFCCycle, cycle
+		}
 		return StallDeadlock, cycle
 	}
 	var wedged []string

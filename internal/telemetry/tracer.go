@@ -23,6 +23,9 @@ const (
 	HopMBAWrite
 	// HopSample is one hostCC signal sample (the two chained MSR reads).
 	HopSample
+	// HopPause is one PFC pause range: a switch port (or NIC tx path)
+	// held paused by priority flow control, assert → release.
+	HopPause
 
 	hopCount
 )
@@ -39,6 +42,8 @@ func (h Hop) String() string {
 		return "mba-write"
 	case HopSample:
 		return "hostcc-sample"
+	case HopPause:
+		return "pfc-pause"
 	}
 	return "unknown"
 }

@@ -64,6 +64,23 @@ type ChaosConfig struct {
 	SentinelWindow  sim.Time
 	SentinelPolicy  sim.SentinelPolicy
 	SnapshotOnStall string
+
+	// Lossless runs the scenario on a PFC + DCQCN fabric (implied by the
+	// lossless scenarios pfc-storm, pause-loss and congestion-spread;
+	// settable to put any other scenario on the lossless fabric).
+	Lossless bool
+	// VerifyReplay re-executes the completed run and confirms the digest
+	// timeline reproduces frame for frame (the scale-out testbed's replay
+	// verification applied to chaos). Implies digest recording.
+	VerifyReplay bool
+}
+
+// losslessScenarios names the builtins that only make sense on a PFC
+// fabric; RunChaos turns Lossless on for them automatically.
+var losslessScenarios = map[string]bool{
+	"pfc-storm":         true,
+	"pause-loss":        true,
+	"congestion-spread": true,
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -88,6 +105,12 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 		if c.Scenario == "trunk-flap" {
 			c.RecoveryRTTBudget = 150
 		}
+	}
+	if losslessScenarios[c.Scenario] {
+		c.Lossless = true
+	}
+	if c.VerifyReplay && c.DigestEvery == 0 {
+		c.DigestEvery = 500 * sim.Microsecond
 	}
 	if c.CheckpointEvery > 0 && c.DigestEvery == 0 {
 		c.DigestEvery = 500 * sim.Microsecond
@@ -140,6 +163,12 @@ type ChaosResult struct {
 	// on abort ("" when none was written).
 	Stall         *sim.StallReport
 	StallSnapshot string
+
+	// ReplayVerified reports that the VerifyReplay re-execution matched
+	// the recording (always false when VerifyReplay was off);
+	// ReplayFrames is how many digest frames were compared.
+	ReplayVerified bool
+	ReplayFrames   int
 }
 
 // RunChaos executes one chaos scenario: build a loaded testbed with the
@@ -149,8 +178,23 @@ type ChaosResult struct {
 // runs out. The entire run — fault timing, probabilistic drops, transport
 // behavior — is a deterministic function of cfg.
 func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
-	res, _, err := runChaos(cfg)
-	return res, err
+	cfg = cfg.withDefaults()
+	res, tl, err := runChaos(cfg)
+	if err != nil || !cfg.VerifyReplay {
+		return res, err
+	}
+	// Replay verification: the run is a pure function of cfg, so a second
+	// execution must reproduce every digest frame and the final combined
+	// digest bit for bit.
+	res2, tl2, err := runChaos(cfg)
+	if err != nil {
+		return res, fmt.Errorf("testbed: chaos replay: %w", err)
+	}
+	if _, diverged := snapshot.FirstDivergence(tl, tl2); !diverged && res.Digest == res2.Digest && tl.Len() > 0 {
+		res.ReplayVerified = true
+		res.ReplayFrames = tl.Len()
+	}
+	return res, nil
 }
 
 // runChaos is RunChaos plus the recorded digest timeline (used by the
@@ -175,7 +219,7 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 		return ChaosResult{}, nil, fmt.Errorf("testbed: ChaosConfig.CheckpointEvery set without CheckpointPath")
 	}
 	topoName := cfg.Topology
-	if topoName == "" && plan.Name == "trunk-flap" {
+	if topoName == "" && (plan.Name == "trunk-flap" || losslessScenarios[plan.Name]) {
 		topoName = "leafspine"
 	}
 	topoKind, err := fabric.ParseTopologyKind(topoName)
@@ -197,6 +241,25 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	opts.Faults = plan
 	opts.Watchdog = &wd
 	opts.Invariants = true
+	opts.Lossless = cfg.Lossless
+	switch plan.Name {
+	case "pfc-storm":
+		// Two leaves, one spine: every cross-rack byte transits the
+		// stormed trunk pair, so the forced pauses freeze both directions
+		// and the wait graph closes into a pfc cycle. No PFC watchdog —
+		// the storm is supposed to wedge the fabric until it clears.
+		if topoKind != fabric.TopoLeafSpine {
+			return ChaosResult{}, nil, fmt.Errorf("testbed: pfc-storm requires the leafspine topology, not %q", topoKind)
+		}
+		opts.Topology = fabric.Topology{Kind: fabric.TopoLeafSpine, Leaves: 2, Spines: 1}
+		// Trunk pair of leaf 1 (the sender rack): up leaf1->spine0 and
+		// down spine0->leaf1, indices 2*(1*spines+0) and +1.
+		opts.StormTrunks = []int{2, 3}
+	case "pause-loss":
+		// Lost XONs wedge ports; the PFC watchdog is the recovery
+		// mechanism under test.
+		opts.PauseWatchdog = 150 * sim.Microsecond
+	}
 	if err := opts.Validate(); err != nil {
 		return ChaosResult{}, nil, err
 	}
@@ -337,6 +400,7 @@ func chaosMeta(cfg ChaosConfig, scenarioKey, topology string) map[string]string 
 		"digestEvery":    strconv.FormatInt(int64(cfg.DigestEvery), 10),
 		"sentinelWindow": strconv.FormatInt(int64(cfg.SentinelWindow), 10),
 		"sentinelPolicy": strconv.Itoa(int(cfg.SentinelPolicy)),
+		"lossless":       strconv.FormatBool(cfg.Lossless),
 	}
 }
 
@@ -378,6 +442,10 @@ func chaosConfigFromCheckpoint(ck *snapshot.Checkpoint) (ChaosConfig, error) {
 		DigestEvery:       sim.Time(geti("digestEvery")),
 		SentinelWindow:    sim.Time(geti("sentinelWindow")),
 		SentinelPolicy:    sim.SentinelPolicy(geti("sentinelPolicy")),
+		// Checkpoints from before the lossless field carry no key; those
+		// runs were lossy, which is exactly what the blank value selects
+		// (withDefaults re-implies lossless for the lossless scenarios).
+		Lossless: ck.Get("lossless") == "true",
 	}
 	return cfg, firstErr
 }

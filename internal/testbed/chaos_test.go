@@ -27,15 +27,28 @@ func TestChaosGracefulDegradation(t *testing.T) {
 		// 1 ms retry lands inside or after the 600 µs flap window (one
 		// extra backoff doubling) is seed-dependent timing.
 		budget int
+		// verifyReplay: run twice and require the digest timelines to
+		// match frame for frame (the lossless scenarios' acceptance bar).
+		verifyReplay bool
 	}{
-		{"msr-stale", true, false, 0},
-		{"mba-drop", false, true, 0},
-		{"link-flap", false, false, 0},
+		{"msr-stale", true, false, 0, false},
+		{"mba-drop", false, true, 0, false},
+		{"link-flap", false, false, 0, false},
 		// trunk-flap runs on its natural leaf–spine topology: the fabric
 		// partitions at the spine while access links stay up, and recovery
 		// is RTO-driven through the re-healed trunks.
-		{"trunk-flap", false, false, 150},
-		{"credit-stall", false, false, 0},
+		{"trunk-flap", false, false, 150, false},
+		{"credit-stall", false, false, 0, false},
+		// The lossless scenarios run on a PFC + DCQCN leaf–spine fabric,
+		// each replay-verified (two executions, identical digest frames).
+		// pfc-storm: forced trunk pauses freeze cross-rack traffic, the
+		// fabric must drain when the storm clears. pause-loss gets a wide
+		// budget: which pause frames vanish is seed-dependent, and a lost
+		// XON wedges a port until the 150 µs PFC watchdog force-releases
+		// it, so recovery stacks watchdog timeouts on RTO backoff.
+		{"pfc-storm", false, false, 0, true},
+		{"pause-loss", false, false, 150, true},
+		{"congestion-spread", false, false, 0, true},
 	}
 	for _, c := range cases {
 		t.Run(c.scenario, func(t *testing.T) {
@@ -43,7 +56,12 @@ func TestChaosGracefulDegradation(t *testing.T) {
 			if budget == 0 {
 				budget = 50
 			}
-			r, err := RunChaos(ChaosConfig{Scenario: c.scenario, Seed: 7, RecoveryRTTBudget: budget})
+			r, err := RunChaos(ChaosConfig{
+				Scenario:          c.scenario,
+				Seed:              7,
+				RecoveryRTTBudget: budget,
+				VerifyReplay:      c.verifyReplay,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,6 +92,14 @@ func TestChaosGracefulDegradation(t *testing.T) {
 			}
 			if r.FaultEvents == 0 {
 				t.Error("no fault window transitions recorded — injector not armed?")
+			}
+			if c.verifyReplay {
+				if !r.ReplayVerified {
+					t.Error("replay verification failed: second execution diverged from the first")
+				}
+				if r.ReplayFrames == 0 {
+					t.Error("replay verified zero digest frames")
+				}
 			}
 		})
 	}

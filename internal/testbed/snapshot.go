@@ -73,7 +73,20 @@ func (tb *Testbed) StartSentinel(cfg sim.SentinelConfig) *sim.Sentinel {
 	s.AddProbe("pcie-sent", func() uint64 { return uint64(link.Sent.Total()) })
 	s.AddProbe("pcie-release", func() uint64 { return uint64(link.Releases.Total()) })
 	s.SetDemand(func() bool {
-		return nic.RxQueuedPackets() > 0 || link.SequesteredCredits() > 0
+		if nic.RxQueuedPackets() > 0 || link.SequesteredCredits() > 0 {
+			return true
+		}
+		// Lossless fabrics add a demand source the host probes can't see:
+		// frames parked behind a paused trunk port. Without this a pause
+		// storm reads as benign quiescence once the host-side queues drain.
+		if tb.Opts.Lossless {
+			for _, tp := range tb.Fabric.TrunkPorts {
+				if tp.Sw.PortPaused(tp.Port) && tp.Sw.PortQueueBytes(tp.Port) > 0 {
+					return true
+				}
+			}
+		}
+		return false
 	})
 	s.SetGraphBuilder(tb.buildWaitGraph)
 	s.SetEscape(func() bool { return link.ForceReclaim() > 0 })
@@ -122,6 +135,30 @@ func (tb *Testbed) buildWaitGraph() *sim.WaitGraph {
 	}
 	if downLinks > 0 {
 		g.AddEdge("fabric", "nic-dma", "deliveries blocked on down link")
+	}
+
+	// Lossless fabrics add one node per directed trunk port, tagged "pfc":
+	// wedged when frames are queued behind an asserted pause. Edges follow
+	// the buffer dependency — a paused port's frames can only drain through
+	// the switch it feeds — so a pause loop across tiers closes into a
+	// cycle of all-"pfc" nodes, which Classify names pfc-cycle (distinct
+	// from the host's credit deadlock).
+	if tb.Opts.Lossless {
+		tps := tb.Fabric.TrunkPorts
+		for _, tp := range tps {
+			queued := tp.Sw.PortQueueBytes(tp.Port)
+			paused := tp.Sw.PortPaused(tp.Port)
+			g.AddNodeKind("trunk/"+tp.Name, "pfc", queued > 0, !paused,
+				fmt.Sprintf("%d bytes queued, paused=%v", queued, paused))
+		}
+		for i, a := range tps {
+			for j, b := range tps {
+				if i != j && a.To == b.From {
+					g.AddEdge("trunk/"+a.Name, "trunk/"+b.Name,
+						"queued frames drain through the downstream switch")
+				}
+			}
+		}
 	}
 	return g
 }

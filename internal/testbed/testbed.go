@@ -16,6 +16,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/iommu"
 	"repro/internal/msr"
+	"repro/internal/nic"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -55,6 +56,23 @@ type Config struct {
 	// LinkRate overrides every fabric link's rate and each NIC's line
 	// rate together (0 keeps the paper's 100 Gbps).
 	LinkRate sim.Rate
+
+	// Lossless converts the fabric and NICs to PFC lossless operation:
+	// switch ingresses pause their upstream instead of dropping, NIC rx
+	// buffers pause the leaf instead of overflowing, and the default
+	// transport CC becomes DCQCN (rate control driven by CNPs the
+	// receiver NIC generates from ECN marks). Off by default — every
+	// pre-existing experiment runs the lossy fabric unchanged.
+	Lossless bool
+	// PauseWatchdog arms the PFC watchdog: any pause asserted longer
+	// than this is force-released (0 disables — a lost XON then wedges
+	// the port until the peer re-pauses and re-releases, the storm
+	// failure mode). Only meaningful with Lossless.
+	PauseWatchdog sim.Time
+	// StormTrunks lists trunk indices (into Fabric.TrunkPorts) whose
+	// transmit ports a pause-storm fault forces paused for its window.
+	// Requires Lossless and a multi-switch Topology.
+	StormTrunks []int
 
 	// Telemetry enables the event tracer: per-hop packet spans and
 	// counter tracks, collected into a telemetry.Timeline. Instrument
@@ -122,6 +140,18 @@ type Config struct {
 // Deprecated: use Config.
 type Options = Config
 
+// trunkCount returns how many directed trunks (Fabric.TrunkPorts entries)
+// Build will create for the topology.
+func trunkCount(t fabric.Topology) int {
+	switch t.Kind {
+	case fabric.TopoLeafSpine:
+		return 2 * t.Racks() * (t.Switches() - t.Racks())
+	case fabric.TopoDumbbell:
+		return 2
+	}
+	return 0
+}
+
 // Validate reports the first invalid parameter. Zero values are not
 // errors — withDefaults fills them — so this catches only parameters no
 // default can repair.
@@ -152,6 +182,23 @@ func (o Config) Validate() error {
 	}
 	if o.WireLossProb < 0 || o.WireLossProb > 1 {
 		return fmt.Errorf("testbed: WireLossProb %v outside [0,1]", o.WireLossProb)
+	}
+	if o.PauseWatchdog < 0 {
+		return fmt.Errorf("testbed: negative PauseWatchdog %v", o.PauseWatchdog)
+	}
+	if len(o.StormTrunks) > 0 {
+		if !o.Lossless {
+			return fmt.Errorf("testbed: StormTrunks requires Lossless")
+		}
+		n := trunkCount(o.Topology)
+		if n == 0 {
+			return fmt.Errorf("testbed: StormTrunks requires a multi-switch Topology")
+		}
+		for _, ti := range o.StormTrunks {
+			if ti < 0 || ti >= n {
+				return fmt.Errorf("testbed: StormTrunks index %d outside [0,%d)", ti, n)
+			}
+		}
 	}
 	if o.Warmup < 0 || o.Measure < 0 {
 		return fmt.Errorf("testbed: negative window (warmup %v, measure %v)", o.Warmup, o.Measure)
@@ -345,6 +392,11 @@ func New(opts Options) *Testbed {
 	tcfg := transport.DefaultConfig(opts.MTU)
 	if opts.CC != nil {
 		tcfg.CC = opts.CC
+	} else if opts.Lossless {
+		// DCQCN is the congestion control PFC fabrics deploy (RoCEv2):
+		// the switches still ECN-mark, the receiver NIC turns CE arrivals
+		// into CNPs, and the sender rate-paces on them.
+		tcfg.CC = transport.NewDCQCN()
 	}
 	if opts.MinRTO > 0 {
 		tcfg.MinRTO = opts.MinRTO
@@ -362,6 +414,10 @@ func New(opts Options) *Testbed {
 		}
 		if opts.MBAWriteLatency > 0 {
 			hcfg.MBA.WriteLatency = opts.MBAWriteLatency
+		}
+		if opts.Lossless {
+			hcfg.NIC.PFC = nic.DefaultPFCConfig(hcfg.NIC.RxBufferBytes)
+			hcfg.NIC.PFC.ResumeTimeout = opts.PauseWatchdog
 		}
 		if id == receiverID && opts.iommu != nil {
 			hcfg.IOMMU = *opts.iommu
@@ -399,8 +455,22 @@ func New(opts Options) *Testbed {
 			Rack:    rackFor(opts.Topology, i, opts.Receivers),
 			Deliver: h.ReceiveFromWire,
 		}
+		if opts.Lossless {
+			// Leaf XOFF toward this host gates the NIC's transmit path.
+			ports[i].Pause = h.NIC.SetTxPaused
+		}
 	}
-	fb, err := fabric.Build(e, opts.Topology, lcfg, ports, pool, tb.Tr)
+	topo := opts.Topology
+	if opts.Lossless {
+		swcfg := topo.Switch
+		if swcfg == (fabric.SwitchConfig{}) {
+			swcfg = fabric.DefaultSwitchConfig()
+		}
+		swcfg.PFC = fabric.DefaultPFCConfig(swcfg.PortBufferBytes)
+		swcfg.PFC.ResumeTimeout = opts.PauseWatchdog
+		topo.Switch = swcfg
+	}
+	fb, err := fabric.Build(e, topo, lcfg, ports, pool, tb.Tr)
 	if err != nil {
 		panic(err) // Config.Validate rejects invalid topologies up front
 	}
@@ -410,6 +480,12 @@ func New(opts Options) *Testbed {
 	tb.Trunks = fb.Trunks
 	for i, h := range hosts {
 		h.SetOutput(fb.HostSend(i))
+	}
+	if opts.Lossless {
+		// NIC rx XOFF emits a pause frame toward the leaf's host port.
+		for i, h := range hosts {
+			h.NIC.SetPauseUpstream(fb.HostPauser(i))
+		}
 	}
 
 	// hostCC on every receiver. When disabled we still run the module in
@@ -469,14 +545,24 @@ func New(opts Options) *Testbed {
 		if opts.FaultTrunks {
 			flapLinks = tb.Trunks
 		}
-		tb.Injector = faults.MustNewInjector(e, *opts.Faults, faults.Seams{
+		seams := faults.Seams{
 			MSR:   tb.Receiver.MSR,
 			MBA:   tb.Receiver.MBA,
 			NIC:   tb.Receiver.NIC,
 			PCIe:  tb.Receiver.Link,
 			Links: flapLinks,
 			MApp:  tb.Receiver.MApp(),
-		})
+		}
+		if opts.Lossless {
+			seams.Switches = fb.Switches
+			for _, ti := range opts.StormTrunks {
+				tp := fb.TrunkPorts[ti]
+				seams.Pause = append(seams.Pause, func(on bool) {
+					tp.Sw.SetPortForcedPause(tp.Port, on)
+				})
+			}
+		}
+		tb.Injector = faults.MustNewInjector(e, *opts.Faults, seams)
 		tb.Injector.Arm()
 	}
 
@@ -516,6 +602,17 @@ func New(opts Options) *Testbed {
 	}
 	for i, l := range tb.Trunks {
 		l.RegisterInstruments(tb.Reg, fmt.Sprintf("fabric/trunk%d", i))
+	}
+	if opts.Lossless {
+		for _, tp := range tb.Fabric.TrunkPorts {
+			tp := tp
+			tb.Reg.Gauge("fabric/pfc/"+tp.Name+"/paused-ns", "ns",
+				"cumulative PFC pause time of this trunk transmit port",
+				func() float64 { return float64(tp.Sw.PortPausedFor(tp.Port)) })
+			tb.Reg.Gauge("fabric/pfc/"+tp.Name+"/queue-bytes", "bytes",
+				"instantaneous queue depth behind this trunk port",
+				func() float64 { return float64(tp.Sw.PortQueueBytes(tp.Port)) })
+		}
 	}
 
 	return tb

@@ -49,6 +49,20 @@ type CongestionControl interface {
 // CCFactory constructs a congestion controller for one connection.
 type CCFactory func(e *sim.Engine, mss int) CongestionControl
 
+// RatePacer is implemented by rate-based controllers (DCQCN): the
+// connection paces transmissions at PaceRate instead of the
+// PacingFactor × cwnd/SRTT window formula.
+type RatePacer interface {
+	PaceRate() sim.Rate
+}
+
+// CNPReceiver is implemented by controllers that consume congestion
+// notification packets (DCQCN). The connection invokes OnCNP once per
+// CNP arriving on its flow.
+type CNPReceiver interface {
+	OnCNP()
+}
+
 // reno implements TCP New Reno-style AIMD: slow start to ssthresh, then
 // one MSS per RTT of additive increase; halve on loss.
 type reno struct {

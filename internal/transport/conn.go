@@ -107,6 +107,11 @@ type Conn struct {
 	cfg  Config
 	cc   CongestionControl
 
+	// ratePacer/cnpSink cache the cc's optional interfaces (DCQCN), so
+	// the per-packet pacing path stays assertion-free.
+	ratePacer RatePacer
+	cnpSink   CNPReceiver
+
 	pool *packet.Pool
 
 	// Sender half.
@@ -166,6 +171,8 @@ func newConn(e *sim.Engine, net Network, flow packet.FlowID, cfg Config) *Conn {
 		cc:   cc(e, cfg.MSS),
 		pool: cfg.Pool,
 	}
+	c.ratePacer, _ = c.cc.(RatePacer)
+	c.cnpSink, _ = c.cc.(CNPReceiver)
 	c.rtoTimer = sim.NewTimer(e, c.onRTO)
 	c.tlpTimer = sim.NewTimer(e, c.onTLP)
 	c.ackTimer = sim.NewTimer(e, func() { c.sendAck() })
@@ -246,8 +253,14 @@ func (c *Conn) trySend() {
 }
 
 // advancePacer charges one transmitted packet against the pacing budget.
-// Before an RTT sample exists the initial window goes out unpaced.
+// A rate-based controller (DCQCN) paces at its own rate from the first
+// packet; window-based controllers pace at PacingFactor × cwnd/SRTT, with
+// the initial window going out unpaced before an RTT sample exists.
 func (c *Conn) advancePacer(wire int) {
+	if c.ratePacer != nil {
+		c.pacedUntil = max(c.pacedUntil, c.e.Now()) + c.ratePacer.PaceRate().TimeFor(wire)
+		return
+	}
 	if c.cfg.PacingFactor <= 0 || c.srtt == 0 {
 		return
 	}
@@ -344,6 +357,16 @@ func (c *Conn) rto() sim.Time {
 // Receive processes an inbound packet for this connection (called by the
 // endpoint demultiplexer after the host's receive hooks have run).
 func (c *Conn) Receive(p *packet.Packet) {
+	if p.Flags.Has(packet.FlagCNP) {
+		// Congestion notification (DCQCN): consumed by the rate
+		// controller, never by the byte stream. A CNP reaching a
+		// non-DCQCN connection is ignored, as real NICs do for flows
+		// without rate limiters.
+		if c.cnpSink != nil {
+			c.cnpSink.OnCNP()
+		}
+		return
+	}
 	if p.Flags.Has(packet.FlagACK) {
 		c.handleAck(p)
 	}

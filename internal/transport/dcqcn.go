@@ -1,0 +1,194 @@
+package transport
+
+import "repro/internal/sim"
+
+// DCQCNConfig parameterizes the DCQCN rate controller (Zhu et al.,
+// SIGCOMM 2015). The hardware algorithm's constants assume multi-second
+// flows; the defaults here keep the same structure but are scaled so the
+// full decrease → fast-recovery → additive → hyper-increase ladder is
+// exercised inside the simulation's tens-of-milliseconds windows. Each
+// field documents the hardware value it scales.
+type DCQCNConfig struct {
+	// LineRate is the starting and maximum rate (hardware: port rate).
+	LineRate sim.Rate
+	// MinRate floors multiplicative decrease (hardware: ~40 Mbps).
+	MinRate sim.Rate
+	// Gain is g in alpha <- (1-g)*alpha + g on CNP arrival and the decay
+	// factor between CNPs (hardware: 1/256).
+	Gain float64
+	// AlphaTimer is the alpha-decay period when no CNPs arrive
+	// (hardware: 55 µs).
+	AlphaTimer sim.Time
+	// IncreaseTimer drives time-based rate-increase events (hardware:
+	// 300 µs... 1.5 ms depending on firmware).
+	IncreaseTimer sim.Time
+	// IncreaseBytes drives byte-counter rate-increase events (hardware:
+	// 10 MB; scaled down so short flows reach the increase stages).
+	IncreaseBytes int
+	// FastRecoverySteps is F: increase events spent returning to the
+	// target rate before additive increase begins (hardware: 5).
+	FastRecoverySteps int
+	// AIRate is the additive-increase step Rai (hardware: 40 Mbps;
+	// scaled up for convergence inside short runs).
+	AIRate sim.Rate
+	// HyperAIRate is the hyper-increase step Rhai applied when both the
+	// timer and byte counter have exhausted fast recovery.
+	HyperAIRate sim.Rate
+}
+
+// DefaultDCQCNConfig returns the sim-scaled parameter set for 100 Gbps.
+func DefaultDCQCNConfig() DCQCNConfig {
+	return DCQCNConfig{
+		LineRate:          sim.Gbps(100),
+		MinRate:           sim.Gbps(0.1),
+		Gain:              1.0 / 256,
+		AlphaTimer:        55 * sim.Microsecond,
+		IncreaseTimer:     300 * sim.Microsecond,
+		IncreaseBytes:     1 << 20,
+		FastRecoverySteps: 5,
+		AIRate:            sim.Gbps(2),
+		HyperAIRate:       sim.Gbps(10),
+	}
+}
+
+// dcqcn is the sender-side DCQCN rate machine. Unlike the window-based
+// controllers it does not meaningfully bound flight with Cwnd (the
+// connection's receive window does that); it exposes its current rate
+// through the RatePacer interface, which the connection's pacer uses in
+// place of the cwnd/SRTT formula. CNPs arrive through OnCNP.
+type dcqcn struct {
+	e   *sim.Engine
+	cfg DCQCNConfig
+
+	rc    sim.Rate // current (sending) rate
+	rt    sim.Rate // target rate remembered at the last decrease
+	alpha float64
+
+	byteAcc    int // bytes toward the next byte-counter event
+	timerCount int // increase events from the timer since last CNP
+	byteCount  int // increase events from the byte counter since last CNP
+
+	alphaTimer *sim.Timer
+	incTimer   *sim.Timer
+	started    bool
+
+	// CNPs counts rate-decrease events (diagnostics and figures).
+	CNPs int64
+}
+
+// NewDCQCN returns a DCQCN factory with the sim-scaled defaults.
+func NewDCQCN() CCFactory { return NewDCQCNWithConfig(DefaultDCQCNConfig()) }
+
+// NewDCQCNWithConfig returns a DCQCN factory with explicit parameters.
+func NewDCQCNWithConfig(cfg DCQCNConfig) CCFactory {
+	return func(e *sim.Engine, _ int) CongestionControl {
+		d := &dcqcn{e: e, cfg: cfg, rc: cfg.LineRate, rt: cfg.LineRate}
+		d.alphaTimer = sim.NewTimer(e, d.onAlphaTimer)
+		d.incTimer = sim.NewTimer(e, d.onIncreaseTimer)
+		return d
+	}
+}
+
+func (d *dcqcn) Name() string { return "dcqcn" }
+
+// Cwnd is effectively unbounded: DCQCN regulates rate, not window, so
+// flight is limited by the connection's receive window.
+func (d *dcqcn) Cwnd() int { return 1 << 30 }
+
+// PaceRate implements RatePacer: the connection paces at the DCQCN rate.
+func (d *dcqcn) PaceRate() sim.Rate { return d.rc }
+
+// Rate returns the current sending rate (diagnostics and tests).
+func (d *dcqcn) Rate() sim.Rate { return d.rc }
+
+// TargetRate returns the recovery target (diagnostics and tests).
+func (d *dcqcn) TargetRate() sim.Rate { return d.rt }
+
+// Alpha returns the congestion estimate (diagnostics and tests).
+func (d *dcqcn) Alpha() float64 { return d.alpha }
+
+// OnCNP applies the DCQCN rate decrease: remember the current rate as
+// the recovery target, bump alpha, and cut the rate by alpha/2.
+func (d *dcqcn) OnCNP() {
+	d.CNPs++
+	d.rt = d.rc
+	d.alpha = (1-d.cfg.Gain)*d.alpha + d.cfg.Gain
+	d.rc = d.rc * sim.Rate(1-d.alpha/2)
+	if d.rc < d.cfg.MinRate {
+		d.rc = d.cfg.MinRate
+	}
+	d.timerCount, d.byteCount, d.byteAcc = 0, 0, 0
+	d.started = true
+	d.alphaTimer.Reset(d.cfg.AlphaTimer)
+	d.incTimer.Reset(d.cfg.IncreaseTimer)
+}
+
+// OnAck feeds the byte counter; acknowledged bytes are the only ACK
+// signal DCQCN uses (ECN echo is consumed as CNPs at the NIC instead).
+func (d *dcqcn) OnAck(ev AckEvent) {
+	if !d.started || ev.Bytes <= 0 {
+		return
+	}
+	d.byteAcc += ev.Bytes
+	for d.byteAcc >= d.cfg.IncreaseBytes {
+		d.byteAcc -= d.cfg.IncreaseBytes
+		d.byteCount++
+		d.increase()
+	}
+}
+
+// OnLoss halves the rate defensively. DCQCN's fabric is lossless, so a
+// loss here means headroom exhaustion or injected faults — congestion
+// signals stronger than any CNP.
+func (d *dcqcn) OnLoss(l LossEvent) {
+	d.rt = d.rc
+	d.rc = d.rc / 2
+	if d.rc < d.cfg.MinRate {
+		d.rc = d.cfg.MinRate
+	}
+}
+
+func (d *dcqcn) onAlphaTimer() {
+	d.alpha *= 1 - d.cfg.Gain
+	if d.idle() {
+		d.started = false
+		d.incTimer.Stop()
+		return // fully recovered: go event-silent until the next CNP
+	}
+	d.alphaTimer.Reset(d.cfg.AlphaTimer)
+}
+
+func (d *dcqcn) onIncreaseTimer() {
+	d.timerCount++
+	d.increase()
+	if d.started {
+		d.incTimer.Reset(d.cfg.IncreaseTimer)
+	}
+}
+
+// idle reports full recovery: rate restored and congestion estimate
+// decayed to noise.
+func (d *dcqcn) idle() bool {
+	return d.rc >= d.cfg.LineRate && d.alpha < 1e-6
+}
+
+// increase runs one rate-increase event. The stage is selected by how
+// many events each clock has produced since the last CNP: fast recovery
+// (halve toward the target) while both are below F, additive increase
+// once either passes F, hyper increase once both have.
+func (d *dcqcn) increase() {
+	F := d.cfg.FastRecoverySteps
+	switch {
+	case d.timerCount >= F && d.byteCount >= F:
+		d.rt += d.cfg.HyperAIRate
+	case d.timerCount >= F || d.byteCount >= F:
+		d.rt += d.cfg.AIRate
+	}
+	if d.rt > d.cfg.LineRate {
+		d.rt = d.cfg.LineRate
+	}
+	d.rc = (d.rt + d.rc) / 2
+	if d.rc > d.cfg.LineRate {
+		d.rc = d.cfg.LineRate
+	}
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func newTestDCQCN(e *sim.Engine) *dcqcn {
+	return NewDCQCN()(e, 1500).(*dcqcn)
+}
+
+// TestDCQCNDecreaseOnCNP: each CNP remembers the current rate as the
+// recovery target, bumps alpha by the gain, and cuts the rate by
+// alpha/2; sustained CNPs floor at MinRate, never zero.
+func TestDCQCNDecreaseOnCNP(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := newTestDCQCN(e)
+	cfg := DefaultDCQCNConfig()
+
+	if d.Rate() != cfg.LineRate || d.Alpha() != 0 {
+		t.Fatalf("fresh DCQCN rate=%v alpha=%v, want line rate and zero", d.Rate(), d.Alpha())
+	}
+	d.OnCNP()
+	if d.TargetRate() != cfg.LineRate {
+		t.Fatalf("target %v, want the pre-decrease rate %v", d.TargetRate(), cfg.LineRate)
+	}
+	if d.Alpha() != cfg.Gain {
+		t.Fatalf("alpha %v after first CNP, want the gain %v", d.Alpha(), cfg.Gain)
+	}
+	want := cfg.LineRate * sim.Rate(1-cfg.Gain/2)
+	if d.Rate() != want {
+		t.Fatalf("rate %v after first CNP, want %v", d.Rate(), want)
+	}
+
+	for i := 0; i < 5000; i++ {
+		d.OnCNP()
+	}
+	if d.Rate() != cfg.MinRate {
+		t.Fatalf("sustained CNPs: rate %v, want the MinRate floor %v", d.Rate(), cfg.MinRate)
+	}
+	if d.CNPs != 5001 {
+		t.Fatalf("CNPs = %d, want 5001", d.CNPs)
+	}
+}
+
+// TestDCQCNIncreaseLadder drives the byte and timer clocks through the
+// full recovery ladder: fast recovery (halving toward the target, target
+// untouched) for the first F events, additive increase once one clock
+// passes F, hyper increase once both have.
+func TestDCQCNIncreaseLadder(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := newTestDCQCN(e)
+	cfg := DefaultDCQCNConfig()
+
+	// Push the rate well below line rate so the increase steps are
+	// observable before the LineRate cap.
+	for i := 0; i < 50; i++ {
+		d.OnCNP()
+	}
+	if d.Rate() >= cfg.LineRate/2 {
+		t.Fatalf("setup: rate %v still too close to line rate", d.Rate())
+	}
+
+	// Fast recovery: F-1 byte events halve rc toward rt without moving rt.
+	rt := d.TargetRate()
+	for i := 0; i < cfg.FastRecoverySteps-1; i++ {
+		before := d.Rate()
+		d.OnAck(AckEvent{Bytes: cfg.IncreaseBytes})
+		if want := (rt + before) / 2; d.Rate() != want {
+			t.Fatalf("fast recovery step %d: rate %v, want (rt+rc)/2 = %v", i, d.Rate(), want)
+		}
+		if d.TargetRate() != rt {
+			t.Fatalf("fast recovery moved the target: %v -> %v", rt, d.TargetRate())
+		}
+	}
+
+	// Event F on the byte clock: additive increase, rt += Rai.
+	d.OnAck(AckEvent{Bytes: cfg.IncreaseBytes})
+	if d.TargetRate() != rt+cfg.AIRate {
+		t.Fatalf("additive increase: target %v, want %v + Rai %v", d.TargetRate(), rt, cfg.AIRate)
+	}
+
+	// Let the increase timer also reach F events; the next byte event has
+	// both clocks past F and steps by the hyper rate.
+	e.RunUntil(e.Now() + sim.Time(cfg.FastRecoverySteps)*cfg.IncreaseTimer + sim.Microsecond)
+	rt = d.TargetRate()
+	d.OnAck(AckEvent{Bytes: cfg.IncreaseBytes})
+	if d.TargetRate() != rt+cfg.HyperAIRate {
+		t.Fatalf("hyper increase: target %v, want %v + Rhai %v", d.TargetRate(), rt, cfg.HyperAIRate)
+	}
+}
+
+// TestDCQCNRecoversToIdle: after congestion ends, the controller must
+// climb back to line rate, decay alpha to noise, and then go
+// event-silent — e.Run() terminating proves no timer rearms forever.
+func TestDCQCNRecoversToIdle(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := newTestDCQCN(e)
+	cfg := DefaultDCQCNConfig()
+
+	for i := 0; i < 10; i++ {
+		d.OnCNP()
+	}
+	e.Run() // must terminate: recovery reaches idle and stops the timers
+	if d.Rate() != cfg.LineRate {
+		t.Fatalf("recovered rate %v, want line rate %v", d.Rate(), cfg.LineRate)
+	}
+	if d.Alpha() >= 1e-6 {
+		t.Fatalf("alpha %v did not decay to noise", d.Alpha())
+	}
+}
+
+// TestDCQCNOnLoss: loss on a lossless fabric (headroom exhaustion or an
+// injected fault) is a stronger signal than any CNP — rate halves.
+func TestDCQCNOnLoss(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := newTestDCQCN(e)
+	cfg := DefaultDCQCNConfig()
+	d.OnLoss(LossTimeout)
+	if d.Rate() != cfg.LineRate/2 {
+		t.Fatalf("rate %v after loss, want half of line rate", d.Rate())
+	}
+	if d.Cwnd() < 1<<29 {
+		t.Fatalf("Cwnd %d should stay effectively unbounded (rate-based control)", d.Cwnd())
+	}
+	if d.Name() != "dcqcn" {
+		t.Fatalf("Name() = %q", d.Name())
+	}
+}
+
+// TestDCQCNPacesConnection: plumbed into a live connection, DCQCN must
+// wire its RatePacer/CNPReceiver hooks, consume FlagCNP packets as rate
+// cuts, and still deliver the whole transfer.
+func TestDCQCNPacesConnection(t *testing.T) {
+	e := sim.NewEngine(1)
+	pp := newPipe(e, 10*sim.Microsecond)
+	sender := pp.attach(1, testCfg(NewDCQCN()))
+	receiver := pp.attach(2, testCfg(NewDCQCN()))
+	var got int64
+	receiver.Listen(5000, func(c *Conn) {
+		c.OnData(func(n int) { got += int64(n) })
+	})
+	c := sender.Dial(2, 5000)
+	d, ok := c.cc.(*dcqcn)
+	if !ok {
+		t.Fatalf("connection CC is %T, want *dcqcn", c.cc)
+	}
+	if c.ratePacer == nil || c.cnpSink == nil {
+		t.Fatal("connection did not wire DCQCN's RatePacer/CNPReceiver hooks")
+	}
+
+	const total = 1 << 20
+	c.Send(total)
+	e.RunUntil(100 * sim.Microsecond)
+	before := d.Rate()
+	c.Receive(&packet.Packet{Flags: packet.FlagCNP})
+	if d.CNPs != 1 {
+		t.Fatalf("CNPs = %d after a FlagCNP delivery, want 1", d.CNPs)
+	}
+	if d.Rate() >= before {
+		t.Fatalf("rate %v did not drop from %v on CNP", d.Rate(), before)
+	}
+	e.Run()
+	if got != total {
+		t.Fatalf("delivered %d of %d bytes under DCQCN pacing", got, total)
+	}
+}
