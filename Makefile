@@ -21,10 +21,17 @@
 #   make topology-smoke
 #                   short leaf-spine scale-out run, replay-verified
 #                   (two runs must produce bit-identical digests)
+#   make crucible-smoke
+#                   chaos search over fixed seeds (must pass clean) plus
+#                   the planted-canary hunt (must find and minimize it)
+#   make crucible-corpus
+#                   replay every checked-in minimized repro under
+#                   -race -short; each must reproduce its recorded
+#                   oracle verdict
 
 GO ?= go
 
-.PHONY: all build test verify race chaos chaos-race bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay topology-smoke
+.PHONY: all build test verify race chaos chaos-race bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay topology-smoke crucible-smoke crucible-corpus
 
 all: verify race
 
@@ -60,6 +67,22 @@ topology-smoke:
 
 race:
 	$(GO) test -race -short ./...
+
+# Chaos-search smoke: a fixed-seed sweep that must come up clean, then
+# the planted-canary self-test — the harness must find the flag-guarded
+# PCIe credit bug and shrink it, or the oracle battery has gone blind.
+crucible-smoke:
+	$(GO) run ./cmd/hostcc-crucible -seeds 24 -q
+	@if $(GO) run ./cmd/hostcc-crucible -seeds 8 -canary pcie-extra-credit -stop -q >/dev/null 2>&1; then \
+		echo "crucible-smoke: canary hunt found nothing — the oracle battery is blind"; exit 1; \
+	else \
+		echo "crucible-smoke: canary found and minimized (expected failure observed)"; \
+	fi
+
+# Corpus replay gate: every checked-in minimized repro must reproduce
+# its recorded oracle verdict, under the race detector.
+crucible-corpus:
+	$(GO) test -race -short ./internal/crucible/ -run TestCorpus -count=1 -v
 
 chaos:
 	$(GO) test ./internal/faults/ ./internal/testbed/ -run 'TestChaos' -count=1

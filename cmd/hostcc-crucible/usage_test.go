@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestUsageGolden pins the -h output. Flag help text is documentation
+// that rots silently — a renamed mode or a new flag must show up here,
+// and a stale cross-reference fails the diff. Regenerate with
+// UPDATE_GOLDEN=1.
+func TestUsageGolden(t *testing.T) {
+	fs := flag.NewFlagSet("hostcc-crucible", flag.ContinueOnError)
+	registerFlags(fs)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "usage.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("usage output drifted from %s.\nGot:\n%s\nWant:\n%s\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.",
+			golden, got, want)
+	}
+}

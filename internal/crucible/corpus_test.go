@@ -1,0 +1,34 @@
+package crucible
+
+import (
+	"testing"
+)
+
+// TestCorpus replays every checked-in minimized repro and verifies each
+// reproduces its recorded oracle verdict. The corpus is the regression
+// suite the search has earned: any datapath change that silently fixes
+// or shifts one of these failures shows up here as a signature mismatch.
+// Runs under -short (and -race in CI): each entry is minimized, so a
+// replay costs well under a second.
+func TestCorpus(t *testing.T) {
+	paths, err := CorpusFiles("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("corpus has %d repros, want at least 3", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			r, err := ReadRepro(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := Replay(r)
+			if err != nil {
+				t.Fatalf("%v\nverdict: %s", err, v)
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package crucible
+
+import (
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// GenConfig parameterizes the scenario generator.
+type GenConfig struct {
+	// MaxInjections bounds the fault count per scenario (default 3).
+	MaxInjections int
+	// GoodputFloorPct arms the goodput-floor oracle on every generated
+	// scenario (default 30; negative disables).
+	GoodputFloorPct float64
+	// RecoveryRTTBudget bounds the recovery probe (default 150 RTTs).
+	RecoveryRTTBudget int
+	// VictimP999Ns arms the victim tail-latency oracle (0 disables; it
+	// is off by default because the bound is workload-specific).
+	VictimP999Ns int64
+	// Canary arms a planted bug on every generated scenario — the
+	// harness self-test (see CanaryPCIeExtraCredit).
+	Canary string
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxInjections == 0 {
+		c.MaxInjections = 3
+	}
+	if c.GoodputFloorPct == 0 {
+		c.GoodputFloorPct = 30
+	}
+	if c.GoodputFloorPct < 0 {
+		c.GoodputFloorPct = 0
+	}
+	if c.RecoveryRTTBudget == 0 {
+		c.RecoveryRTTBudget = 150
+	}
+	return c
+}
+
+// genWarmup is the warmup every generated scenario uses: long enough for
+// the transports to exit slow start so the pre-fault baseline means
+// something.
+const genWarmup = 4 * sim.Millisecond
+
+// Generate draws one valid scenario from the seed. Every choice —
+// topology, congestion control, workload shape, and a fault plan over
+// the full injection DSL — comes from a single seeded RNG, so the
+// mapping seed → scenario is deterministic and stable. Generated
+// scenarios always pass Validate (asserted by TestGenerateAlwaysValid):
+// the draws are constrained so illegal combinations (pause kinds on a
+// lossy fabric, trunk faults on a star, MApp kinds with no MApp, fault
+// windows outlasting the liveness watch) cannot be expressed.
+func Generate(seed int64, cfg GenConfig) Scenario {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed, MTU: 4096, WarmupNs: int64(genWarmup)}
+
+	// Topology: the paper's star half the time, the multi-switch fabrics
+	// the other half (they exercise trunk queues, cross-rack striping and
+	// the PFC machinery).
+	switch p := r.Float64(); {
+	case p < 0.5:
+		sc.Topology = "star"
+	case p < 0.8:
+		sc.Topology = "leafspine"
+	default:
+		sc.Topology = "dumbbell"
+	}
+	multiSwitch := sc.Topology != "star"
+
+	// Lossless fabrics always arm the PFC watchdog: a lost XON wedging a
+	// port forever is a known, *permitted* failure mode without it, and
+	// the generator only emits scenarios that are supposed to survive.
+	sc.Lossless = r.Float64() < 0.3
+	if sc.Lossless {
+		sc.PauseWatchdogNs = int64(150 * sim.Microsecond)
+		sc.CC = "dcqcn"
+	} else {
+		sc.CC = [...]string{"dctcp", "dctcp", "reno", "cubic"}[r.Intn(4)]
+	}
+
+	sc.Senders = 1 + r.Intn(3)
+	sc.Receivers = 1
+	sc.Flows = 2 + r.Intn(6)
+	sc.Degree = float64(r.Intn(5))
+	sc.HostCC = r.Float64() < 0.7
+	if multiSwitch {
+		sc.FaultTrunks = r.Float64() < 0.3
+	}
+
+	// Fault plan: 1..MaxInjections windows inside the measure phase.
+	kinds := []faults.Kind{
+		faults.MSRStale, faults.MSRFail, faults.MSRLatency,
+		faults.MBADrop, faults.MBADelay, faults.NICDrop,
+		faults.LinkFlap, faults.PCIeStall,
+	}
+	if sc.Degree > 0 {
+		kinds = append(kinds, faults.MAppStall, faults.MAppBurst)
+	}
+	if sc.Lossless && multiSwitch {
+		kinds = append(kinds, faults.PauseStorm, faults.PauseLoss)
+	}
+	n := 1 + r.Intn(cfg.MaxInjections)
+	var planEnd sim.Time
+	for i := 0; i < n; i++ {
+		kind := kinds[r.Intn(len(kinds))]
+		at := genWarmup + 500*sim.Microsecond + sim.Time(r.Int63n(int64(1500*sim.Microsecond)))
+		dur := 100*sim.Microsecond + sim.Time(r.Int63n(int64(500*sim.Microsecond)))
+		inj := Injection{Kind: kind.String(), AtNs: int64(at), DurationNs: int64(dur)}
+		switch kind {
+		case faults.MSRLatency, faults.MBADelay:
+			inj.Magnitude = float64(sim.Time(5+r.Intn(16)) * sim.Microsecond)
+			inj.Prob = 0.2 + 0.6*r.Float64()
+		case faults.MAppBurst:
+			inj.Magnitude = 2 + 4*r.Float64()
+		case faults.MSRFail, faults.MSRStale, faults.MBADrop:
+			if r.Float64() < 0.5 {
+				inj.Prob = 0.2 + 0.6*r.Float64()
+			}
+		case faults.NICDrop:
+			inj.Prob = 0.1 + 0.4*r.Float64()
+		case faults.PauseLoss:
+			inj.Prob = 0.2 + 0.5*r.Float64()
+		}
+		// A quarter of the windows repeat: period strictly beyond the
+		// duration, a small bounded count.
+		if r.Float64() < 0.25 {
+			inj.PeriodNs = inj.DurationNs + int64(100*sim.Microsecond) + r.Int63n(int64(400*sim.Microsecond))
+			inj.Count = 2 + r.Intn(2)
+		}
+		end := sim.Time(inj.AtNs + inj.DurationNs)
+		if inj.PeriodNs > 0 {
+			end = sim.Time(inj.AtNs + int64(inj.Count-1)*inj.PeriodNs + inj.DurationNs)
+		}
+		if end > planEnd {
+			planEnd = end
+		}
+		sc.Faults = append(sc.Faults, inj)
+	}
+	// PauseStorm pins the fabric (testbedConfig compiles it to the
+	// 2-leaf/1-spine shape); reflect that in the scenario itself so the
+	// JSON stays an honest description of what runs.
+	if sc.hasKind("pause-storm") {
+		sc.Topology = "leafspine"
+		sc.Lossless = true
+		if sc.PauseWatchdogNs == 0 {
+			sc.PauseWatchdogNs = int64(150 * sim.Microsecond)
+		}
+		sc.CC = "dcqcn"
+	}
+
+	// Measure window: cover every fault window plus a 3 ms drain before
+	// the recovery probes start.
+	sc.MeasureNs = int64(planEnd-genWarmup) + int64(3*sim.Millisecond)
+
+	sc.Oracles = Oracles{
+		GoodputFloorPct:   cfg.GoodputFloorPct,
+		RecoveryRTTBudget: cfg.RecoveryRTTBudget,
+		VictimP999Ns:      cfg.VictimP999Ns,
+	}
+	sc.Canary = cfg.Canary
+	return sc
+}

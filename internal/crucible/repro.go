@@ -1,0 +1,100 @@
+package crucible
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReproVersion is the repro file format version.
+const ReproVersion = 1
+
+// Repro is a checked-in regression artifact: a minimized failing
+// scenario plus the oracle verdict it must reproduce. The file is
+// self-contained — replaying needs nothing but this JSON.
+type Repro struct {
+	Version int    `json:"version"`
+	Note    string `json:"note,omitempty"`
+	// FoundSeed is the generator seed the failure was originally drawn
+	// from (the minimized scenario may since have drifted from what that
+	// seed generates; Scenario.Seed is what actually runs).
+	FoundSeed int64 `json:"found_seed"`
+	// ExpectedFailures is the sorted failed-oracle set the scenario must
+	// reproduce (the failure signature).
+	ExpectedFailures []string `json:"expected_failures"`
+	Scenario         Scenario `json:"scenario"`
+}
+
+// Validate reports the first reason the repro cannot replay.
+func (r Repro) Validate() error {
+	if r.Version != ReproVersion {
+		return fmt.Errorf("crucible: repro version %d, want %d", r.Version, ReproVersion)
+	}
+	if len(r.ExpectedFailures) == 0 {
+		return fmt.Errorf("crucible: repro expects no failures — nothing to reproduce")
+	}
+	return r.Scenario.Validate()
+}
+
+// signature renders the expected failure set in Verdict.Signature form.
+func (r Repro) signature() string {
+	names := append([]string(nil), r.ExpectedFailures...)
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+// WriteRepro writes the repro as indented JSON.
+func WriteRepro(path string, r Repro) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadRepro loads and validates one repro file.
+func ReadRepro(path string) (Repro, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Repro{}, err
+	}
+	var r Repro
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Repro{}, fmt.Errorf("crucible: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return Repro{}, fmt.Errorf("crucible: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CorpusFiles lists the repro files (*.json) in a corpus directory,
+// sorted by name.
+func CorpusFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Replay runs the repro's scenario through the full oracle battery and
+// verifies the verdict matches the expected failure set. The Verdict is
+// returned either way so callers can print the diagnostics.
+func Replay(r Repro) (Verdict, error) {
+	if err := r.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	v, err := Run(r.Scenario)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if got, want := v.Signature(), r.signature(); got != want {
+		return v, fmt.Errorf("crucible: repro replays to signature %q, expected %q", got, want)
+	}
+	return v, nil
+}

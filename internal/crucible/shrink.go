@@ -1,0 +1,121 @@
+package crucible
+
+import "repro/internal/sim"
+
+// minDur is the floor the shrinker halves fault windows down to; below
+// ~50 µs a window is shorter than one RTT and stops meaning anything.
+const minDur = int64(50 * sim.Microsecond)
+
+// Shrink delta-debugs a failing scenario toward a minimal one with the
+// same failure signature. Transforms — dropping injections, collapsing
+// periodic windows to one-shots, halving durations, sender counts, flow
+// counts and MApp degree, disabling hostCC — are tried greedily; a
+// candidate is accepted only when its full oracle battery reproduces the
+// exact signature (sorted failed-oracle set), so the minimized repro
+// fails for the original reason. The budget bounds total Run calls;
+// Shrink returns the best scenario found and the runs spent.
+func Shrink(sc Scenario, signature string, budget int) (Scenario, int) {
+	if budget <= 0 {
+		budget = 40
+	}
+	runs := 0
+	improved := true
+	for improved && runs < budget {
+		improved = false
+		for _, cand := range candidates(sc) {
+			if runs >= budget {
+				break
+			}
+			v, err := Run(cand)
+			runs++
+			if err == nil && v.Signature() == signature {
+				sc = cand
+				improved = true
+				break // restart the transform list from the smaller scenario
+			}
+		}
+	}
+	return sc, runs
+}
+
+// candidates enumerates the one-step reductions of a scenario, most
+// aggressive first (dropping a whole injection beats trimming one).
+func candidates(sc Scenario) []Scenario {
+	var out []Scenario
+
+	// Drop each injection (keep at least one — an empty plan fails
+	// nothing and can't preserve a failure signature).
+	if len(sc.Faults) > 1 {
+		for i := range sc.Faults {
+			c := clone(sc)
+			c.Faults = append(c.Faults[:i], c.Faults[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Collapse periodic windows to one-shots.
+	for i, inj := range sc.Faults {
+		if inj.PeriodNs > 0 {
+			c := clone(sc)
+			c.Faults[i].PeriodNs = 0
+			c.Faults[i].Count = 0
+			out = append(out, c)
+		}
+	}
+	// Halve window durations.
+	for i, inj := range sc.Faults {
+		if inj.DurationNs > minDur {
+			c := clone(sc)
+			c.Faults[i].DurationNs = max64(inj.DurationNs/2, minDur)
+			out = append(out, c)
+		}
+	}
+	// Shrink the workload around the faults.
+	if sc.Senders > 1 {
+		c := clone(sc)
+		c.Senders = sc.Senders / 2
+		out = append(out, c)
+	}
+	if sc.Flows > 1 {
+		c := clone(sc)
+		c.Flows = sc.Flows / 2
+		out = append(out, c)
+	}
+	if sc.Degree > 0 && !sc.hasKind("mapp-stall") && !sc.hasKind("mapp-burst") {
+		c := clone(sc)
+		c.Degree = 0
+		out = append(out, c)
+	} else if sc.Degree > 1 {
+		c := clone(sc)
+		c.Degree = sc.Degree / 2
+		out = append(out, c)
+	}
+	if sc.HostCC {
+		c := clone(sc)
+		c.HostCC = false
+		out = append(out, c)
+	}
+	// Fall back from the lossless fabric when no pause machinery is
+	// under test.
+	if sc.Lossless && !sc.hasKind("pause-storm") && !sc.hasKind("pause-loss") {
+		c := clone(sc)
+		c.Lossless = false
+		c.PauseWatchdogNs = 0
+		out = append(out, c)
+	}
+	return out
+}
+
+// clone deep-copies the scenario (the fault slice is the only reference
+// field).
+func clone(sc Scenario) Scenario {
+	c := sc
+	c.Faults = append([]Injection(nil), sc.Faults...)
+	return c
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

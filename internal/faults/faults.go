@@ -80,6 +80,18 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// ParseKind resolves a kind name ("pcie-stall", "nic-drop", ...) back to
+// its Kind — the inverse of String, used by serialized scenario formats
+// (crucible repro files) so fault plans survive a JSON round trip.
+func ParseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q", name)
+}
+
 // Injection is one scheduled fault: a Kind active over one or more
 // windows. The zero Duration means the fault is active for a single
 // instant only, which is meaningful solely for level-triggered kinds
@@ -145,6 +157,9 @@ func (p Plan) Validate() error {
 		if inj.Period < 0 || (inj.Period > 0 && inj.Period <= inj.Duration) {
 			return fmt.Errorf("faults: injection %d (%v): period must exceed duration", n, inj.Kind)
 		}
+		if inj.Count < 0 {
+			return fmt.Errorf("faults: injection %d (%v): negative count %d", n, inj.Kind, inj.Count)
+		}
 		if inj.Prob < 0 || inj.Prob > 1 {
 			return fmt.Errorf("faults: injection %d (%v): probability %v outside [0,1]", n, inj.Kind, inj.Prob)
 		}
@@ -153,8 +168,8 @@ func (p Plan) Validate() error {
 		}
 		switch inj.Kind {
 		case LinkFlap, PCIeStall, MAppStall, MAppBurst, PauseStorm:
-			if inj.Duration == 0 {
-				return fmt.Errorf("faults: injection %d (%v): window kind needs a duration", n, inj.Kind)
+			if inj.Duration <= 0 {
+				return fmt.Errorf("faults: injection %d (%v): window kind needs a positive duration", n, inj.Kind)
 			}
 		}
 	}

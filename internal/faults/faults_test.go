@@ -27,10 +27,16 @@ func TestPlanValidate(t *testing.T) {
 			{Kind: MSRStale, Duration: 10, Period: 5}}}, false},
 		{"window-kind-no-duration", Plan{Injections: []Injection{
 			{Kind: LinkFlap}}}, false},
+		{"negative-count", Plan{Injections: []Injection{
+			{Kind: MSRStale, Duration: sim.Millisecond, Period: 2 * sim.Millisecond, Count: -1}}}, false},
+		{"windowed-negative-count", Plan{Injections: []Injection{
+			Periodic(PCIeStall, 0, sim.Millisecond, 2*sim.Millisecond, -3)}}, false},
 		{"burst-without-magnitude", Plan{Injections: []Injection{
 			OneShot(MAppBurst, 0, sim.Millisecond)}}, false},
 		{"burst-with-magnitude", Plan{Injections: []Injection{
 			OneShot(MAppBurst, 0, sim.Millisecond).WithMagnitude(3)}}, true},
+		{"windowed-negative-duration", Plan{Injections: []Injection{
+			{Kind: PauseStorm, Duration: -sim.Millisecond}}}, false},
 	}
 	for _, c := range cases {
 		if err := c.plan.Validate(); (err == nil) != c.ok {
@@ -252,5 +258,57 @@ func TestBuiltinScenarios(t *testing.T) {
 	}
 	if _, err := Builtin("no-such", 0, 0); err == nil {
 		t.Error("unknown scenario did not error")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("no-such-kind"); err == nil {
+		t.Error("unknown kind name did not error")
+	}
+}
+
+func TestScenariosRegistry(t *testing.T) {
+	infos := Scenarios()
+	if len(infos) != len(BuiltinNames()) {
+		t.Fatalf("Scenarios() has %d entries, builtins %d", len(infos), len(BuiltinNames()))
+	}
+	byName := map[string]ScenarioInfo{}
+	for i, info := range infos {
+		if i > 0 && infos[i-1].Name >= info.Name {
+			t.Errorf("Scenarios() not sorted: %q before %q", infos[i-1].Name, info.Name)
+		}
+		if info.Topology == "" {
+			t.Errorf("scenario %q has no natural topology", info.Name)
+		}
+		if _, err := Builtin(info.Name, 0, sim.Millisecond); err != nil {
+			t.Errorf("scenario %q not a builtin: %v", info.Name, err)
+		}
+		byName[info.Name] = info
+	}
+	// Every explicit constraint entry must name a real builtin (a renamed
+	// scenario must not leave a stale constraint behind).
+	for name := range scenarioInfo {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("scenarioInfo entry %q is not a builtin", name)
+		}
+	}
+	// Spot-check the constraints the chaos harness depends on.
+	if !byName["pfc-storm"].Lossless || byName["pfc-storm"].Topology != "leafspine" {
+		t.Errorf("pfc-storm constraints wrong: %+v", byName["pfc-storm"])
+	}
+	if !byName["trunk-flap"].Trunks || byName["trunk-flap"].Topology != "leafspine" {
+		t.Errorf("trunk-flap constraints wrong: %+v", byName["trunk-flap"])
+	}
+	if byName["msr-stale"].Lossless || byName["msr-stale"].Topology != "star" || byName["msr-stale"].Trunks {
+		t.Errorf("msr-stale constraints wrong: %+v", byName["msr-stale"])
 	}
 }

@@ -127,6 +127,53 @@ var builtins = map[string]func(at, dur sim.Time) Plan{
 	},
 }
 
+// ScenarioInfo is the registry entry of one named chaos scenario: the
+// constraints a harness needs to run it somewhere legal. It is the single
+// source of truth shared by `hostcc-bench -chaos` (which picks the natural
+// topology and implies lossless operation from it) and the crucible
+// generator (which must only draw scenarios valid for the testbed it
+// rolls).
+type ScenarioInfo struct {
+	// Name is the Builtin key.
+	Name string
+	// Lossless marks scenarios that only make sense on a PFC fabric
+	// (pause machinery is the injection target or the failure mode).
+	Lossless bool
+	// Topology is the natural topology kind name ("star", "leafspine");
+	// harnesses without an explicit override should run the scenario
+	// there.
+	Topology string
+	// Trunks marks scenarios whose link faults aim at the inter-switch
+	// trunks, requiring a multi-switch topology.
+	Trunks bool
+}
+
+// scenarioInfo holds the per-scenario constraints; every builtins key has
+// an entry (enforced by a test). Scenarios not listed default to the
+// lossy single-switch star.
+var scenarioInfo = map[string]ScenarioInfo{
+	"trunk-flap":        {Topology: "leafspine", Trunks: true},
+	"pfc-storm":         {Lossless: true, Topology: "leafspine"},
+	"pause-loss":        {Lossless: true, Topology: "leafspine"},
+	"congestion-spread": {Lossless: true, Topology: "leafspine"},
+}
+
+// Scenarios returns the registry of named chaos scenarios, sorted by
+// name. The listing is deterministic so seed-driven generators can index
+// into it reproducibly.
+func Scenarios() []ScenarioInfo {
+	infos := make([]ScenarioInfo, 0, len(builtins))
+	for _, name := range BuiltinNames() {
+		info := scenarioInfo[name] // zero value: lossy star, host seams
+		info.Name = name
+		if info.Topology == "" {
+			info.Topology = "star"
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
 // Builtin returns the named built-in scenario with its fault window
 // opening at `at` and clearing at `at+dur`.
 func Builtin(name string, at, dur sim.Time) (Plan, error) {

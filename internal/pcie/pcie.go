@@ -85,6 +85,13 @@ type Link struct {
 	stalled        bool
 	stalledCredits int
 
+	// canaryExtraCredit is a deliberately planted off-by-one: when armed,
+	// clearing a credit stall returns one credit line more than was
+	// sequestered. It exists so the crucible chaos search has a known bug
+	// to find (the pool overflows the moment the leaked line meets a full
+	// pool) and must never be set outside that self-test.
+	canaryExtraCredit bool
+
 	// Telemetry tracks (nil when disabled — Set is then a nil check).
 	trCredits *telemetry.Track
 	trStalls  *telemetry.Track
@@ -297,9 +304,17 @@ func (l *Link) SetStall(on bool) {
 	if !on && l.stalledCredits > 0 {
 		n := l.stalledCredits
 		l.stalledCredits = 0
+		if l.canaryExtraCredit {
+			n++ // planted off-by-one: see ArmCanaryExtraCredit
+		}
 		l.ReleaseCredits(n)
 	}
 }
+
+// ArmCanaryExtraCredit plants the canary bug: every credit-stall clear
+// returns one extra line. FOR THE CRUCIBLE SELF-TEST ONLY — an armed
+// canary breaks credit conservation by design.
+func (l *Link) ArmCanaryExtraCredit() { l.canaryExtraCredit = true }
 
 // CreditStalled reports whether a replenishment stall is engaged.
 func (l *Link) CreditStalled() bool { return l.stalled }

@@ -75,12 +75,17 @@ type ChaosConfig struct {
 	VerifyReplay bool
 }
 
-// losslessScenarios names the builtins that only make sense on a PFC
-// fabric; RunChaos turns Lossless on for them automatically.
-var losslessScenarios = map[string]bool{
-	"pfc-storm":         true,
-	"pause-loss":        true,
-	"congestion-spread": true,
+// scenarioInfo looks up the shared scenario registry (faults.Scenarios is
+// the single source of truth for lossless/topology/trunk constraints;
+// this harness and the crucible generator both read it). Unknown names
+// return the zero info — Builtin will report the real error.
+func scenarioInfo(name string) faults.ScenarioInfo {
+	for _, info := range faults.Scenarios() {
+		if info.Name == name {
+			return info
+		}
+	}
+	return faults.ScenarioInfo{Name: name, Topology: "star"}
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -106,7 +111,7 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 			c.RecoveryRTTBudget = 150
 		}
 	}
-	if losslessScenarios[c.Scenario] {
+	if scenarioInfo(c.Scenario).Lossless {
 		c.Lossless = true
 	}
 	if c.VerifyReplay && c.DigestEvery == 0 {
@@ -218,9 +223,10 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
 		return ChaosResult{}, nil, fmt.Errorf("testbed: ChaosConfig.CheckpointEvery set without CheckpointPath")
 	}
+	info := scenarioInfo(plan.Name)
 	topoName := cfg.Topology
-	if topoName == "" && (plan.Name == "trunk-flap" || losslessScenarios[plan.Name]) {
-		topoName = "leafspine"
+	if topoName == "" && info.Topology != "star" {
+		topoName = info.Topology
 	}
 	topoKind, err := fabric.ParseTopologyKind(topoName)
 	if err != nil {
@@ -232,8 +238,9 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	opts.HostCC = true
 	opts.Degree = cfg.Degree
 	opts.Topology = fabric.Topology{Kind: topoKind}
-	// trunk-flap aims the link-flap seam at the inter-switch trunks.
-	opts.FaultTrunks = plan.Name == "trunk-flap"
+	// Trunk scenarios (trunk-flap) aim the link-flap seam at the
+	// inter-switch trunks.
+	opts.FaultTrunks = info.Trunks
 	// A 1 ms MinRTO keeps RTO-driven recovery (link flaps kill every
 	// in-flight packet) well inside the 50-RTT acceptance window; the
 	// Linux 200 ms default would dwarf any host-side effect.
