@@ -21,6 +21,14 @@
 #   make topology-smoke
 #                   short leaf-spine scale-out run, replay-verified
 #                   (two runs must produce bit-identical digests)
+#   make bench-parallel
+#                   time the 128-sender leaf-spine scale-out at 1, 2 and
+#                   4 shards -> BENCH_parallel.json (speedup report; the
+#                   recorded speedup is only meaningful on >=4 cores)
+#   make parallel-determinism
+#                   sharded-engine gate: single-shard goldens unchanged,
+#                   multi-shard runs replay-deterministic, chaos
+#                   acceptance at 4 shards
 #   make crucible-smoke
 #                   chaos search over fixed seeds (must pass clean) plus
 #                   the planted-canary hunt (must find and minimize it)
@@ -31,7 +39,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race chaos chaos-race bench bench-smoke api-compat telemetry-overhead figures vet staticcheck replay topology-smoke crucible-smoke crucible-corpus
+.PHONY: all build test verify race chaos chaos-race bench bench-smoke bench-parallel parallel-determinism api-compat telemetry-overhead figures vet staticcheck replay topology-smoke crucible-smoke crucible-corpus
 
 all: verify race
 
@@ -65,6 +73,23 @@ replay:
 topology-smoke:
 	$(GO) run ./cmd/hostcc-bench -topology leafspine -senders 32 -seed 42
 
+# Parallel-engine speedup report: the 128-sender leaf-spine scale-out
+# timed at 1, 2 and 4 shards. The JSON records the core count alongside
+# the wall times — interpret the speedup only on >=4 cores.
+bench-parallel:
+	$(GO) run ./cmd/hostcc-bench -bench-parallel BENCH_parallel.json -leaves 4 -spines 2 -senders 128 -seed 42
+
+# Sharded-engine determinism gate: (1) single-shard runs still match the
+# golden digests byte for byte (the -shards 1 path is the untouched
+# serial engine); (2) multi-shard runs are run-twice deterministic
+# (VerifyReplay executes every sharded run twice and compares digest
+# timelines frame by frame); (3) the chaos acceptance rows hold at 4
+# shards.
+parallel-determinism:
+	$(GO) test ./internal/testbed/ -run 'TestGoldenDigest|TestTopologyGoldenDigests' -count=1
+	$(GO) test ./internal/testbed/ ./internal/sim/ -run 'TestSharded|TestShard' -count=1
+	$(GO) run ./cmd/hostcc-bench -topology leafspine -leaves 4 -spines 2 -senders 32 -seed 42 -shards 4
+
 race:
 	$(GO) test -race -short ./...
 
@@ -93,7 +118,7 @@ chaos:
 # "faults + pause machinery + sentinel classifier race-free" gate; the
 # blanket `make race` already covers the rest of the tree.
 chaos-race:
-	$(GO) test -race -short ./internal/faults/ ./internal/testbed/ -run 'TestChaos|TestSentinel' -count=1
+	$(GO) test -race -short ./internal/faults/ ./internal/testbed/ -run 'TestChaos|TestSentinel|TestSharded' -count=1
 
 # Microbenchmark suite. The -json stream is written to BENCH_baseline.json
 # (one test2json object per line); reconstruct benchstat input with

@@ -11,12 +11,21 @@
 //	hostcc-bench -resume run.ckpt
 //	hostcc-bench -timeline out.json -degree 3
 //	hostcc-bench -topology leafspine -senders 128
+//	hostcc-bench -topology leafspine -senders 128 -shards 4
+//	hostcc-bench -bench-parallel BENCH_parallel.json -leaves 4 -spines 2 -senders 128
 //	hostcc-bench -lossless
 //
 // -topology runs a scale-out experiment through a multi-switch fabric
 // (leaf–spine or dumbbell): many senders fanning NetApp-T flows across
 // several hostCC-equipped receivers, run twice with frame-by-frame
-// digest verification (replay determinism) unless -no-verify.
+// digest verification (replay determinism) unless -no-verify. -shards
+// partitions the run across parallel engine shards (one goroutine per
+// shard, trunk propagation delay as conservative lookahead); sharded
+// runs are replay-deterministic but not byte-identical to serial runs.
+//
+// -bench-parallel times the same leaf-spine workload at 1, 2 and 4
+// shards and writes the wall-clock speedup report to the named JSON
+// file (BENCH_parallel.json in CI).
 //
 // -lossless runs the congestion-spreading study on a PFC + DCQCN
 // leaf–spine fabric: the same MApp squeeze with hostCC off and on,
@@ -33,6 +42,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -76,8 +86,12 @@ type benchFlags struct {
 	senders         *int
 	receivers       *int
 	flows           *int
+	leaves          *int
+	spines          *int
+	shards          *int
 	noVerify        *bool
 	lossless        *bool
+	benchParallel   *string
 }
 
 func registerFlags(fs *flag.FlagSet) benchFlags {
@@ -100,8 +114,12 @@ func registerFlags(fs *flag.FlagSet) benchFlags {
 		senders:         fs.Int("senders", 32, "with -topology: number of sending hosts"),
 		receivers:       fs.Int("receivers", 0, "with -topology: number of receiving hosts (0 = one per 16 senders)"),
 		flows:           fs.Int("flows", 0, "with -topology: NetApp-T flows (0 = one per sender)"),
+		leaves:          fs.Int("leaves", 0, "with -topology leafspine or -bench-parallel: leaf switch count (0 = 2)"),
+		spines:          fs.Int("spines", 0, "with -topology leafspine or -bench-parallel: spine switch count (0 = 2)"),
+		shards:          fs.Int("shards", 0, "with -topology or -chaos: partition the run across N parallel engine shards (0/1 = serial)"),
 		noVerify:        fs.Bool("no-verify", false, "with -topology: skip the second run that verifies replay determinism"),
 		lossless:        fs.Bool("lossless", false, "run the lossless-fabric study: PFC + DCQCN congestion spreading, hostCC off vs on"),
+		benchParallel:   fs.String("bench-parallel", "", "time the leaf-spine scale-out at 1, 2 and 4 shards and write the speedup report (JSON) to this file"),
 	}
 }
 
@@ -127,8 +145,12 @@ func run() error {
 	senders := f.senders
 	receivers := f.receivers
 	flows := f.flows
+	leaves := f.leaves
+	spines := f.spines
+	shards := f.shards
 	noVerify := f.noVerify
 	lossless := f.lossless
+	benchParallel := f.benchParallel
 
 	stopProf, err := startProfiling(*cpuprofile, *memprofile, *tracePath)
 	if err != nil {
@@ -139,8 +161,11 @@ func run() error {
 	if *timeline != "" {
 		return runTimeline(*timeline, *degree, !*noHostCC, *seed)
 	}
+	if *benchParallel != "" {
+		return runBenchParallel(*benchParallel, *leaves, *spines, *senders, *receivers, *flows, *seed)
+	}
 	if *topology != "" {
-		return runScaleOut(*topology, *senders, *receivers, *flows, *seed, !*noVerify)
+		return runScaleOut(*topology, *senders, *receivers, *flows, *leaves, *spines, *shards, *seed, !*noVerify)
 	}
 	if *lossless {
 		return runLossless(*seed, *degree)
@@ -149,7 +174,7 @@ func run() error {
 		return resumeChaos(*resume)
 	}
 	if *chaos != "" {
-		return runChaos(*chaos, *seed, *checkpoint, *checkpointEvery, *verifyReplay)
+		return runChaos(*chaos, *seed, *shards, *checkpoint, *checkpointEvery, *verifyReplay)
 	}
 	if *checkpoint != "" || *verifyReplay {
 		return fmt.Errorf("-checkpoint and -verify-replay require -chaos <scenario>")
@@ -269,7 +294,7 @@ func startProfiling(cpuprofile, memprofile, tracePath string) (stop func(), err 
 	return stop, nil
 }
 
-func runChaos(name string, seed int64, checkpoint string, checkpointEvery uint64, verifyReplay bool) error {
+func runChaos(name string, seed int64, shards int, checkpoint string, checkpointEvery uint64, verifyReplay bool) error {
 	if name == "list" {
 		for _, s := range hostcc.ChaosScenarios() {
 			fmt.Println(s)
@@ -286,7 +311,7 @@ func runChaos(name string, seed int64, checkpoint string, checkpointEvery uint64
 	fmt.Printf("== Chaos — fault injection and recovery (seed %d)\n", seed)
 	for _, sc := range scenarios {
 		start := time.Now()
-		cfg := hostcc.ChaosConfig{Scenario: sc, Seed: seed}
+		cfg := hostcc.ChaosConfig{Scenario: sc, Seed: seed, Shards: shards}
 		if checkpoint != "" {
 			cfg.CheckpointPath = checkpoint
 			cfg.CheckpointEvery = checkpointEvery
@@ -355,13 +380,16 @@ func runTimeline(path string, degree float64, enableHostCC bool, seed int64) err
 
 // runScaleOut runs one scale-out topology experiment (run twice with
 // frame-by-frame digest verification unless -no-verify).
-func runScaleOut(topology string, senders, receivers, flows int, seed int64, verify bool) error {
+func runScaleOut(topology string, senders, receivers, flows, leaves, spines, shards int, seed int64, verify bool) error {
 	start := time.Now()
 	r, err := hostcc.RunScaleOut(hostcc.ScaleOutConfig{
 		Topology:     topology,
 		Senders:      senders,
 		Receivers:    receivers,
 		Flows:        flows,
+		Leaves:       leaves,
+		Spines:       spines,
+		Shards:       shards,
 		Seed:         seed,
 		VerifyReplay: verify,
 	})
@@ -372,6 +400,101 @@ func runScaleOut(topology string, senders, receivers, flows int, seed int64, ver
 	fmt.Printf("   %s\n", r)
 	fmt.Printf("   event heap: peak %d pending of %d reserved\n", r.MaxPending, r.HeapCap)
 	fmt.Printf("   [%.1fs]\n", time.Since(start).Seconds())
+	return nil
+}
+
+// parallelRun is one timed execution in the -bench-parallel report.
+type parallelRun struct {
+	Shards         int     `json:"shards"`
+	Seconds        float64 `json:"seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	ThroughputGbps float64 `json:"throughput_gbps"`
+	Digest         string  `json:"digest"`
+}
+
+// parallelReport is the BENCH_parallel.json schema: wall-clock timings of
+// the same scale-out workload at 1, 2 and 4 shards, plus the speedup of
+// each sharded run over the serial engine. Cores records how much
+// hardware parallelism the timings had available — on a single-core
+// machine the sharded runs pay the barrier protocol with no speedup to
+// show for it, so consumers must gate speedup assertions on cores.
+type parallelReport struct {
+	Cores    int           `json:"cores"`
+	Topology string        `json:"topology"`
+	Leaves   int           `json:"leaves"`
+	Spines   int           `json:"spines"`
+	Senders  int           `json:"senders"`
+	Seed     int64         `json:"seed"`
+	Runs     []parallelRun `json:"runs"`
+	// Speedup maps shard count (as a string key) to serial-seconds /
+	// sharded-seconds.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// runBenchParallel times the 128-sender-class leaf-spine scale-out at 1,
+// 2 and 4 shards and writes the speedup report. Runs are single-pass (no
+// replay verification) so the timings measure the engine, not the
+// verifier; determinism has its own test and CI job.
+func runBenchParallel(path string, leaves, spines, senders, receivers, flows int, seed int64) error {
+	report := parallelReport{
+		Cores:    runtime.NumCPU(),
+		Topology: "leafspine",
+		Leaves:   leaves,
+		Spines:   spines,
+		Senders:  senders,
+		Seed:     seed,
+		Speedup:  map[string]float64{},
+	}
+	fmt.Printf("== Parallel engine bench — leafspine %dx%d, %d senders, %d cores (seed %d)\n",
+		leaves, spines, senders, report.Cores, seed)
+	var serial float64
+	for _, shards := range []int{1, 2, 4} {
+		start := time.Now()
+		r, err := hostcc.RunScaleOut(hostcc.ScaleOutConfig{
+			Topology:  "leafspine",
+			Leaves:    leaves,
+			Spines:    spines,
+			Senders:   senders,
+			Receivers: receivers,
+			Flows:     flows,
+			Shards:    shards,
+			Seed:      seed,
+		})
+		if err != nil {
+			return fmt.Errorf("bench-parallel (%d shards): %w", shards, err)
+		}
+		wall := time.Since(start).Seconds()
+		run := parallelRun{
+			Shards:         shards,
+			Seconds:        wall,
+			Events:         r.Events,
+			EventsPerSec:   float64(r.Events) / wall,
+			ThroughputGbps: r.ThroughputGbps,
+			Digest:         fmt.Sprintf("%#016x", r.Digest),
+		}
+		report.Runs = append(report.Runs, run)
+		if shards == 1 {
+			serial = wall
+		} else if wall > 0 {
+			report.Speedup[fmt.Sprint(shards)] = serial / wall
+		}
+		fmt.Printf("   %d shard(s): %.2fs wall, %d events (%.2fM ev/s), %.1f Gbps\n",
+			shards, wall, r.Events, run.EventsPerSec/1e6, r.ThroughputGbps)
+	}
+	for _, k := range []string{"2", "4"} {
+		if s, ok := report.Speedup[k]; ok {
+			fmt.Printf("   speedup at %s shards: %.2fx (over %d cores)\n", k, s, report.Cores)
+		}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench-parallel: %w", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench-parallel: %w", err)
+	}
+	fmt.Printf("   wrote %s\n", path)
 	return nil
 }
 

@@ -22,11 +22,20 @@ const NetAppTPort = 5001
 const NetAppLPort = 5002
 
 // NetAppT runs long flows from one or more senders to a receiver.
+// Receiver-side accounting is kept per receiver (netTRx) so that in a
+// sharded testbed each receiver's delivery callbacks touch only state
+// owned by its own shard; the aggregate views (Throughput, FlowShares)
+// are read at quiesced points only.
 type NetAppT struct {
-	e         *sim.Engine
-	conns     []*transport.Conn
-	recvConns []*transport.Conn
+	e     *sim.Engine
+	conns []*transport.Conn
+	rx    []*netTRx
+}
 
+// netTRx is one receiver's delivery accounting, owned by that
+// receiver's shard.
+type netTRx struct {
+	conns     []*transport.Conn
 	delivered stats.Meter
 }
 
@@ -52,9 +61,11 @@ func NewNetAppTAcross(e *sim.Engine, senders, receivers []*host.Host, flows int)
 	}
 	t := &NetAppT{e: e}
 	for _, r := range receivers {
+		rx := &netTRx{}
+		t.rx = append(t.rx, rx)
 		r.EP.Listen(NetAppTPort, func(c *transport.Conn) {
-			t.recvConns = append(t.recvConns, c)
-			c.OnData(func(n int) { t.delivered.Add(int64(n)) })
+			rx.conns = append(rx.conns, c)
+			c.OnData(func(n int) { rx.delivered.Add(int64(n)) })
 		})
 	}
 	for i := 0; i < flows; i++ {
@@ -72,29 +83,45 @@ func (t *NetAppT) Conns() []*transport.Conn { return t.conns }
 
 // MarkWindow begins a throughput measurement window.
 func (t *NetAppT) MarkWindow() {
-	t.delivered.Mark(t.e.Now())
-	for _, c := range t.recvConns {
-		c.DeliveredData.Mark()
+	now := t.e.Now()
+	for _, rx := range t.rx {
+		rx.delivered.Mark(now)
+		for _, c := range rx.conns {
+			c.DeliveredData.Mark()
+		}
 	}
 }
 
 // FlowShares returns each flow's delivered bytes since the last mark,
 // for fairness analysis (Jain's index).
 func (t *NetAppT) FlowShares() []float64 {
-	shares := make([]float64, 0, len(t.recvConns))
-	for _, c := range t.recvConns {
-		shares = append(shares, float64(c.DeliveredData.SinceMark()))
+	var shares []float64
+	for _, rx := range t.rx {
+		for _, c := range rx.conns {
+			shares = append(shares, float64(c.DeliveredData.SinceMark()))
+		}
 	}
 	return shares
 }
 
 // Throughput returns application goodput since the last mark.
 func (t *NetAppT) Throughput() sim.Rate {
-	return t.delivered.RateSinceMark(t.e.Now())
+	now := t.e.Now()
+	var r sim.Rate
+	for _, rx := range t.rx {
+		r += rx.delivered.RateSinceMark(now)
+	}
+	return r
 }
 
 // DeliveredBytes returns total receiver-side delivered bytes.
-func (t *NetAppT) DeliveredBytes() int64 { return t.delivered.Total() }
+func (t *NetAppT) DeliveredBytes() int64 {
+	var n int64
+	for _, rx := range t.rx {
+		n += rx.delivered.Total()
+	}
+	return n
+}
 
 // Retransmits sums retransmissions across flows.
 func (t *NetAppT) Retransmits() int64 {

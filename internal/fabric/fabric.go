@@ -47,6 +47,13 @@ type Link struct {
 	inflight sim.Slots[*packet.Packet]
 	pool     *packet.Pool
 
+	// bnd, when set (BindBoundary), carries delivered packets across a
+	// shard boundary instead of scheduling on the local engine: the link
+	// is then a trunk between shards and its propagation delay is the
+	// boundary's lookahead contribution. Serialization, loss rolls and
+	// counters stay on the owning (transmitting) shard.
+	bnd *sim.Boundary
+
 	Bytes stats.Meter
 	// Corrupted counts packets dropped by injected wire loss.
 	Corrupted stats.Counter
@@ -71,6 +78,19 @@ func NewLink(e *sim.Engine, cfg LinkConfig, deliver func(*packet.Packet)) *Link 
 // recycling).
 func (l *Link) SetPool(pool *packet.Pool) { l.pool = pool }
 
+// BindBoundary makes the link a shard boundary from src to dst in g:
+// delivery crosses the boundary at the packet's normal arrival time and
+// the link's propagation delay is exported as the boundary's lookahead.
+// The link's deliver function then runs on the destination shard.
+func (l *Link) BindBoundary(g *sim.ShardGroup, src, dst int) {
+	if l.bnd != nil {
+		panic("fabric: link already bound to a boundary")
+	}
+	l.bnd = g.Connect(src, dst, l.cfg.Delay, func(_, _ uint64, payload any) {
+		l.deliver(payload.(*packet.Packet))
+	})
+}
+
 // deliverEvent fires when a packet finishes propagating; arg0 is its slot.
 func (l *Link) deliverEvent(slot, _ uint64) {
 	l.deliver(l.inflight.Take(slot))
@@ -87,6 +107,10 @@ func (l *Link) Send(p *packet.Packet) {
 	if l.lost() {
 		l.pool.Put(p)
 		return // serialized, then discarded by the receiver's FCS check
+	}
+	if l.bnd != nil {
+		l.bnd.Send(done+l.cfg.Delay, 0, 0, p)
+		return
 	}
 	l.e.Schedule(done+l.cfg.Delay, l.deliverH, l.inflight.Put(p), 0)
 }
@@ -405,6 +429,10 @@ func (l *Link) deliver2(p *packet.Packet) {
 	l.Bytes.Add(int64(p.WireLen()))
 	if l.lost() {
 		l.pool.Put(p)
+		return
+	}
+	if l.bnd != nil {
+		l.bnd.Send(l.e.Now()+l.cfg.Delay, 0, 0, p)
 		return
 	}
 	l.e.ScheduleAfter(l.cfg.Delay, l.deliverH, l.inflight.Put(p), 0)

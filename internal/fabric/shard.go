@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// BuildSharded compiles a multi-switch topology across the shards of g:
+// every switch (and the hosts behind it) is built on the engine of the
+// shard swShard assigns it, and each trunk whose endpoints land on
+// different shards becomes a shard boundary exporting its propagation
+// delay as lookahead (Link.BindBoundary). PFC pause propagation across
+// such trunks rides its own control boundary with the same delay, so the
+// pause frame's flight time is preserved and the lookahead is unchanged.
+//
+// pools holds one packet pool per shard; each link recycles into its
+// owning shard's pool (a pool is only ever touched by its shard, and
+// Pool.Put adopts packets allocated elsewhere). The construction order —
+// switches, then hosts in slice order, then trunks, then routes — is
+// identical to Build, so single-shard assignments reproduce Build's
+// event order exactly; tracer-based telemetry is not supported (a shared
+// tracer would be written from every shard).
+//
+// The star topology has a single switch and therefore no boundaries to
+// cut; it is rejected rather than silently run serialized.
+func BuildSharded(g *sim.ShardGroup, topo Topology, access LinkConfig, hosts []HostPort, pools []*packet.Pool, swShard func(i int) int) (*Fabric, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := access.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.Kind == TopoStar {
+		return nil, fmt.Errorf("fabric: sharded build needs a multi-switch topology, not star")
+	}
+	if len(pools) != g.Shards() {
+		return nil, fmt.Errorf("fabric: %d pools for %d shards", len(pools), g.Shards())
+	}
+	for i := 0; i < topo.Switches(); i++ {
+		if s := swShard(i); s < 0 || s >= g.Shards() {
+			return nil, fmt.Errorf("fabric: switch %d assigned to shard %d outside [0,%d)", i, s, g.Shards())
+		}
+	}
+	swcfg := topo.Switch
+	if swcfg == (SwitchConfig{}) {
+		swcfg = DefaultSwitchConfig()
+	}
+	trunkCfg := topo.Trunk
+	if trunkCfg == (LinkConfig{}) {
+		trunkCfg = access
+	}
+	racks := topo.Racks()
+	seen := make(map[packet.HostID]bool, len(hosts))
+	for i, h := range hosts {
+		if h.Rack < 0 || h.Rack >= racks {
+			return nil, fmt.Errorf("fabric: host %d rack %d outside [0,%d)", h.ID, h.Rack, racks)
+		}
+		if h.ID == 0 {
+			return nil, fmt.Errorf("fabric: host at index %d has zero ID", i)
+		}
+		if seen[h.ID] {
+			return nil, fmt.Errorf("fabric: duplicate host ID %d", h.ID)
+		}
+		seen[h.ID] = true
+	}
+	pfcOn := swcfg.PFC.Enabled
+	if pfcOn {
+		const maxFrame = 9216
+		for _, lc := range []struct {
+			name string
+			cfg  LinkConfig
+		}{{"access", access}, {"trunk", trunkCfg}} {
+			if need := headroomFor(lc.cfg, maxFrame); swcfg.PFC.HeadroomBytes < need {
+				return nil, fmt.Errorf("fabric: PFC HeadroomBytes %d below the %d needed for lossless %s links (2xBDP + frames)",
+					swcfg.PFC.HeadroomBytes, need, lc.name)
+			}
+		}
+	}
+
+	f := &Fabric{Topo: topo, sends: make([]func(*packet.Packet), len(hosts)), accessDelay: access.Delay}
+	for i := 0; i < topo.Switches(); i++ {
+		sw := NewSwitch(g.Shard(swShard(i)), swcfg)
+		f.Switches = append(f.Switches, sw)
+		f.SwitchShards = append(f.SwitchShards, swShard(i))
+	}
+	leaves := f.Switches[:racks]
+
+	// Host access links: a host lives on its rack's shard, so both access
+	// links are shard-local (never boundaries).
+	for i, h := range hosts {
+		sw := leaves[h.Rack]
+		shard := swShard(h.Rack)
+		e, pool := g.Shard(shard), pools[shard]
+		var up *Link
+		if pfcOn {
+			pauseNIC := h.Pause
+			if pauseNIC == nil {
+				pauseNIC = func(bool) {}
+			}
+			ig := sw.NewIngress(fmt.Sprintf("host%d", h.ID), access.Delay, pauseNIC)
+			up = NewLink(e, access, func(p *packet.Packet) { sw.InjectFrom(ig, p) })
+		} else {
+			up = NewLink(e, access, sw.Inject)
+		}
+		up.SetPool(pool)
+		down := NewLink(e, access, h.Deliver)
+		down.SetPool(pool)
+		port := sw.AttachPort(h.ID, down)
+		f.hostPorts = append(f.hostPorts, hostPortRef{sw: sw, port: port})
+		f.sends[i] = up.Send
+		f.Access = append(f.Access, up, down)
+		f.AccessShards = append(f.AccessShards, shard, shard)
+	}
+
+	// trunk wires one directed inter-switch link from switch index a to
+	// switch index b: the link lives on a's shard and — when the endpoints
+	// straddle shards — delivery crosses a boundary, as does the reverse
+	// PFC pause the receiving switch's ingress asserts toward a's port.
+	trunk := func(a, b int, aSw, bSw *Switch, name string) PortID {
+		sa, sb := swShard(a), swShard(b)
+		var ig *Ingress
+		var ln *Link
+		if pfcOn {
+			ln = NewLink(g.Shard(sa), trunkCfg, func(p *packet.Packet) { bSw.InjectFrom(ig, p) })
+		} else {
+			ln = NewLink(g.Shard(sa), trunkCfg, bSw.Inject)
+		}
+		ln.SetPool(pools[sa])
+		port := aSw.AttachTrunk(ln)
+		if sa != sb {
+			ln.BindBoundary(g, sa, sb)
+		}
+		if pfcOn {
+			if sa == sb {
+				ig = bSw.NewIngress(name, trunkCfg.Delay,
+					func(on bool) { aSw.PortPause(port, on) })
+			} else {
+				// The pause frame crosses back over its own boundary with the
+				// trunk's flight delay (registered as lookahead like any other
+				// boundary); the ingress itself asserts with zero local delay.
+				pb := g.Connect(sb, sa, trunkCfg.Delay, func(a0, _ uint64, _ any) {
+					aSw.PortPause(port, a0 != 0)
+				})
+				be := g.Shard(sb)
+				ig = bSw.NewIngress(name, 0, func(on bool) {
+					v := uint64(0)
+					if on {
+						v = 1
+					}
+					pb.Send(be.Now()+trunkCfg.Delay, v, 0, nil)
+				})
+			}
+		}
+		f.Trunks = append(f.Trunks, ln)
+		f.TrunkShards = append(f.TrunkShards, sa)
+		return port
+	}
+
+	switch topo.Kind {
+	case TopoLeafSpine:
+		spines := f.Switches[racks:]
+		leafUp := make([][]PortID, racks)
+		spineDown := make([][]PortID, len(spines))
+		for s := range spineDown {
+			spineDown[s] = make([]PortID, racks)
+		}
+		for l := range leaves {
+			leafUp[l] = make([]PortID, len(spines))
+			for s := range spines {
+				lf, sp := leaves[l], spines[s]
+				upPort := trunk(l, racks+s, lf, sp, fmt.Sprintf("leaf%d", l))
+				leafUp[l][s] = upPort
+				downPort := trunk(racks+s, l, sp, lf, fmt.Sprintf("spine%d", s))
+				spineDown[s][l] = downPort
+				f.TrunkPorts = append(f.TrunkPorts,
+					TrunkPort{Sw: lf, Port: upPort, From: l, To: racks + s,
+						Name: fmt.Sprintf("leaf%d->spine%d", l, s)},
+					TrunkPort{Sw: sp, Port: downPort, From: racks + s, To: l,
+						Name: fmt.Sprintf("spine%d->leaf%d", s, l)})
+			}
+		}
+		for _, h := range hosts {
+			spine := int(h.ID) % len(spines)
+			for s := range spines {
+				spines[s].SetRoute(h.ID, spineDown[s][h.Rack])
+			}
+			for l := range leaves {
+				if l != h.Rack {
+					leaves[l].SetRoute(h.ID, leafUp[l][spine])
+				}
+			}
+		}
+	case TopoDumbbell:
+		left, right := f.Switches[0], f.Switches[1]
+		lrPort := trunk(0, 1, left, right, "sw0")
+		rlPort := trunk(1, 0, right, left, "sw1")
+		f.TrunkPorts = append(f.TrunkPorts,
+			TrunkPort{Sw: left, Port: lrPort, From: 0, To: 1, Name: "sw0->sw1"},
+			TrunkPort{Sw: right, Port: rlPort, From: 1, To: 0, Name: "sw1->sw0"})
+		for _, h := range hosts {
+			if h.Rack == 0 {
+				right.SetRoute(h.ID, rlPort)
+			} else {
+				left.SetRoute(h.ID, lrPort)
+			}
+		}
+	}
+	return f, nil
+}

@@ -197,6 +197,14 @@ type Fabric struct {
 	// index-parallel to Trunks (pause injection and instrumentation).
 	TrunkPorts []TrunkPort
 
+	// SwitchShards, AccessShards and TrunkShards record which shard owns
+	// each switch, access link and trunk link (index-parallel to Switches,
+	// Access and Trunks). Populated only by BuildSharded; a component must
+	// be mutated — fault injection included — only from its owning shard.
+	SwitchShards []int
+	AccessShards []int
+	TrunkShards  []int
+
 	sends       []func(*packet.Packet)
 	hostPorts   []hostPortRef
 	accessDelay sim.Time

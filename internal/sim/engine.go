@@ -306,6 +306,16 @@ func (e *Engine) After(d Time, fn func()) {
 // Pending reports how many events are queued.
 func (e *Engine) Pending() int { return e.q.len() }
 
+// NextEventAt peeks the timestamp of the earliest queued event. The
+// second return is false when the queue is empty. ShardGroup uses this
+// at barriers to bound the next conservative window.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if e.q.len() == 0 {
+		return 0, false
+	}
+	return e.q.ev[0].at, true
+}
+
 // MaxPending reports the high-water mark of the event queue over the
 // engine's lifetime (Reserve sizing audits).
 func (e *Engine) MaxPending() int { return e.maxPending }

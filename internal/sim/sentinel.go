@@ -64,6 +64,14 @@ type probe struct {
 	fn   func() uint64
 }
 
+// Clock is the simulation driver a Sentinel monitors: a single Engine or
+// a ShardGroup. Stop aborts the run (the abort policy's action).
+type Clock interface {
+	Now() Time
+	Pending() int
+	Stop()
+}
+
 // Sentinel watches a set of monotonic progress counters and declares a
 // stall when none of them move for a full window while the datapath still
 // has demand and the event queue is non-empty. Time-driven checking means a
@@ -71,7 +79,8 @@ type probe struct {
 // events entirely (some other actor — an app loop, a ticker — keeps virtual
 // time advancing; a truly empty queue is plain termination, not a stall).
 type Sentinel struct {
-	e       *Engine
+	clk     Clock
+	tick    *Engine // self-scheduling via Ticker; nil when externally driven
 	cfg     SentinelConfig
 	probes  []probe
 	demand  func() bool
@@ -90,8 +99,19 @@ type Sentinel struct {
 	Stalls int64
 }
 
-// NewSentinel creates a sentinel; call Start to begin monitoring.
+// NewSentinel creates a sentinel that self-schedules its checks on e's
+// clock; call Start to begin monitoring.
 func NewSentinel(e *Engine, cfg SentinelConfig) *Sentinel {
+	s := NewSentinelOn(e, cfg)
+	s.tick = e
+	return s
+}
+
+// NewSentinelOn creates a sentinel over any Clock (e.g. a ShardGroup)
+// without a self-scheduled ticker: after Start, the owner drives it by
+// calling Check on its own cadence — for a ShardGroup, from a coordinator
+// hook, where every shard is quiesced and the probes are safe to sample.
+func NewSentinelOn(clk Clock, cfg SentinelConfig) *Sentinel {
 	if cfg.Window <= 0 {
 		panic("sim: sentinel window must be positive")
 	}
@@ -101,7 +121,7 @@ func NewSentinel(e *Engine, cfg SentinelConfig) *Sentinel {
 			cfg.Check = 1
 		}
 	}
-	return &Sentinel{e: e, cfg: cfg}
+	return &Sentinel{clk: clk, cfg: cfg}
 }
 
 // AddProbe registers a named monotonic progress counter. Any change in any
@@ -128,16 +148,20 @@ func (s *Sentinel) OnStall(fn func(*StallReport)) { s.onStall = fn }
 // whether it freed anything.
 func (s *Sentinel) SetEscape(fn func() bool) { s.escape = fn }
 
-// Start begins monitoring from the current virtual time.
+// Start begins monitoring from the current virtual time. Externally
+// driven sentinels (NewSentinelOn) only take their probe baselines here;
+// the owner then calls Check periodically.
 func (s *Sentinel) Start() {
 	if s.ticker != nil {
 		return
 	}
-	s.lastMove = s.e.Now()
+	s.lastMove = s.clk.Now()
 	for i, p := range s.probes {
 		s.last[i] = p.fn()
 	}
-	s.ticker = NewTicker(s.e, s.cfg.Check, s.check)
+	if s.tick != nil {
+		s.ticker = NewTicker(s.tick, s.cfg.Check, s.check)
+	}
 }
 
 // Stop halts monitoring.
@@ -151,9 +175,14 @@ func (s *Sentinel) Stop() {
 // Report returns the first stall report, or nil if none was detected.
 func (s *Sentinel) Report() *StallReport { return s.report }
 
+// Check runs one stall probe now. Self-scheduled sentinels call it from
+// their ticker; externally driven ones (NewSentinelOn) have their owner
+// call it at quiesced points.
+func (s *Sentinel) Check() { s.check() }
+
 func (s *Sentinel) check() {
 	s.Checks++
-	now := s.e.Now()
+	now := s.clk.Now()
 	moved := false
 	for i, p := range s.probes {
 		v := p.fn()
@@ -163,7 +192,7 @@ func (s *Sentinel) check() {
 		}
 	}
 	demand := s.demand == nil || s.demand()
-	if moved || !demand || s.e.Pending() == 0 {
+	if moved || !demand || s.clk.Pending() == 0 {
 		s.lastMove = now
 		return
 	}
@@ -175,7 +204,7 @@ func (s *Sentinel) check() {
 		DetectedAt:     now,
 		LastProgressAt: s.lastMove,
 		Window:         s.cfg.Window,
-		Pending:        s.e.Pending(),
+		Pending:        s.clk.Pending(),
 	}
 	for i, p := range s.probes {
 		rep.Probes = append(rep.Probes, ProbeSample{Name: p.name, Value: s.last[i]})
@@ -206,6 +235,6 @@ func (s *Sentinel) check() {
 			s.onStall(rep)
 		}
 		s.Stop()
-		s.e.Stop()
+		s.clk.Stop()
 	}
 }

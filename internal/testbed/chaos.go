@@ -35,6 +35,9 @@ type ChaosConfig struct {
 	Topology string
 
 	Seed int64
+	// Shards partitions the run across parallel engine shards (0/1 =
+	// classic serial engine). Requires a multi-switch topology.
+	Shards int
 	// Degree of host congestion at the receiver (default 2x).
 	Degree float64
 	// FaultAt / FaultFor position the fault window (defaults: 6 ms into
@@ -245,6 +248,7 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	// in-flight packet) well inside the 50-RTT acceptance window; the
 	// Linux 200 ms default would dwarf any host-side effect.
 	opts.MinRTO = sim.Millisecond
+	opts.Shards = cfg.Shards
 	opts.Faults = plan
 	opts.Watchdog = &wd
 	opts.Invariants = true
@@ -272,6 +276,7 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	}
 
 	tb := New(opts)
+	defer tb.Close()
 	res := ChaosResult{Scenario: plan.Name, Seed: cfg.Seed}
 	// Collect violations instead of panicking so the result reports them
 	// (the chaos tests assert the list is empty — still a loud failure).
@@ -289,23 +294,30 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	capture := func() *snapshot.Checkpoint {
 		return &snapshot.Checkpoint{
 			Meta:        meta,
-			VirtualTime: int64(tb.E.Now()),
-			Events:      tb.E.Processed,
+			VirtualTime: int64(tb.Now()),
+			Events:      tb.Processed(),
 			Timeline:    *timeline,
 			State:       reg.EncodeAll(),
 		}
 	}
-	var recorder *sim.Ticker
+	recording := false
 	var lastBucket uint64
 	if cfg.DigestEvery > 0 {
-		recorder = sim.NewTicker(tb.E, cfg.DigestEvery, func() {
+		// In sharded mode the recorder runs as a coordinator hook: every
+		// shard is quiesced at the hook point, so the registry digest reads
+		// one consistent global state.
+		recording = true
+		tb.Every(cfg.DigestEvery, func() {
+			if !recording {
+				return
+			}
 			timeline.Append(snapshot.Frame{
-				At:      int64(tb.E.Now()),
-				Events:  tb.E.Processed,
+				At:      int64(tb.Now()),
+				Events:  tb.Processed(),
 				Digests: reg.Digests(),
 			})
 			if cfg.CheckpointEvery > 0 {
-				if bucket := tb.E.Processed / cfg.CheckpointEvery; bucket > lastBucket {
+				if bucket := tb.Processed() / cfg.CheckpointEvery; bucket > lastBucket {
 					lastBucket = bucket
 					if err := capture().WriteFile(cfg.CheckpointPath); err == nil {
 						res.Checkpoints++
@@ -336,17 +348,17 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	}
 
 	// Fault-free baseline: warmup, then measure up to the fault window.
-	tb.E.RunUntil(opts.Warmup)
+	tb.RunUntil(opts.Warmup)
 	tb.MarkWindow()
 	if !aborted() {
-		tb.E.RunUntil(cfg.FaultAt)
+		tb.RunUntil(cfg.FaultAt)
 		res.BaselineGbps = tb.NetT.Throughput().Gbps()
 	}
 
 	// Through the fault window.
 	if !aborted() {
 		tb.NetT.MarkWindow()
-		tb.E.RunUntil(cfg.FaultAt + cfg.FaultFor)
+		tb.RunUntil(cfg.FaultAt + cfg.FaultFor)
 		res.FaultGbps = tb.NetT.Throughput().Gbps()
 	}
 
@@ -357,7 +369,7 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	res.RecoveryRTTs = -1
 	for rtts := 0; rtts < cfg.RecoveryRTTBudget && !aborted(); rtts += probeRTTs {
 		tb.NetT.MarkWindow()
-		tb.E.RunFor(probe)
+		tb.RunFor(probe)
 		res.FinalGbps = tb.NetT.Throughput().Gbps()
 		if res.FinalGbps >= target {
 			res.Recovered = true
@@ -384,9 +396,7 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 		res.Stall = sen.Report()
 		sen.Stop()
 	}
-	if recorder != nil {
-		recorder.Stop()
-	}
+	recording = false
 	res.Frames = timeline.Len()
 	res.ComponentDigests = reg.Digests()
 	res.Digest = snapshot.Combined(res.ComponentDigests)
@@ -408,6 +418,7 @@ func chaosMeta(cfg ChaosConfig, scenarioKey, topology string) map[string]string 
 		"sentinelWindow": strconv.FormatInt(int64(cfg.SentinelWindow), 10),
 		"sentinelPolicy": strconv.Itoa(int(cfg.SentinelPolicy)),
 		"lossless":       strconv.FormatBool(cfg.Lossless),
+		"shards":         strconv.Itoa(cfg.Shards),
 	}
 }
 
@@ -453,6 +464,11 @@ func chaosConfigFromCheckpoint(ck *snapshot.Checkpoint) (ChaosConfig, error) {
 		// runs were lossy, which is exactly what the blank value selects
 		// (withDefaults re-implies lossless for the lossless scenarios).
 		Lossless: ck.Get("lossless") == "true",
+	}
+	// Checkpoints from before the shards field carry no key; those runs
+	// were serial, which is what the zero value selects.
+	if s := ck.Get("shards"); s != "" {
+		cfg.Shards = int(geti("shards"))
 	}
 	return cfg, firstErr
 }

@@ -1,0 +1,321 @@
+// Sharded testbed construction: Config.Shards > 1 partitions the
+// simulation across parallel engine shards synchronized by conservative
+// trunk-delay lookahead (sim.ShardGroup). The shard map follows the
+// existing rack striping: switch i (leaves first, then spines) runs on
+// shard i%N, and every host runs on its rack's shard, so access links
+// never cross shards and only inter-switch trunks become boundaries.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/host"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// swShardFor maps switch index to owning shard: round-robin, leaves
+// first — leaves spread across shards exactly like rackFor spreads
+// hosts across racks, and spines fill in behind them.
+func swShardFor(n int) func(int) int {
+	return func(i int) int { return i % n }
+}
+
+// shardHeapHint is eventHeapHint scoped to one shard: the same
+// population model, counting only the hosts living on the shard, the
+// flows with an endpoint there, and the stale-timer accumulation of its
+// receivers. A flow's events split between its two endpoint shards but
+// are counted fully on both — a bounded over-count that keeps the
+// no-regrowth guarantee without modeling where each in-flight packet is.
+func shardHeapHint(opts Config, tcfg transport.Config, shard int, swShard func(int) int) int {
+	hostShard := func(i int) int { return swShard(rackFor(opts.Topology, i, opts.Receivers)) }
+	hosts, receivers := 0, 0
+	for i := 0; i < opts.Receivers+opts.Senders; i++ {
+		if hostShard(i) != shard {
+			continue
+		}
+		hosts++
+		if i < opts.Receivers {
+			receivers++
+		}
+	}
+	flows := 0
+	for f := 0; f < opts.Flows; f++ {
+		rx := f % opts.Receivers
+		tx := opts.Receivers + f%opts.Senders
+		if hostShard(rx) == shard || hostShard(tx) == shard {
+			flows++
+		}
+	}
+
+	winPkts := tcfg.RcvWnd/tcfg.MSS + 1
+	perFlow := 2*winPkts + 16
+
+	rate := opts.LinkRate
+	if rate == 0 {
+		rate = sim.Gbps(100)
+	}
+	staleWindow := min(tcfg.MinRTO, opts.Warmup+opts.Measure)
+	stalePkts := float64(rate) * staleWindow.Seconds() / float64(opts.MTU)
+	stale := receivers * int(stalePkts)
+
+	return 2048 + 64*hosts + flows*perFlow + stale
+}
+
+// newSharded builds the parallel testbed. The construction order matches
+// New step for step (hosts, fabric, hostCC, MApp, faults, invariants,
+// instruments) — only the engine each component lands on differs.
+func newSharded(opts Options) *Testbed {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	n := opts.Shards
+	swShard := swShardFor(n)
+	hostShard := func(i int) int { return swShard(rackFor(opts.Topology, i, opts.Receivers)) }
+	g := sim.NewShardGroup(opts.Seed, n)
+	tb := &Testbed{E: g.Shard(0), Group: g, Opts: opts, Reg: telemetry.NewRegistry()}
+
+	// One packet pool per shard: a pool is only ever touched by its own
+	// shard (Put adopts packets allocated elsewhere).
+	pools := make([]*packet.Pool, n)
+	for i := range pools {
+		pools[i] = packet.NewPool(1024)
+	}
+
+	tcfg := transport.DefaultConfig(opts.MTU)
+	if opts.CC != nil {
+		tcfg.CC = opts.CC
+	} else if opts.Lossless {
+		tcfg.CC = transport.NewDCQCN()
+	}
+	if opts.MinRTO > 0 {
+		tcfg.MinRTO = opts.MinRTO
+		tcfg.InitialRTO = opts.MinRTO
+	}
+	// Per-shard heaps pre-size from per-shard shape.
+	for i := 0; i < n; i++ {
+		g.Shard(i).Reserve(shardHeapHint(opts, tcfg, i, swShard))
+	}
+
+	mkHost := func(idx int, id packet.HostID) *host.Host {
+		sh := hostShard(idx)
+		hcfg := host.DefaultConfig(id, opts.MTU, opts.DDIO)
+		hcfg.Transport = tcfg
+		hcfg.Pool = pools[sh]
+		if opts.LinkRate > 0 {
+			hcfg.NIC.LineRate = opts.LinkRate
+		}
+		if opts.MBAWriteLatency > 0 {
+			hcfg.MBA.WriteLatency = opts.MBAWriteLatency
+		}
+		if opts.Lossless {
+			hcfg.NIC.PFC = nic.DefaultPFCConfig(hcfg.NIC.RxBufferBytes)
+			hcfg.NIC.PFC.ResumeTimeout = opts.PauseWatchdog
+		}
+		if id == receiverID && opts.iommu != nil {
+			hcfg.IOMMU = *opts.iommu
+		}
+		if id == receiverID && opts.mba != nil {
+			hcfg.MBA = *opts.mba
+		}
+		return host.New(g.Shard(sh), hcfg)
+	}
+
+	for i := 0; i < opts.Receivers; i++ {
+		tb.Receivers = append(tb.Receivers, mkHost(i, receiverID+packet.HostID(i)))
+	}
+	tb.Receiver = tb.Receivers[0]
+	senderBase := receiverID + packet.HostID(opts.Receivers)
+	for i := 0; i < opts.Senders; i++ {
+		tb.Senders = append(tb.Senders, mkHost(opts.Receivers+i, senderBase+packet.HostID(i)))
+	}
+
+	lcfg := fabric.DefaultLinkConfig()
+	lcfg.LossProb = opts.WireLossProb
+	if opts.LinkRate > 0 {
+		lcfg.Rate = opts.LinkRate
+	}
+	hosts := make([]*host.Host, 0, len(tb.Receivers)+len(tb.Senders))
+	hosts = append(hosts, tb.Receivers...)
+	hosts = append(hosts, tb.Senders...)
+	ports := make([]fabric.HostPort, len(hosts))
+	for i, h := range hosts {
+		ports[i] = fabric.HostPort{
+			ID:      h.ID(),
+			Rack:    rackFor(opts.Topology, i, opts.Receivers),
+			Deliver: h.ReceiveFromWire,
+		}
+		if opts.Lossless {
+			ports[i].Pause = h.NIC.SetTxPaused
+		}
+	}
+	topo := opts.Topology
+	if opts.Lossless {
+		swcfg := topo.Switch
+		if swcfg == (fabric.SwitchConfig{}) {
+			swcfg = fabric.DefaultSwitchConfig()
+		}
+		swcfg.PFC = fabric.DefaultPFCConfig(swcfg.PortBufferBytes)
+		swcfg.PFC.ResumeTimeout = opts.PauseWatchdog
+		topo.Switch = swcfg
+	}
+	fb, err := fabric.BuildSharded(g, topo, lcfg, ports, pools, swShard)
+	if err != nil {
+		panic(err) // Config.Validate rejects invalid shard/topology pairs up front
+	}
+	tb.Fabric = fb
+	tb.Sw = fb.Switches[0]
+	tb.Links = fb.Access
+	tb.Trunks = fb.Trunks
+	for i, h := range hosts {
+		h.SetOutput(fb.HostSend(i))
+	}
+	if opts.Lossless {
+		for i, h := range hosts {
+			h.NIC.SetPauseUpstream(fb.HostPauser(i))
+		}
+	}
+
+	ccfg := core.DefaultConfig(opts.DDIO)
+	if opts.IT > 0 {
+		ccfg.IT = opts.IT
+	}
+	if opts.BT > 0 {
+		ccfg.BT = opts.BT
+	}
+	if opts.SignalWeightIS > 0 {
+		ccfg.WeightIS = opts.SignalWeightIS
+	}
+	if opts.SampleInterval > 0 {
+		ccfg.SampleInterval = opts.SampleInterval
+	}
+	ccfg.Mode = core.ModeOff
+	if opts.HostCC {
+		ccfg.Mode = core.ModeFull
+		if opts.Mode != core.ModeFull {
+			ccfg.Mode = opts.Mode
+		}
+	}
+	ccfg.Watchdog = opts.Watchdog
+	for i, r := range tb.Receivers {
+		hcc := core.New(g.Shard(hostShard(i)), r.MSR, r.MBA, ccfg)
+		r.AddReceiveHook(hcc.ReceiveHook())
+		hcc.Start()
+		tb.HCCs = append(tb.HCCs, hcc)
+	}
+	tb.HCC = tb.HCCs[0]
+
+	if opts.Degree > 0 {
+		for _, r := range tb.Receivers {
+			r.StartMApp(opts.Degree)
+		}
+	}
+	if opts.FixedLevel >= 0 {
+		for _, r := range tb.Receivers {
+			r.MBA.RequestLevel(opts.FixedLevel)
+		}
+	}
+
+	// Fault injection: every shard arms the same plan against the seams
+	// it owns (an injector ignores absent seams), so windows open and
+	// close at identical virtual times everywhere with zero cross-shard
+	// traffic, and event-level rolls draw from the owning shard's RNG.
+	if opts.Faults != nil {
+		rxShard := hostShard(0)
+		for s := 0; s < n; s++ {
+			var seams faults.Seams
+			if s == rxShard {
+				seams.MSR = tb.Receiver.MSR
+				seams.MBA = tb.Receiver.MBA
+				seams.NIC = tb.Receiver.NIC
+				seams.PCIe = tb.Receiver.Link
+				seams.MApp = tb.Receiver.MApp()
+			}
+			if opts.FaultTrunks {
+				for i, l := range tb.Trunks {
+					if fb.TrunkShards[i] == s {
+						seams.Links = append(seams.Links, l)
+					}
+				}
+			} else {
+				for i, l := range tb.Links {
+					if fb.AccessShards[i] == s {
+						seams.Links = append(seams.Links, l)
+					}
+				}
+			}
+			if opts.Lossless {
+				for i, sw := range fb.Switches {
+					if fb.SwitchShards[i] == s {
+						seams.Switches = append(seams.Switches, sw)
+					}
+				}
+				for _, ti := range opts.StormTrunks {
+					tp := fb.TrunkPorts[ti]
+					if fb.SwitchShards[tp.From] == s {
+						seams.Pause = append(seams.Pause, func(on bool) {
+							tp.Sw.SetPortForcedPause(tp.Port, on)
+						})
+					}
+				}
+			}
+			in := faults.MustNewInjector(g.Shard(s), *opts.Faults, seams)
+			in.Arm()
+			tb.Injectors = append(tb.Injectors, in)
+		}
+		tb.Injector = tb.Injectors[0]
+	}
+
+	if opts.Invariants {
+		nic, link, mba := tb.Receiver.NIC, tb.Receiver.Link, tb.Receiver.MBA
+		tb.Inv = core.NewInvariantChecker(g.Shard(hostShard(0)), ccfg.SampleInterval, core.InvariantProbes{
+			NICArrivals:   func() int64 { return nic.Arrivals.Total() },
+			NICDrops:      func() int64 { return nic.Drops.Total() },
+			NICFaultDrops: func() int64 { return nic.FaultDrops.Total() },
+			NICQueued:     nic.RxQueuedPackets,
+			NICDMAStarted: func() int64 { return nic.DMAStarted.Total() },
+			PCIeCredits: func() (int, int, int) {
+				return link.Credits(), link.SequesteredCredits(), link.Config().CreditLines
+			},
+			MBALevel:  mba.Level,
+			MBALevels: mba.NumLevels,
+		})
+		tb.Inv.Start()
+	}
+
+	for i, r := range tb.Receivers {
+		r.RegisterInstruments(tb.Reg, receiverName(i))
+		tb.HCCs[i].RegisterInstruments(tb.Reg, receiverName(i))
+	}
+	for i, s := range tb.Senders {
+		s.RegisterInstruments(tb.Reg, fmt.Sprintf("sender%d", i+1))
+	}
+	for i, sw := range fb.Switches {
+		sw.RegisterInstruments(tb.Reg, fb.SwitchName(i))
+	}
+	for i, l := range tb.Links {
+		l.RegisterInstruments(tb.Reg, fmt.Sprintf("fabric/link%d", i))
+	}
+	for i, l := range tb.Trunks {
+		l.RegisterInstruments(tb.Reg, fmt.Sprintf("fabric/trunk%d", i))
+	}
+	if opts.Lossless {
+		for _, tp := range tb.Fabric.TrunkPorts {
+			tp := tp
+			tb.Reg.Gauge("fabric/pfc/"+tp.Name+"/paused-ns", "ns",
+				"cumulative PFC pause time of this trunk transmit port",
+				func() float64 { return float64(tp.Sw.PortPausedFor(tp.Port)) })
+			tb.Reg.Gauge("fabric/pfc/"+tp.Name+"/queue-bytes", "bytes",
+				"instantaneous queue depth behind this trunk port",
+				func() float64 { return float64(tp.Sw.PortQueueBytes(tp.Port)) })
+		}
+	}
+
+	return tb
+}

@@ -31,6 +31,9 @@ type ScaleOutConfig struct {
 	Flows     int
 
 	Seed int64
+	// Shards partitions the run across parallel engine shards (0/1 =
+	// classic serial engine). Requires a multi-switch topology.
+	Shards int
 	// Degree of host congestion at every receiver (default 2x).
 	Degree float64
 	// Warmup / Measure bound the run (defaults 2 ms / 8 ms — shorter
@@ -87,6 +90,7 @@ type ScaleOutResult struct {
 	Receivers int
 	Flows     int
 	Seed      int64
+	Shards    int
 
 	// Aggregate NetApp-T goodput over the measurement window, and the
 	// in-fabric congestion it produced.
@@ -97,9 +101,12 @@ type ScaleOutResult struct {
 	NetRetx        int64
 
 	// MaxPending / HeapCap report the engine's peak pending-event count
-	// against its reserved capacity — the Reserve-sizing audit.
+	// against its reserved capacity — the Reserve-sizing audit. Sharded
+	// runs report the maximum across shards. Events is the total events
+	// processed (summed across shards).
 	MaxPending int
 	HeapCap    int
+	Events     uint64
 
 	// Digest is the combined final-state hash; ComponentDigests the
 	// per-component breakdown; Frames the digest frames recorded;
@@ -117,9 +124,13 @@ func (r ScaleOutResult) String() string {
 	if r.Verified {
 		v = ", replay verified"
 	}
+	shape := r.Topology
+	if r.Shards > 1 {
+		shape = fmt.Sprintf("%s x%d shards", r.Topology, r.Shards)
+	}
 	return fmt.Sprintf(
 		"%s (%d switches, %d trunks): %d senders -> %d receivers, %d flows: %.1f Gbps; switch drops=%d marks=%d rto=%d retx=%d; digest %#016x over %d frames%s",
-		r.Topology, r.Switches, r.Trunks, r.Senders, r.Receivers, r.Flows,
+		shape, r.Switches, r.Trunks, r.Senders, r.Receivers, r.Flows,
 		r.ThroughputGbps, r.SwitchDrops, r.SwitchMarks, r.NetTimeouts, r.NetRetx,
 		r.Digest, r.Frames, v)
 }
@@ -171,11 +182,13 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 	// Incast at scale recovers by RTO; the Linux 200 ms default would
 	// park most flows for the entire measurement window.
 	opts.MinRTO = sim.Millisecond
+	opts.Shards = cfg.Shards
 	if err := opts.Validate(); err != nil {
 		return ScaleOutResult{}, nil, err
 	}
 
 	tb := New(opts)
+	defer tb.Close()
 	res := ScaleOutResult{
 		Topology:  kind.String(),
 		Switches:  topo.Switches(),
@@ -184,15 +197,23 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 		Receivers: opts.Receivers,
 		Flows:     opts.Flows,
 		Seed:      opts.Seed,
+		Shards:    opts.Shards,
 	}
 	tb.StartNetAppT()
 
+	// The recorder runs on the coordinator in sharded mode: every shard is
+	// quiesced at the hook, so the registry digest reads a consistent
+	// global state at one virtual time.
 	reg := tb.Registry()
 	timeline := &snapshot.Timeline{}
-	recorder := sim.NewTicker(tb.E, cfg.DigestEvery, func() {
+	recording := true
+	tb.Every(cfg.DigestEvery, func() {
+		if !recording {
+			return
+		}
 		timeline.Append(snapshot.Frame{
-			At:      int64(tb.E.Now()),
-			Events:  tb.E.Processed,
+			At:      int64(tb.Now()),
+			Events:  tb.Processed(),
 			Digests: reg.Digests(),
 		})
 	})
@@ -203,13 +224,14 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 	res.NetRetx = m.NetRetx
 	res.SwitchDrops = tb.Fabric.Drops()
 	res.SwitchMarks = tb.Fabric.Marks()
-	res.MaxPending = tb.E.MaxPending()
-	res.HeapCap = tb.E.HeapCap()
+	res.MaxPending = tb.MaxPendingEvents()
+	res.HeapCap = tb.EventHeapCap()
+	res.Events = tb.Processed()
 
 	for _, h := range tb.HCCs {
 		h.Stop()
 	}
-	recorder.Stop()
+	recording = false
 	res.Frames = timeline.Len()
 	res.ComponentDigests = reg.Digests()
 	res.Digest = snapshot.Combined(res.ComponentDigests)

@@ -19,6 +19,13 @@ import (
 func (tb *Testbed) Registry() *snapshot.Registry {
 	reg := snapshot.NewRegistry()
 	reg.Register("engine", tb.E)
+	if tb.Group != nil {
+		// Sharded runs serialize every shard's engine; "engine" stays shard
+		// 0 (tb.E) so single- and multi-shard timelines share a prefix.
+		for i := 1; i < tb.Group.Shards(); i++ {
+			reg.Register(fmt.Sprintf("engine/s%d", i), tb.Group.Shard(i))
+		}
+	}
 	for i, r := range tb.Receivers {
 		prefix := "rx"
 		if i > 0 {
@@ -49,6 +56,11 @@ func (tb *Testbed) Registry() *snapshot.Registry {
 	}
 	if tb.Injector != nil {
 		reg.Register("faults", tb.Injector)
+		// Sharded runs arm one injector per shard; shard 0's is "faults"
+		// above, the rest get per-shard names.
+		for i := 1; i < len(tb.Injectors); i++ {
+			reg.Register(fmt.Sprintf("faults/s%d", i), tb.Injectors[i])
+		}
 	}
 	return reg
 }
@@ -60,8 +72,24 @@ func (tb *Testbed) Registry() *snapshot.Registry {
 // credit-stall fault reads as a flat probe, not fake progress). Demand is
 // "packets are waiting in the NIC buffer or credits are hostage", so a
 // drained testbed never trips it.
+// In a sharded testbed the sentinel monitors the whole ShardGroup and is
+// driven from a coordinator hook (every shard quiesced at the barrier, so
+// probes may safely read any shard's state) instead of an engine ticker.
 func (tb *Testbed) StartSentinel(cfg sim.SentinelConfig) *sim.Sentinel {
-	s := sim.NewSentinel(tb.E, cfg)
+	var s *sim.Sentinel
+	if tb.Group != nil {
+		s = sim.NewSentinelOn(tb.Group, cfg)
+		check := cfg.Check
+		if check <= 0 {
+			check = cfg.Window / 4
+			if check <= 0 {
+				check = 1
+			}
+		}
+		tb.Group.Every(check, func() { s.Check() })
+	} else {
+		s = sim.NewSentinel(tb.E, cfg)
+	}
 	nic, link := tb.Receiver.NIC, tb.Receiver.Link
 	s.AddProbe("goodput", func() uint64 {
 		if tb.NetT == nil {
@@ -158,6 +186,24 @@ func (tb *Testbed) buildWaitGraph() *sim.WaitGraph {
 						"queued frames drain through the downstream switch")
 				}
 			}
+		}
+	}
+
+	// A sharded run adds one node per shard, tagged "barrier". A shard
+	// parked at a window barrier is waiting on lookahead, not wedged, so
+	// the nodes are always Moving — the classifier reads a pure
+	// barrier-wait graph as idle rather than a deadlock, even though the
+	// neighbor-horizon edges form a cycle.
+	if tb.Group != nil {
+		n := tb.Group.Shards()
+		for i := 0; i < n; i++ {
+			e := tb.Group.Shard(i)
+			g.AddNodeKind(fmt.Sprintf("shard/%d", i), "barrier", e.Pending() > 0, true,
+				fmt.Sprintf("at barrier t=%.3fms, %d events pending", e.Now().Millis(), e.Pending()))
+		}
+		for i := 0; n > 1 && i < n; i++ {
+			g.AddEdge(fmt.Sprintf("shard/%d", i), fmt.Sprintf("shard/%d", (i+1)%n),
+				"window advance waits on neighbor horizon")
 		}
 	}
 	return g

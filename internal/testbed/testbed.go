@@ -48,6 +48,16 @@ type Config struct {
 	// NetApp-T flows fan in round-robin across receivers.
 	Receivers int
 
+	// Shards, when > 1, partitions the simulation across that many
+	// parallel engine shards (one goroutine each): each switch and the
+	// hosts behind it run on the shard of their rack, and inter-switch
+	// trunks become conservative-lookahead boundaries whose propagation
+	// delay bounds the synchronization window. Requires a multi-switch
+	// Topology (the star has no trunks to cut) and is incompatible with
+	// Telemetry (the tracer is a single shared timeline). 0 or 1 runs the
+	// classic single-engine testbed, byte-identical to before.
+	Shards int
+
 	// FaultTrunks aims link-flap faults at the inter-switch trunk links
 	// instead of the host access links (requires a multi-switch
 	// Topology).
@@ -200,6 +210,17 @@ func (o Config) Validate() error {
 			}
 		}
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("testbed: negative Shards %d", o.Shards)
+	}
+	if o.Shards > 1 {
+		if o.Topology.Switches() < 2 {
+			return fmt.Errorf("testbed: Shards %d requires a multi-switch Topology (the star has no trunk boundaries)", o.Shards)
+		}
+		if o.Telemetry {
+			return fmt.Errorf("testbed: Telemetry is a single shared timeline and cannot run sharded")
+		}
+	}
 	if o.Warmup < 0 || o.Measure < 0 {
 		return fmt.Errorf("testbed: negative window (warmup %v, measure %v)", o.Warmup, o.Measure)
 	}
@@ -263,8 +284,14 @@ func (o Config) withDefaults() Config {
 
 // Testbed is one constructed experiment.
 type Testbed struct {
-	E    *sim.Engine
-	Opts Options
+	// E is the simulation engine — shard 0's engine when sharded. Runner
+	// code must advance time through RunUntil/RunFor/Now on the Testbed
+	// (they dispatch to the shard group when present); reading E directly
+	// is safe only at quiesced points, where every shard clock is equal.
+	E *sim.Engine
+	// Group is the parallel shard group (nil when Opts.Shards <= 1).
+	Group *sim.ShardGroup
+	Opts  Options
 	// Receiver, Sw and HCC are the primary receiver, first switch and
 	// primary hostCC instance — the full sets live in Receivers,
 	// Fabric.Switches and HCCs (all length 1 in the default star).
@@ -284,7 +311,10 @@ type Testbed struct {
 	// LinkFlap seam under Config.FaultTrunks.
 	Trunks []*fabric.Link
 	// Injector is the armed fault injector (nil without Options.Faults).
-	Injector *faults.Injector
+	// When sharded it is shard 0's injector; every shard arms the same
+	// plan against the seams it owns, and Injectors holds all of them.
+	Injector  *faults.Injector
+	Injectors []*faults.Injector
 	// Inv is the invariant checker (nil without Options.Invariants).
 	Inv *core.InvariantChecker
 
@@ -379,6 +409,9 @@ func rackFor(t fabric.Topology, i, receivers int) int {
 // at the requested degree.
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
+	if opts.Shards > 1 {
+		return newSharded(opts)
+	}
 	e := sim.NewEngine(opts.Seed)
 	tb := &Testbed{E: e, Opts: opts, Reg: telemetry.NewRegistry()}
 	if opts.Telemetry {
@@ -722,8 +755,92 @@ func (tb *Testbed) Collect() Metrics {
 
 // RunWindow performs the standard warmup + measurement cycle.
 func (tb *Testbed) RunWindow() Metrics {
-	tb.E.RunUntil(tb.Opts.Warmup)
+	tb.RunUntil(tb.Opts.Warmup)
 	tb.MarkWindow()
-	tb.E.RunFor(tb.Opts.Measure)
+	tb.RunFor(tb.Opts.Measure)
 	return tb.Collect()
+}
+
+// RunUntil advances simulation time to deadline — through the shard
+// group's conservative windows when sharded, directly otherwise.
+func (tb *Testbed) RunUntil(deadline sim.Time) {
+	if tb.Group != nil {
+		tb.Group.RunUntil(deadline)
+		return
+	}
+	tb.E.RunUntil(deadline)
+}
+
+// RunFor advances simulation time by d.
+func (tb *Testbed) RunFor(d sim.Time) { tb.RunUntil(tb.Now() + d) }
+
+// Now returns the current simulation time (the barrier time when
+// sharded; between runs every shard clock equals it).
+func (tb *Testbed) Now() sim.Time {
+	if tb.Group != nil {
+		return tb.Group.Now()
+	}
+	return tb.E.Now()
+}
+
+// Processed returns executed events, summed across shards.
+func (tb *Testbed) Processed() uint64 {
+	if tb.Group != nil {
+		return tb.Group.ProcessedEvents()
+	}
+	return tb.E.Processed
+}
+
+// PendingEvents returns queued events, summed across shards.
+func (tb *Testbed) PendingEvents() int {
+	if tb.Group != nil {
+		return tb.Group.Pending()
+	}
+	return tb.E.Pending()
+}
+
+// MaxPendingEvents returns the event-queue high-water mark (the worst
+// shard when sharded — each shard pre-sizes its own heap).
+func (tb *Testbed) MaxPendingEvents() int {
+	if tb.Group != nil {
+		m := 0
+		for i := 0; i < tb.Group.Shards(); i++ {
+			m = max(m, tb.Group.Shard(i).MaxPending())
+		}
+		return m
+	}
+	return tb.E.MaxPending()
+}
+
+// EventHeapCap returns the event heap capacity (the largest shard's when
+// sharded).
+func (tb *Testbed) EventHeapCap() int {
+	if tb.Group != nil {
+		m := 0
+		for i := 0; i < tb.Group.Shards(); i++ {
+			m = max(m, tb.Group.Shard(i).HeapCap())
+		}
+		return m
+	}
+	return tb.E.HeapCap()
+}
+
+// Every schedules fn at the given period: a plain Ticker on the engine,
+// or — when sharded — a coordinator hook running at barriers with every
+// shard quiesced, which is what makes digest recorders and sentinels
+// safe to read cross-shard state.
+func (tb *Testbed) Every(period sim.Time, fn func()) {
+	if tb.Group != nil {
+		tb.Group.Every(period, fn)
+		return
+	}
+	sim.NewTicker(tb.E, period, fn)
+}
+
+// Close releases the shard workers (no-op for single-engine testbeds).
+// Runners that build sharded testbeds must call it.
+func (tb *Testbed) Close() {
+	if tb.Group != nil {
+		tb.Group.Close()
+	}
 }

@@ -49,6 +49,24 @@ func TestEventHeapReservation(t *testing.T) {
 			o.Measure = 4 * sim.Millisecond
 			return o
 		}()},
+		// The sharded variant sizes each shard's heap from the hosts and
+		// flows assigned to that shard (shardHeapHint), so the guards below
+		// apply per shard: no shard may regrow, and no shard may reserve
+		// more than 32x what it peaks at.
+		{"leafspine-64-sharded", true, func() Config {
+			o := DefaultOptions()
+			o.Topology = fabric.LeafSpine(4, 2)
+			o.Senders = 64
+			o.Receivers = 4
+			o.Flows = 64
+			o.Degree = 2
+			o.HostCC = true
+			o.MinRTO = sim.Millisecond
+			o.Warmup = 2 * sim.Millisecond
+			o.Measure = 4 * sim.Millisecond
+			o.Shards = 4
+			return o
+		}()},
 	}
 	for _, c := range shapes {
 		t.Run(c.name, func(t *testing.T) {
@@ -56,21 +74,34 @@ func TestEventHeapReservation(t *testing.T) {
 				t.Skip("large shape")
 			}
 			tb := New(c.opts)
-			reserved := tb.E.HeapCap()
+			defer tb.Close()
+			engines := []*sim.Engine{tb.E}
+			if tb.Group != nil {
+				engines = engines[:0]
+				for i := 0; i < tb.Group.Shards(); i++ {
+					engines = append(engines, tb.Group.Shard(i))
+				}
+			}
+			reserved := make([]int, len(engines))
+			for i, e := range engines {
+				reserved[i] = e.HeapCap()
+			}
 			tb.StartNetAppT()
 			tb.RunWindow()
-			peak, cap := tb.E.MaxPending(), tb.E.HeapCap()
-			t.Logf("peak %d pending of %d reserved", peak, cap)
-			if cap != reserved {
-				t.Fatalf("event heap regrew mid-run: reserved %d, ended at %d (peak %d) — eventHeapHint under-reserves this shape",
-					reserved, cap, peak)
-			}
-			if peak > reserved {
-				t.Fatalf("peak pending %d exceeded the reservation %d", peak, reserved)
-			}
-			if reserved > 32*peak {
-				t.Fatalf("reserved %d events for a peak of %d (>32x) — eventHeapHint over-reserves this shape",
-					reserved, peak)
+			for i, e := range engines {
+				peak, cap := e.MaxPending(), e.HeapCap()
+				t.Logf("shard %d: peak %d pending of %d reserved", i, peak, cap)
+				if cap != reserved[i] {
+					t.Fatalf("shard %d event heap regrew mid-run: reserved %d, ended at %d (peak %d) — the heap hint under-reserves this shape",
+						i, reserved[i], cap, peak)
+				}
+				if peak > reserved[i] {
+					t.Fatalf("shard %d peak pending %d exceeded the reservation %d", i, peak, reserved[i])
+				}
+				if reserved[i] > 32*peak {
+					t.Fatalf("shard %d reserved %d events for a peak of %d (>32x) — the heap hint over-reserves this shape",
+						i, reserved[i], peak)
+				}
 			}
 		})
 	}
