@@ -36,10 +36,16 @@
 #                   replay every checked-in minimized repro under
 #                   -race -short; each must reproduce its recorded
 #                   oracle verdict
+#   make eval-smoke CC evaluation matrix gate: the full scheme registry
+#                   through the default 2-topology x 2-workload matrix
+#                   (every cell replay-verified, hostCC must re-rank the
+#                   schemes under the host-bottleneck workload), then a
+#                   mini-matrix rendered twice must be byte-identical
+#                   -> BENCH_evalharness.json
 
 GO ?= go
 
-.PHONY: all build test verify race chaos chaos-race bench bench-smoke bench-parallel parallel-determinism api-compat telemetry-overhead figures vet staticcheck replay topology-smoke crucible-smoke crucible-corpus
+.PHONY: all build test verify race chaos chaos-race bench bench-smoke bench-parallel parallel-determinism api-compat telemetry-overhead figures vet staticcheck replay topology-smoke crucible-smoke crucible-corpus eval-smoke
 
 all: verify race
 
@@ -92,6 +98,22 @@ parallel-determinism:
 
 race:
 	$(GO) test -race -short ./...
+
+# CC evaluation matrix gate, two halves: (1) the full scheme registry
+# {dctcp, reno, cubic, dcqcn, delay, bbr, hpcc} through the default
+# star+leafspine x fanin+hostbound matrix, both hostCC arms, every cell
+# replay-verified (run twice, digest timelines compared frame by frame);
+# -eval-expect-shift fails the run unless hostCC re-ranks the schemes in
+# a host-bottleneck pane — the paper's qualitative claim as an exit
+# code. (2) Determinism: a mini-matrix rendered twice must produce
+# byte-identical markdown (each row embeds the cell's state digest, so
+# report equality is digest equality).
+eval-smoke:
+	$(GO) run ./cmd/hostcc-bench -eval -eval-expect-shift -seed 42 		-eval-md /tmp/eval_full.md -eval-json BENCH_evalharness.json
+	$(GO) run ./cmd/hostcc-bench -eval -seed 42 -eval-schemes dctcp,bbr 		-eval-topos star,leafspine -eval-workloads hostbound -eval-md /tmp/eval_smoke_a.md
+	$(GO) run ./cmd/hostcc-bench -eval -seed 42 -eval-schemes dctcp,bbr 		-eval-topos star,leafspine -eval-workloads hostbound -eval-md /tmp/eval_smoke_b.md
+	cmp /tmp/eval_smoke_a.md /tmp/eval_smoke_b.md
+	@echo "eval-smoke: full matrix verified; mini-matrix reports byte-identical"
 
 # Chaos-search smoke: a fixed-seed sweep that must come up clean, then
 # the planted-canary self-test — the harness must find the flag-guarded

@@ -1,7 +1,7 @@
-// api.go is the redesigned public API: functional options into an
-// Experiment, stable Metrics/Timeline result types, and an Observe hook
-// over the telemetry registry. The alias-based surface in hostcc.go
-// remains as deprecated shims.
+// api.go is the core public API: functional options into an Experiment,
+// stable Metrics/Timeline result types, and an Observe hook over the
+// telemetry registry. The scheme registry lives in scheme.go and the
+// evaluation harness in eval.go; hostcc.go re-exports the study runners.
 package hostcc
 
 import (
@@ -242,6 +242,7 @@ func WithTelemetry() Option {
 type Experiment struct {
 	cfg testbed.Config
 	tb  *testbed.Testbed
+	err error // first option error (e.g. unknown scheme name)
 
 	observers []struct {
 		name string
@@ -260,12 +261,21 @@ func New(opts ...Option) (*Experiment, error) {
 	for _, opt := range opts {
 		opt(x)
 	}
+	if x.err != nil {
+		return nil, x.err
+	}
 	if err := x.cfg.Validate(); err != nil {
 		return nil, err
 	}
 	x.tb = testbed.New(x.cfg)
 	return x, nil
 }
+
+// Testbed exposes the fully constructed experiment for advanced use:
+// attaching custom apps or packet hooks, sampling mid-run, driving the
+// engine clock directly. The Experiment's own Run must not be combined
+// with manual testbed driving.
+func (x *Experiment) Testbed() *Testbed { return x.tb }
 
 // Instruments returns the sorted names of every registered telemetry
 // instrument (counters, gauges, histograms) across all devices.
@@ -295,8 +305,7 @@ func (x *Experiment) Observe(instrument string, fn func(Sample)) error {
 }
 
 // Metrics summarizes one measurement window. It is a stable result type:
-// field-for-field identical to the internal testbed's metrics, so results
-// from the deprecated Run helper convert directly.
+// field-for-field identical to the internal testbed's metrics.
 type Metrics struct {
 	ThroughputGbps float64 // NetApp-T goodput
 	DropRatePct    float64 // receiver NIC drops / arrivals

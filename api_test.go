@@ -121,22 +121,85 @@ func TestTelemetryDoesNotPerturb(t *testing.T) {
 	}
 }
 
-// TestDeprecatedSurface keeps the pre-redesign API compiling and
-// consistent with the new one.
-func TestDeprecatedSurface(t *testing.T) {
-	opts := DefaultOptions()
-	opts.Degree = 3
-	opts.HostCC = true
-	opts.Warmup = 500 * Microsecond
-	opts.Measure = 2 * Millisecond
-	opts.MinRTO = 5 * Millisecond
-	old := Run(opts)
+// TestSchemeRegistry pins the public scheme registry: the full name
+// set in stable order, resolvable by name, each handing out a working
+// CC selector.
+func TestSchemeRegistry(t *testing.T) {
+	want := []string{"dctcp", "reno", "cubic", "dcqcn", "delay", "bbr", "hpcc"}
+	schemes := Schemes()
+	if len(schemes) != len(want) {
+		t.Fatalf("got %d schemes, want %d", len(schemes), len(want))
+	}
+	for i, s := range schemes {
+		if s.Name() != want[i] {
+			t.Fatalf("scheme %d is %q, want %q", i, s.Name(), want[i])
+		}
+		if s.Summary() == "" {
+			t.Fatalf("scheme %q has no summary", s.Name())
+		}
+		if s.CC().String() != s.Name() {
+			t.Fatalf("scheme %q CC selector names itself %q", s.Name(), s.CC().String())
+		}
+		if s.RequiresLossless() != (s.Name() == "dcqcn") {
+			t.Fatalf("scheme %q lossless flag wrong", s.Name())
+		}
+	}
+	if _, err := SchemeByName("bbr"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SchemeByName("vegas"); err == nil {
+		t.Fatal("unknown scheme resolved")
+	}
+}
 
-	x, err := New(quick(WithHostCongestion(3), WithHostCC())...)
+// TestWithScheme: the registry path drives an experiment end to end,
+// and an unknown name surfaces as a New error.
+func TestWithScheme(t *testing.T) {
+	if _, err := New(quick(WithScheme("vegas"))...); err == nil {
+		t.Fatal("unknown scheme accepted by New")
+	}
+	x, err := New(quick(WithScheme("reno"))...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := x.Run().Metrics; got != old {
-		t.Fatalf("old and new API disagree:\nold: %+v\nnew: %+v", old, got)
+	if res := x.Run(); res.ThroughputGbps <= 0 {
+		t.Fatalf("no throughput under reno: %+v", res.Metrics)
+	}
+	// A lossless scheme configures its fabric automatically.
+	if _, err := New(quick(WithScheme("dcqcn"))...); err != nil {
+		t.Fatalf("dcqcn did not self-configure a lossless fabric: %v", err)
+	}
+}
+
+// TestEvalMini drives the public evaluation harness: a one-scheme
+// matrix with both hostCC arms, replay-verified.
+func TestEvalMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed cells; skipped in -short")
+	}
+	rep, err := Eval(EvalMatrix{
+		Schemes:    []string{"dctcp"},
+		Topologies: []string{"star"},
+		Workloads:  []string{"hostbound"},
+	}, EvalWindows(500*time.Microsecond, 4*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	for i, c := range rep.Cells {
+		if !c.Verified {
+			t.Fatalf("cell %d not replay-verified", i)
+		}
+		if c.GoodputGbps <= 0 {
+			t.Fatalf("cell %d reports no goodput", i)
+		}
+	}
+	if rep.Cells[1].GoodputVsOffPct == 0 {
+		t.Fatal("on arm carries no vs-off comparison")
+	}
+	if _, err := Eval(EvalMatrix{Schemes: []string{"vegas"}}); err == nil {
+		t.Fatal("Eval accepted an unknown scheme")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/testbed"
 )
 
 // msTime is one millisecond of simulated time.
@@ -18,8 +19,8 @@ func fmtWeight(w float64) string { return fmt.Sprintf("w1_%d", int(1/w+0.5)) }
 // runWithHCCConfig runs the standard 3x hostCC scenario with ablation
 // overrides: weightIS (0 = default 1/8), sampleUs (signal sampling period,
 // 0 = default 2 µs) and mbaUs (MBA MSR write latency, 0 = default 22 µs).
-func runWithHCCConfig(mod func(*Options), weightIS float64, sampleUs, mbaUs int) Metrics {
-	opts := DefaultOptions()
+func runWithHCCConfig(mod func(*testbed.Config), weightIS float64, sampleUs, mbaUs int) Metrics {
+	opts := testbed.DefaultConfig()
 	opts.Degree = 3
 	opts.HostCC = true
 	opts.Warmup = benchScale.Warmup
@@ -35,5 +36,5 @@ func runWithHCCConfig(mod func(*Options), weightIS float64, sampleUs, mbaUs int)
 	if mod != nil {
 		mod(&opts)
 	}
-	return Run(opts)
+	return Metrics(testbed.RunNetAppTOnly(opts))
 }

@@ -229,7 +229,7 @@ func BenchmarkAblationEWMAWeight(b *testing.B) {
 		b.Run(fmtWeight(w), func(b *testing.B) {
 			var m Metrics
 			for i := 0; i < b.N; i++ {
-				m = runWithHCCConfig(func(o *Options) {}, w, 0, 0)
+				m = runWithHCCConfig(func(o *testbed.Config) {}, w, 0, 0)
 			}
 			b.ReportMetric(m.ThroughputGbps, "Gbps")
 			b.ReportMetric(m.DropRatePct, "drop%")
@@ -246,7 +246,7 @@ func BenchmarkAblationSamplingInterval(b *testing.B) {
 		b.Run(itoa(us)+"us", func(b *testing.B) {
 			var m Metrics
 			for i := 0; i < b.N; i++ {
-				m = runWithHCCConfig(func(o *Options) {}, 0, us, 0)
+				m = runWithHCCConfig(func(o *testbed.Config) {}, 0, us, 0)
 			}
 			b.ReportMetric(m.ThroughputGbps, "Gbps")
 			b.ReportMetric(m.DropRatePct, "drop%")
@@ -263,7 +263,7 @@ func BenchmarkAblationMBAWriteLatency(b *testing.B) {
 		b.Run(itoa(us)+"us", func(b *testing.B) {
 			var m Metrics
 			for i := 0; i < b.N; i++ {
-				m = runWithHCCConfig(func(o *Options) {}, 0, 0, us)
+				m = runWithHCCConfig(func(o *testbed.Config) {}, 0, 0, us)
 			}
 			b.ReportMetric(m.ThroughputGbps, "Gbps")
 			b.ReportMetric(m.DropRatePct, "drop%")
@@ -291,13 +291,13 @@ func BenchmarkExtensionIOMMU(b *testing.B) {
 // processed per second for a congested full-system run.
 func BenchmarkEngineThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		opts := DefaultOptions()
+		opts := testbed.DefaultConfig()
 		opts.Degree = 3
 		opts.HostCC = true
 		opts.Warmup = 2 * msTime
 		opts.Measure = 4 * msTime
 		opts.MinRTO = 4 * msTime
-		tb := NewTestbed(opts)
+		tb := testbed.New(opts)
 		tb.StartNetAppT()
 		tb.RunWindow()
 		b.ReportMetric(float64(tb.E.Processed), "events/op")

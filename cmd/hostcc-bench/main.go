@@ -14,6 +14,18 @@
 //	hostcc-bench -topology leafspine -senders 128 -shards 4
 //	hostcc-bench -bench-parallel BENCH_parallel.json -leaves 4 -spines 2 -senders 128
 //	hostcc-bench -lossless
+//	hostcc-bench -eval
+//	hostcc-bench -eval -eval-schemes dctcp,bbr -eval-topos star -eval-json BENCH_evalharness.json
+//
+// -eval runs the CC evaluation matrix (internal/evalharness through the
+// public hostcc.Eval API): every registered scheme × topology × workload
+// × hostCC arm, each cell a full replay-verified testbed experiment
+// reporting goodput, Jain fairness, convergence time and victim-flow
+// P99.9 latency, with the hostCC-on arm compared against its
+// identically-seeded off twin. The markdown report (stdout or -eval-md)
+// and -eval-json output are byte-deterministic functions of the matrix;
+// -eval-expect-shift turns the paper's qualitative claim — hostCC
+// re-ranks the schemes under a host bottleneck — into an exit code.
 //
 // -topology runs a scale-out experiment through a multi-switch fabric
 // (leaf–spine or dumbbell): many senders fanning NetApp-T flows across
@@ -92,6 +104,17 @@ type benchFlags struct {
 	noVerify        *bool
 	lossless        *bool
 	benchParallel   *string
+	eval            *bool
+	evalSchemes     *string
+	evalTopos       *string
+	evalWorkloads   *string
+	evalArms        *string
+	evalWarmupUs    *int
+	evalMeasureUs   *int
+	evalWorkers     *int
+	evalJSON        *string
+	evalMD          *string
+	evalExpectShift *bool
 }
 
 func registerFlags(fs *flag.FlagSet) benchFlags {
@@ -120,6 +143,17 @@ func registerFlags(fs *flag.FlagSet) benchFlags {
 		noVerify:        fs.Bool("no-verify", false, "with -topology: skip the second run that verifies replay determinism"),
 		lossless:        fs.Bool("lossless", false, "run the lossless-fabric study: PFC + DCQCN congestion spreading, hostCC off vs on"),
 		benchParallel:   fs.String("bench-parallel", "", "time the leaf-spine scale-out at 1, 2 and 4 shards and write the speedup report (JSON) to this file"),
+		eval:            fs.Bool("eval", false, "run the CC evaluation matrix: scheme x topology x workload x hostCC arm, every cell replay-verified"),
+		evalSchemes:     fs.String("eval-schemes", "", "with -eval: comma-separated scheme registry names (empty = all)"),
+		evalTopos:       fs.String("eval-topos", "", "with -eval: comma-separated topologies (empty = star,leafspine)"),
+		evalWorkloads:   fs.String("eval-workloads", "", "with -eval: comma-separated workloads (empty = fanin,hostbound)"),
+		evalArms:        fs.String("eval-arms", "", "with -eval: comma-separated hostCC arms from off,on (empty = both)"),
+		evalWarmupUs:    fs.Int("eval-warmup-us", 0, "with -eval: per-cell warmup in simulated microseconds (0 = 1000)"),
+		evalMeasureUs:   fs.Int("eval-measure-us", 0, "with -eval: per-cell measurement window in simulated microseconds (0 = 4000)"),
+		evalWorkers:     fs.Int("eval-workers", 0, "with -eval: concurrent cells (0 = NumCPU)"),
+		evalJSON:        fs.String("eval-json", "", "with -eval: write the machine-readable report (BENCH_evalharness.json schema) to this file"),
+		evalMD:          fs.String("eval-md", "", "with -eval: write the markdown report to this file (empty = stdout)"),
+		evalExpectShift: fs.Bool("eval-expect-shift", false, "with -eval: fail unless hostCC re-ranks the schemes in a host-bottleneck pane (the paper's qualitative claim)"),
 	}
 }
 
@@ -158,6 +192,9 @@ func run() error {
 	}
 	defer stopProf()
 
+	if *f.eval {
+		return runEval(f)
+	}
 	if *timeline != "" {
 		return runTimeline(*timeline, *degree, !*noHostCC, *seed)
 	}
@@ -340,6 +377,97 @@ func runChaos(name string, seed int64, shards int, checkpoint string, checkpoint
 				return fmt.Errorf("chaos %s: %w", sc, err)
 			}
 		}
+	}
+	return nil
+}
+
+// splitCSV parses a comma-separated flag value; empty means "use the
+// harness default" and maps to nil.
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// runEval executes the CC evaluation matrix through the public Eval API
+// and renders the deterministic markdown + JSON reports.
+func runEval(f benchFlags) error {
+	m := hostcc.EvalMatrix{
+		Schemes:    splitCSV(*f.evalSchemes),
+		Topologies: splitCSV(*f.evalTopos),
+		Workloads:  splitCSV(*f.evalWorkloads),
+		Arms:       splitCSV(*f.evalArms),
+	}
+	opts := []hostcc.EvalOption{
+		hostcc.EvalSeed(*f.seed),
+		hostcc.EvalWorkers(*f.evalWorkers),
+		hostcc.EvalShards(*f.shards),
+	}
+	if *f.evalWarmupUs > 0 || *f.evalMeasureUs > 0 {
+		warmup := time.Duration(*f.evalWarmupUs) * time.Microsecond
+		if warmup == 0 {
+			warmup = time.Millisecond
+		}
+		measure := time.Duration(*f.evalMeasureUs) * time.Microsecond
+		if measure == 0 {
+			measure = 4 * time.Millisecond
+		}
+		opts = append(opts, hostcc.EvalWindows(warmup, measure))
+	}
+	if *f.noVerify {
+		opts = append(opts, hostcc.EvalNoVerify())
+	}
+
+	start := time.Now()
+	rep, err := hostcc.Eval(m, opts...)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	verified := 0
+	for _, c := range rep.Cells {
+		if c.Verified {
+			verified++
+		}
+	}
+	shifted := 0
+	hostboundShift := false
+	for _, r := range rep.Rankings {
+		if r.OrderingChanged {
+			shifted++
+			if r.Workload == "hostbound" {
+				hostboundShift = true
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "eval: %d cells (%d replay-verified), %d/%d panes re-ranked by hostCC [%.1fs]\n",
+		len(rep.Cells), verified, shifted, len(rep.Rankings), time.Since(start).Seconds())
+
+	md := rep.Markdown()
+	if *f.evalMD != "" {
+		if err := os.WriteFile(*f.evalMD, []byte(md), 0o644); err != nil {
+			return fmt.Errorf("eval: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "eval: wrote %s\n", *f.evalMD)
+	} else {
+		fmt.Print(md)
+	}
+	if *f.evalJSON != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			return fmt.Errorf("eval: %w", err)
+		}
+		if err := os.WriteFile(*f.evalJSON, append(out, '\n'), 0o644); err != nil {
+			return fmt.Errorf("eval: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "eval: wrote %s\n", *f.evalJSON)
+	}
+	if *f.evalExpectShift && !hostboundShift {
+		return fmt.Errorf("eval: no host-bottleneck pane changed its scheme ordering between hostCC arms")
 	}
 	return nil
 }

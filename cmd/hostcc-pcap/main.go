@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	hostcc "repro"
 	"repro/internal/sim"
@@ -47,18 +48,26 @@ func run() error {
 }
 
 func capture(path string, degree float64, withCC bool, ms, keep int) error {
-	opts := hostcc.DefaultOptions()
-	opts.Degree = degree
-	opts.HostCC = withCC
-	opts.MinRTO = 5 * sim.Millisecond
-	opts.Warmup = 25 * sim.Millisecond
-	tb := hostcc.NewTestbed(opts)
+	const warmup = 25 * time.Millisecond
+	opts := []hostcc.Option{
+		hostcc.WithHostCongestion(degree),
+		hostcc.WithMinRTO(5 * time.Millisecond),
+		hostcc.WithWarmup(warmup),
+	}
+	if withCC {
+		opts = append(opts, hostcc.WithHostCC())
+	}
+	x, err := hostcc.New(opts...)
+	if err != nil {
+		return err
+	}
+	tb := x.Testbed()
 	tb.StartNetAppT()
 
 	log := trace.NewPacketLog(tb.E, keep)
 	tb.Receiver.AddReceiveHook(log.Hook())
 
-	tb.E.RunUntil(opts.Warmup)
+	tb.E.RunUntil(sim.Time(warmup.Nanoseconds()))
 	tb.MarkWindow()
 	tb.E.RunFor(sim.Time(ms) * sim.Millisecond)
 

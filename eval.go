@@ -1,0 +1,103 @@
+// eval.go is the public face of the CC evaluation harness
+// (internal/evalharness): a scheme × topology × workload × hostCC-arm
+// matrix where every cell is a full replay-verified testbed experiment
+// reporting goodput, Jain fairness, convergence time and victim tail
+// latency.
+package hostcc
+
+import (
+	"time"
+
+	"repro/internal/evalharness"
+	"repro/internal/sim"
+)
+
+// EvalMatrix selects the axes of one evaluation matrix. A nil axis
+// selects its documented default (all schemes; star + leafspine;
+// fanin + hostbound; both hostCC arms).
+type EvalMatrix struct {
+	// Schemes are scheme registry names (see Schemes).
+	Schemes []string
+	// Topologies are fabric names: "star", "leafspine", "dumbbell".
+	Topologies []string
+	// Workloads are traffic shapes: "fanin" (switch-port bottleneck),
+	// "hostbound" (the paper's host-bottleneck regime).
+	Workloads []string
+	// Arms selects the hostCC axis: "off", "on".
+	Arms []string
+}
+
+// Typed results of Eval, re-exported from the harness.
+type (
+	// EvalConfig is the full harness configuration Eval assembles from
+	// an EvalMatrix and EvalOptions (advanced callers can inspect its
+	// Validate for the accepted ranges).
+	EvalConfig = evalharness.Config
+	// EvalReport is the full matrix outcome: per-cell results plus
+	// per-pane scheme rankings, renderable as Markdown or JSON.
+	EvalReport = evalharness.Report
+	// EvalResult is one cell's measurements.
+	EvalResult = evalharness.CellResult
+	// EvalCell identifies one matrix cell.
+	EvalCell = evalharness.CellSpec
+	// EvalRanking orders one topology × workload pane's schemes by
+	// goodput, per hostCC arm.
+	EvalRanking = evalharness.Ranking
+)
+
+// EvalOption tunes an evaluation run (see Eval).
+type EvalOption func(*EvalConfig)
+
+// EvalSeed sets the seed every cell seed derives from (default 42).
+func EvalSeed(seed int64) EvalOption {
+	return func(c *EvalConfig) { c.Seed = seed }
+}
+
+// EvalWindows sets each cell's warmup and measurement window (defaults
+// 1 ms and 4 ms of simulated time).
+func EvalWindows(warmup, measure time.Duration) EvalOption {
+	return func(c *EvalConfig) {
+		c.Warmup = sim.Time(warmup.Nanoseconds())
+		c.Measure = sim.Time(measure.Nanoseconds())
+	}
+}
+
+// EvalWorkers bounds concurrently running cells (default NumCPU).
+func EvalWorkers(n int) EvalOption {
+	return func(c *EvalConfig) { c.Workers = n }
+}
+
+// EvalShards partitions each multi-switch cell across N parallel engine
+// shards (default serial; star cells always run serial).
+func EvalShards(n int) EvalOption {
+	return func(c *EvalConfig) { c.Shards = n }
+}
+
+// EvalNoVerify skips the run-twice replay verification, halving the
+// cost; result cells then carry Verified=false.
+func EvalNoVerify() EvalOption {
+	return func(c *EvalConfig) { c.NoVerify = true }
+}
+
+// Eval runs the evaluation matrix: every cell is one full testbed
+// experiment, run twice with frame-by-frame digest comparison (replay
+// verification), fanned out across the worker pool. The report's cell
+// order, numbers and rendered Markdown are a deterministic function of
+// the matrix and options.
+//
+//	rep, err := hostcc.Eval(hostcc.EvalMatrix{
+//	        Schemes:   []string{"dctcp", "bbr"},
+//	        Workloads: []string{"hostbound"},
+//	})
+func Eval(m EvalMatrix, opts ...EvalOption) (EvalReport, error) {
+	cfg := EvalConfig{
+		Schemes:    m.Schemes,
+		Topologies: m.Topologies,
+		Workloads:  m.Workloads,
+		Arms:       m.Arms,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return evalharness.Run(cfg)
+}

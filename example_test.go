@@ -2,6 +2,7 @@ package hostcc_test
 
 import (
 	"fmt"
+	"time"
 
 	hostcc "repro"
 )
@@ -10,16 +11,22 @@ import (
 // network throughput to the target bandwidth and eliminates drops at the
 // host. (Coarse checks keep the example stable across recalibrations.)
 func Example() {
-	baseline := hostcc.DefaultOptions()
-	baseline.Degree = 3 // 3x host congestion
-	baseline.MinRTO = 5 * 1e6
-	baseline.Warmup = 25 * 1e6
-	baseline.Measure = 8 * 1e6
+	common := []hostcc.Option{
+		hostcc.WithHostCongestion(3), // 3x host congestion
+		hostcc.WithMinRTO(5 * time.Millisecond),
+		hostcc.WithWarmup(25 * time.Millisecond),
+		hostcc.WithMeasure(8 * time.Millisecond),
+	}
+	baseline, err := hostcc.New(common...)
+	if err != nil {
+		panic(err)
+	}
+	withCC, err := hostcc.New(append(common, hostcc.WithHostCC())...)
+	if err != nil {
+		panic(err)
+	}
 
-	withCC := baseline
-	withCC.HostCC = true
-
-	b, c := hostcc.Run(baseline), hostcc.Run(withCC)
+	b, c := baseline.Run(), withCC.Run()
 	fmt.Println("baseline under 50 Gbps:", b.ThroughputGbps < 50)
 	fmt.Println("hostCC above 70 Gbps:", c.ThroughputGbps > 70)
 	fmt.Println("hostCC dropped less:", c.DropRatePct <= b.DropRatePct)
@@ -29,28 +36,37 @@ func Example() {
 	// hostCC dropped less: true
 }
 
-// Custom congestion control: hostCC composes with any protocol.
-func ExampleRun_customCC() {
-	opts := hostcc.DefaultOptions()
-	opts.CC = hostcc.Cubic()
-	opts.MinRTO = 5 * 1e6
-	opts.Warmup = 15 * 1e6
-	opts.Measure = 5 * 1e6
-	m := hostcc.Run(opts)
+// Scheme registry: hostCC composes with any registered congestion
+// control protocol, selected by name.
+func ExampleWithScheme() {
+	x, err := hostcc.New(
+		hostcc.WithScheme("cubic"),
+		hostcc.WithMinRTO(5*time.Millisecond),
+		hostcc.WithWarmup(15*time.Millisecond),
+		hostcc.WithMeasure(5*time.Millisecond),
+	)
+	if err != nil {
+		panic(err)
+	}
+	m := x.Run()
 	fmt.Println("cubic saturates an uncongested host:", m.ThroughputGbps > 90)
 	// Output:
 	// cubic saturates an uncongested host: true
 }
 
 // Direct testbed access for custom instrumentation.
-func ExampleNewTestbed() {
-	opts := hostcc.DefaultOptions()
-	opts.Degree = 2
-	opts.HostCC = true
-	opts.MinRTO = 5 * 1e6
-	opts.Warmup = 25 * 1e6
-	opts.Measure = 5 * 1e6
-	tb := hostcc.NewTestbed(opts)
+func ExampleExperiment_Testbed() {
+	x, err := hostcc.New(
+		hostcc.WithHostCongestion(2),
+		hostcc.WithHostCC(),
+		hostcc.WithMinRTO(5*time.Millisecond),
+		hostcc.WithWarmup(25*time.Millisecond),
+		hostcc.WithMeasure(5*time.Millisecond),
+	)
+	if err != nil {
+		panic(err)
+	}
+	tb := x.Testbed()
 	tb.StartNetAppT()
 	m := tb.RunWindow()
 	fmt.Println("signals sampled:", tb.HCC.Samples.Total() > 0)

@@ -1,12 +1,14 @@
 // Custom congestion control: hostCC requires no modification to the
 // network congestion control protocol — it just marks ECN like a switch
-// would (§4.3). This example runs the same host-congestion scenario under
-// DCTCP, Reno, CUBIC and a Swift-like delay-based controller, with and
-// without hostCC.
+// would (§4.3). This example runs the same host-congestion scenario
+// under every scheme in the registry, with and without hostCC.
 //
 // Reno and CUBIC are loss-based: they ignore the ECN echo, so hostCC's
 // benefit for them comes from the host-local response alone; DCTCP gets
-// the full architecture.
+// the full architecture; DCQCN brings its own PFC lossless fabric
+// (WithScheme configures it automatically); BBR probes delivery rate
+// and HPCC steers on in-network telemetry that host congestion never
+// touches.
 //
 //	go run ./examples/custom-cc
 package main
@@ -20,25 +22,15 @@ import (
 )
 
 func main() {
-	ccs := []struct {
-		name string
-		cc   hostcc.CC
-	}{
-		{"dctcp", hostcc.CCDCTCP},
-		{"reno", hostcc.CCReno},
-		{"cubic", hostcc.CCCubic},
-		{"delay (Swift-like)", hostcc.CCDelay(150 * time.Microsecond)},
-	}
-
-	fmt.Println("3x host congestion under different congestion control protocols")
+	fmt.Println("3x host congestion under every registered congestion control scheme")
 	fmt.Println()
-	fmt.Printf("%-20s %14s %14s\n", "protocol", "baseline Gbps", "hostCC Gbps")
-	for _, cc := range ccs {
+	fmt.Printf("%-10s %14s %14s   %s\n", "scheme", "baseline Gbps", "hostCC Gbps", "summary")
+	for _, scheme := range hostcc.Schemes() {
 		var res [2]hostcc.Metrics
 		for i, enable := range []bool{false, true} {
 			opts := []hostcc.Option{
 				hostcc.WithHostCongestion(3),
-				hostcc.WithCC(cc.cc),
+				hostcc.WithScheme(scheme.Name()),
 				hostcc.WithMinRTO(5 * time.Millisecond),
 			}
 			if enable {
@@ -50,7 +42,8 @@ func main() {
 			}
 			res[i] = x.Run().Metrics
 		}
-		fmt.Printf("%-20s %14.1f %14.1f\n", cc.name, res[0].ThroughputGbps, res[1].ThroughputGbps)
+		fmt.Printf("%-10s %14.1f %14.1f   %s\n",
+			scheme.Name(), res[0].ThroughputGbps, res[1].ThroughputGbps, scheme.Summary())
 	}
 
 	fmt.Println()

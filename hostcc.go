@@ -35,7 +35,10 @@
 // visualize per-hop packet lifecycles and the hostCC decision audit in
 // Perfetto (see api.go and README "Visualizing a run").
 //
-// The struct-based Options/Run surface below is kept as deprecated shims.
+// Congestion control protocols live in a registry (Schemes, SchemeByName)
+// and are selected by name with WithScheme; the harness in eval.go (Eval)
+// compares every registered scheme across topologies, workloads and
+// hostCC arms in one replay-verified matrix.
 //
 // Every figure of the paper's evaluation has a runner (RunFigure2 …
 // RunFigure19); cmd/hostcc-bench prints their rows and the benchmarks in
@@ -47,16 +50,10 @@ import (
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/testbed"
-	"repro/internal/transport"
 )
 
 // Re-exported experiment configuration and results.
 type (
-	// Options selects one experimental configuration (hosts, workload
-	// degree, hostCC parameters, measurement windows).
-	//
-	// Deprecated: build experiments with New and functional options.
-	Options = testbed.Options
 	// Scale selects experiment fidelity (Quick / Default / Paper).
 	Scale = testbed.Scale
 	// Testbed is a fully constructed experiment (for advanced use:
@@ -94,40 +91,8 @@ var (
 	ScalePaper   = testbed.ScalePaper
 )
 
-// DefaultOptions returns the paper's baseline setup: two hosts through one
-// switch, 4 DCTCP flows, 4K MTU, DDIO disabled.
-//
-// Deprecated: build experiments with New; the defaults are the same.
-func DefaultOptions() Options { return testbed.DefaultOptions() }
-
-// NewTestbed constructs (but does not run) an experiment.
-//
-// Deprecated: use New; the Experiment it returns validates its
-// configuration and exposes telemetry through Observe and Result.
-func NewTestbed(opts Options) *Testbed { return testbed.New(opts) }
-
-// Run executes a NetApp-T throughput experiment and returns its metrics.
-//
-// Deprecated: use New(...).Run().
-func Run(opts Options) Metrics { return Metrics(testbed.RunNetAppTOnly(opts)) }
-
-// Congestion control factories for Options.CC — hostCC composes with any
-// of them (§4.3, §6).
-//
-// Deprecated: use CCDCTCP, CCReno, CCCubic with WithCC.
-var (
-	DCTCP = transport.NewDCTCP
-	Reno  = transport.NewReno
-	Cubic = transport.NewCubic
-)
-
-// DelayCC returns a Swift-like delay-based congestion control factory
-// targeting the given RTT (the §6 extension).
-//
-// Deprecated: use CCDelay with WithCC.
-func DelayCC(target sim.Time) transport.CCFactory { return transport.NewDelayCC(target) }
-
-// Gbps converts gigabits per second into the rate type used by Options.BT.
+// Gbps converts gigabits per second into the rate type used by
+// WithTargetBandwidth and the study configs.
 func Gbps(g float64) sim.Rate { return sim.Gbps(g) }
 
 // Figure runners: each regenerates the rows/series of one evaluation
@@ -180,7 +145,7 @@ type (
 	// ChaosResult reports baseline/fault/recovery goodput and failsafe
 	// activity for one chaos run.
 	ChaosResult = testbed.ChaosResult
-	// WatchdogConfig parameterizes hostCC's failsafe (Options.Watchdog).
+	// WatchdogConfig parameterizes hostCC's failsafe (WithWatchdog).
 	WatchdogConfig = core.WatchdogConfig
 )
 
@@ -214,7 +179,7 @@ const (
 )
 
 // DefaultWatchdogConfig returns the default failsafe parameters for
-// Options.Watchdog.
+// WithWatchdog.
 func DefaultWatchdogConfig() WatchdogConfig { return core.DefaultWatchdogConfig() }
 
 // RunChaos executes one fault scenario against a loaded testbed with the

@@ -1,17 +1,24 @@
 package hostcc
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestFacadeSmoke exercises the public API end to end: build, run,
 // and check the headline behaviour through the facade only.
 func TestFacadeSmoke(t *testing.T) {
-	opts := DefaultOptions()
-	opts.Degree = 3
-	opts.HostCC = true
-	opts.MinRTO = 5 * msTime
-	opts.Warmup = 25 * msTime
-	opts.Measure = 8 * msTime
-	m := Run(opts)
+	x, err := New(
+		WithHostCongestion(3),
+		WithHostCC(),
+		WithMinRTO(5*time.Millisecond),
+		WithWarmup(25*time.Millisecond),
+		WithMeasure(8*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := x.Run()
 	if m.ThroughputGbps < 65 || m.ThroughputGbps > 90 {
 		t.Fatalf("facade run: throughput %.1f, want near B_T=80", m.ThroughputGbps)
 	}
@@ -21,22 +28,26 @@ func TestFacadeSmoke(t *testing.T) {
 }
 
 func TestFacadeCustomCC(t *testing.T) {
-	opts := DefaultOptions()
-	opts.CC = Reno()
-	opts.MinRTO = 5 * msTime
-	opts.Warmup = 15 * msTime
-	opts.Measure = 6 * msTime
-	m := Run(opts)
-	if m.ThroughputGbps < 80 {
+	x, err := New(
+		WithScheme("reno"),
+		WithMinRTO(5*time.Millisecond),
+		WithWarmup(15*time.Millisecond),
+		WithMeasure(6*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := x.Run(); m.ThroughputGbps < 80 {
 		t.Fatalf("Reno uncongested: %.1f Gbps", m.ThroughputGbps)
 	}
 }
 
 func TestFacadeTestbedAccess(t *testing.T) {
-	opts := DefaultOptions()
-	opts.Warmup = 2 * msTime
-	opts.Measure = 2 * msTime
-	tb := NewTestbed(opts)
+	x, err := New(WithWarmup(2*time.Millisecond), WithMeasure(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := x.Testbed()
 	if tb.Receiver == nil || tb.HCC == nil {
 		t.Fatal("testbed incomplete via facade")
 	}
@@ -45,8 +56,8 @@ func TestFacadeTestbedAccess(t *testing.T) {
 	if m.WindowMicros <= 0 {
 		t.Fatal("no measurement window")
 	}
-	if DCTCP == nil || Cubic == nil || DelayCC(1000) == nil {
-		t.Fatal("cc factories missing")
+	if CCDCTCP.String() != "dctcp" || CCCubic.String() != "cubic" || CCDelay(time.Microsecond).String() != "delay" {
+		t.Fatal("cc selectors missing")
 	}
 	if Gbps(80) <= 0 {
 		t.Fatal("rate helper broken")

@@ -69,7 +69,7 @@ type Scenario struct {
 	// PauseWatchdogNs arms the PFC watchdog on lossless fabrics (0 leaves
 	// a lost XON wedged — the storm failure mode).
 	PauseWatchdogNs int64  `json:"pause_watchdog_ns,omitempty"`
-	CC              string `json:"cc"` // "dctcp", "reno", "cubic", "dcqcn"
+	CC              string `json:"cc"` // a transport scheme name ("dctcp", "reno", "cubic", "dcqcn", "delay", "bbr", "hpcc")
 
 	Senders   int     `json:"senders"`
 	Receivers int     `json:"receivers,omitempty"` // 0 = 1
@@ -123,19 +123,17 @@ func (s Scenario) hasKind(name string) bool {
 	return false
 }
 
-// ccFactory resolves the congestion-control name.
+// ccFactory resolves the congestion-control name through the transport
+// scheme registry (the single naming authority); "" means dctcp.
 func ccFactory(name string) (transport.CCFactory, error) {
-	switch name {
-	case "", "dctcp":
-		return transport.NewDCTCP(), nil
-	case "reno":
-		return transport.NewReno(), nil
-	case "cubic":
-		return transport.NewCubic(), nil
-	case "dcqcn":
-		return transport.NewDCQCN(), nil
+	if name == "" {
+		name = "dctcp"
 	}
-	return nil, fmt.Errorf("crucible: unknown congestion control %q", name)
+	s, err := transport.SchemeByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("crucible: %w", err)
+	}
+	return s.Factory(), nil
 }
 
 // testbedConfig compiles the scenario into a testbed configuration. The

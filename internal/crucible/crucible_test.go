@@ -12,6 +12,7 @@ import (
 // Every generated scenario must pass its own validation — the generator
 // is constrained so illegal combinations cannot be drawn.
 func TestGenerateAlwaysValid(t *testing.T) {
+	drawn := map[string]int{}
 	for seed := int64(1); seed <= 200; seed++ {
 		sc := Generate(seed, GenConfig{})
 		if err := sc.Validate(); err != nil {
@@ -22,6 +23,14 @@ func TestGenerateAlwaysValid(t *testing.T) {
 		}
 		if sc.MeasureNs <= 0 || sc.WarmupNs <= 0 {
 			t.Fatalf("seed %d: non-positive windows", seed)
+		}
+		drawn[sc.CC]++
+	}
+	// Chaos search must cover the rate-based registry additions: across
+	// 200 seeds the lossy draw has to surface both bbr and hpcc.
+	for _, cc := range []string{"dctcp", "reno", "cubic", "dcqcn", "bbr", "hpcc"} {
+		if drawn[cc] == 0 {
+			t.Fatalf("200 seeds never drew cc=%q (draws: %v)", cc, drawn)
 		}
 	}
 }

@@ -79,7 +79,10 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		sc.PauseWatchdogNs = int64(150 * sim.Microsecond)
 		sc.CC = "dcqcn"
 	} else {
-		sc.CC = [...]string{"dctcp", "dctcp", "reno", "cubic"}[r.Intn(4)]
+		// Lossy draw across the registry's lossy schemes, weighted toward
+		// dctcp (the paper's baseline). bbr and hpcc are the rate-based
+		// additions — chaos search must cover them too.
+		sc.CC = [...]string{"dctcp", "dctcp", "reno", "cubic", "bbr", "hpcc"}[r.Intn(6)]
 	}
 
 	sc.Senders = 1 + r.Intn(3)

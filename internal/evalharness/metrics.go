@@ -1,0 +1,42 @@
+package evalharness
+
+// ConvergenceIndex locates where a goodput series settles: the settled
+// value is the mean of the series' last quarter (at least one sample),
+// and the convergence index is the earliest position from which every
+// later sample stays inside the ±tol×settled band. Returns -1 when the
+// series never settles (some sample inside the final quarter still
+// escapes the band), 0 for an all-equal series, and 0 for a single
+// sample. A settled value of zero converges only if the series is zero
+// from some point on (the band is empty).
+//
+// Pure function — the unit it returns is a sample index; callers scale
+// by their sampling period.
+func ConvergenceIndex(series []float64, tol float64) int {
+	n := len(series)
+	if n == 0 {
+		return -1
+	}
+	q := n - n/4
+	if q == n {
+		q = n - 1
+	}
+	var settled float64
+	for _, v := range series[q:] {
+		settled += v
+	}
+	settled /= float64(n - q)
+
+	lo := settled * (1 - tol)
+	hi := settled * (1 + tol)
+	// Scan backward for the last out-of-band sample; convergence starts
+	// just after it.
+	for i := n - 1; i >= 0; i-- {
+		if series[i] < lo || series[i] > hi {
+			if i == n-1 {
+				return -1
+			}
+			return i + 1
+		}
+	}
+	return 0
+}

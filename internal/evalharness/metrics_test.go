@@ -1,0 +1,72 @@
+package evalharness
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestConvergenceIndexKnownAnswers: the convergence estimator as a pure
+// function, against hand-computed answers.
+func TestConvergenceIndexKnownAnswers(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []float64
+		tol    float64
+		want   int
+	}{
+		{"empty", nil, 0.25, -1},
+		{"single-sample", []float64{50}, 0.25, 0},
+		{"all-equal", []float64{40, 40, 40, 40, 40, 40, 40, 40}, 0.25, 0},
+		// Slow start then plateau at 80: the last quarter (80,80) sets
+		// the band [60,100]; 10 and 40 escape it, 70 onward does not.
+		{"ramp-then-plateau", []float64{10, 40, 70, 75, 80, 80, 80, 80}, 0.25, 2},
+		// Oscillation that never settles into the band.
+		{"never-settles", []float64{10, 90, 10, 90, 10, 90, 10, 90}, 0.25, -1},
+		// A late dip out of the band restarts convergence after it.
+		{"late-dip", []float64{80, 80, 80, 20, 80, 80, 80, 80}, 0.25, 4},
+		// Tight tolerance rejects what a loose one accepts: the ±5% band
+		// around 80 is [76,84], so 75 is still outside it.
+		{"tight-tol", []float64{70, 75, 80, 80, 80, 80, 80, 80}, 0.05, 2},
+		// All-zero series is settled at zero from the start.
+		{"all-zero", []float64{0, 0, 0, 0}, 0.25, 0},
+		// Zero settled value: the band is a point; any nonzero prefix
+		// sample converges only after it.
+		{"dies-to-zero", []float64{50, 50, 0, 0, 0, 0, 0, 0}, 0.25, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ConvergenceIndex(tc.series, tc.tol); got != tc.want {
+				t.Fatalf("ConvergenceIndex(%v, %v) = %d, want %d", tc.series, tc.tol, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestJainKnownAnswers: the fairness metric the harness reports, against
+// hand-computed answers — including the all-equal ⇒ 1.0 and single-flow
+// edge cases.
+func TestJainKnownAnswers(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"single-flow", []float64{123}, 1.0},
+		{"all-equal", []float64{5, 5, 5, 5}, 1.0},
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		// (1+3)² / (2·(1+9)) = 16/20.
+		{"two-flow-skew", []float64{1, 3}, 0.8},
+		// One flow hogging: (4)²/(4·16) → 1/4 with three starved flows.
+		{"starvation", []float64{4, 0, 0, 0}, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := stats.JainIndex(tc.xs)
+			if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("JainIndex(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package evalharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ranking orders the schemes of one topology × workload pane by goodput,
+// separately for each hostCC arm. OrderingChanged is the paper's
+// qualitative claim made checkable: hostCC re-ranks the schemes.
+type Ranking struct {
+	Topology string `json:"topology"`
+	Workload string `json:"workload"`
+	// Off / On list scheme names, best goodput first.
+	Off []string `json:"off,omitempty"`
+	On  []string `json:"on,omitempty"`
+	// OrderingChanged reports Off ≠ On (only meaningful when both arms
+	// ran).
+	OrderingChanged bool `json:"ordering_changed"`
+}
+
+// Report is the full matrix outcome: per-cell measurements plus the
+// per-pane scheme rankings derived from them.
+type Report struct {
+	Seed      int64        `json:"seed"`
+	WarmupUs  float64      `json:"warmup_us"`
+	MeasureUs float64      `json:"measure_us"`
+	Cells     []CellResult `json:"cells"`
+	Rankings  []Ranking    `json:"rankings"`
+}
+
+// finish derives the cross-cell fields: paired-arm goodput deltas and
+// per-pane rankings. Cells is already in deterministic matrix order.
+func (r *Report) finish() {
+	// Pair each on cell with its off twin.
+	type paneKey struct{ topo, wl string }
+	off := map[CellSpec]float64{}
+	for _, c := range r.Cells {
+		if !c.HostCC {
+			k := c.CellSpec
+			k.HostCC = false
+			off[k] = c.GoodputGbps
+		}
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if !c.HostCC {
+			continue
+		}
+		k := c.CellSpec
+		k.HostCC = false
+		if base, ok := off[k]; ok && base > 0 {
+			c.GoodputVsOffPct = 100 * (c.GoodputGbps - base) / base
+		}
+	}
+
+	// Rankings per pane, preserving the matrix's pane order.
+	var order []paneKey
+	panes := map[paneKey][]CellResult{}
+	for _, c := range r.Cells {
+		k := paneKey{c.Topology, c.Workload}
+		if _, ok := panes[k]; !ok {
+			order = append(order, k)
+		}
+		panes[k] = append(panes[k], c)
+	}
+	r.Rankings = nil
+	for _, k := range order {
+		rank := Ranking{Topology: k.topo, Workload: k.wl}
+		for _, hostCC := range []bool{false, true} {
+			var cells []CellResult
+			for _, c := range panes[k] {
+				if c.HostCC == hostCC {
+					cells = append(cells, c)
+				}
+			}
+			// Stable on goodput desc; scheme name breaks exact ties so
+			// the ranking is a pure function of the measurements.
+			sort.SliceStable(cells, func(i, j int) bool {
+				if cells[i].GoodputGbps != cells[j].GoodputGbps {
+					return cells[i].GoodputGbps > cells[j].GoodputGbps
+				}
+				return cells[i].Scheme < cells[j].Scheme
+			})
+			names := make([]string, len(cells))
+			for i, c := range cells {
+				names[i] = c.Scheme
+			}
+			if hostCC {
+				rank.On = names
+			} else {
+				rank.Off = names
+			}
+		}
+		if len(rank.Off) > 0 && len(rank.On) > 0 {
+			rank.OrderingChanged = !equalStrings(rank.Off, rank.On)
+		}
+		r.Rankings = append(r.Rankings, rank)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON renders the machine-readable report (BENCH_evalharness.json).
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Markdown renders the deterministic report: one table per topology ×
+// workload pane, cells in matrix order, plus the ranking summary. Every
+// number (and each cell's digest) is a pure function of the simulation,
+// so two runs of the same matrix produce byte-identical output.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## CC evaluation matrix (seed %d, warmup %.0f µs, measure %.0f µs)\n",
+		r.Seed, r.WarmupUs, r.MeasureUs)
+	b.WriteString("\nEvery cell is one replay-verified testbed run; `vs-off` compares the\nhostCC-on arm against its identically-seeded off twin. Convergence is\nthe time for aggregate goodput to settle into its ±25% band (−1: never\nsettled); the victim columns are a concurrent 16 KiB RPC flow.\n")
+
+	type paneKey struct{ topo, wl string }
+	var order []paneKey
+	panes := map[paneKey][]CellResult{}
+	for _, c := range r.Cells {
+		k := paneKey{c.Topology, c.Workload}
+		if _, ok := panes[k]; !ok {
+			order = append(order, k)
+		}
+		panes[k] = append(panes[k], c)
+	}
+	for _, k := range order {
+		fmt.Fprintf(&b, "\n### %s / %s\n\n", k.topo, k.wl)
+		b.WriteString("| scheme | hostcc | goodput (Gbps) | vs-off | Jain | converge (µs) | victim P99.9 (µs) | RPCs | retx | RTOs | digest | verified |\n")
+		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|---|\n")
+		for _, c := range panes[k] {
+			arm, vsOff := "off", "—"
+			if c.HostCC {
+				arm = "on"
+				vsOff = fmt.Sprintf("%+.1f%%", c.GoodputVsOffPct)
+			}
+			verified := "no"
+			if c.Verified {
+				verified = "yes"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %.2f | %s | %.3f | %.0f | %.1f | %d | %d | %d | `%016x` | %s |\n",
+				c.Scheme, arm, c.GoodputGbps, vsOff, c.Jain, c.ConvergenceUs,
+				c.VictimP999Us, c.VictimRPCs, c.Retx, c.Timeouts, c.Digest, verified)
+		}
+	}
+
+	b.WriteString("\n### Scheme ranking by goodput\n\n")
+	b.WriteString("| topology | workload | hostcc off | hostcc on | ordering changed |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, rank := range r.Rankings {
+		changed := "no"
+		if rank.OrderingChanged {
+			changed = "**yes**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			rank.Topology, rank.Workload,
+			strings.Join(rank.Off, " > "), strings.Join(rank.On, " > "), changed)
+	}
+	return b.String()
+}

@@ -167,7 +167,17 @@ type SwitchConfig struct {
 	// occupancy accounting with XOFF/XON pause thresholds instead of
 	// drop-tail for PFC-tracked ingresses. See PFCConfig.
 	PFC PFCConfig
+	// INTBaseRTT normalizes the queue term of the INT utilization stamp:
+	// a port reports u = busy + qBytes/(rate × INTBaseRTT), the HPCC
+	// per-hop signal. Zero selects the fabric's base RTT default (44 µs);
+	// stamping itself is always on — it is stateless and free when no
+	// scheme consumes it.
+	INTBaseRTT sim.Time
 }
+
+// intDefaultBaseRTT is the default INT normalization window, matching the
+// fabric's ~44 µs base RTT (DefaultLinkConfig).
+const intDefaultBaseRTT = 44 * sim.Microsecond
 
 // DefaultSwitchConfig returns DCTCP-appropriate marking for 100 Gbps.
 func DefaultSwitchConfig() SwitchConfig {
@@ -256,6 +266,9 @@ type outPort struct {
 	// trQueue records the port's queue depth over time (nil when disabled).
 	trQueue *telemetry.Track
 
+	// intRefBytes normalizes the INT queue term: rate × INTBaseRTT.
+	intRefBytes float64
+
 	// doneH fires when the port serializer finishes serFlight (the port
 	// serializes one packet at a time, so no slot table is needed).
 	doneH     sim.HandlerID
@@ -287,6 +300,8 @@ func (s *Switch) RegisterInstruments(reg *telemetry.Registry, prefix string) {
 		func() float64 { return float64(s.Drops.Total()) })
 	reg.Counter(prefix+"/marks", "pkts", "packets CE-marked at the ECN threshold",
 		func() float64 { return float64(s.Marks.Total()) })
+	reg.Gauge(prefix+"/int/max-util", "util", "max per-port INT utilization (busy + queue/(rate×baseRTT))",
+		func() float64 { return s.MaxINTUtil() })
 	if s.cfg.PFC.Enabled {
 		reg.Counter(prefix+"/pfc/pause-frames", "frames", "PFC pause frames emitted (XOFF and XON)",
 			func() float64 { return float64(s.PauseFrames.Total()) })
@@ -327,6 +342,11 @@ func (s *Switch) AttachTrunk(link *Link) PortID {
 func (s *Switch) attach(link *Link, key uint64, name string) PortID {
 	o := &outPort{sw: s, link: link, key: key, name: name}
 	o.doneH = s.e.Handler(o.serDone)
+	baseRTT := s.cfg.INTBaseRTT
+	if baseRTT == 0 {
+		baseRTT = intDefaultBaseRTT
+	}
+	o.intRefBytes = float64(link.cfg.Rate) * baseRTT.Seconds()
 	if s.tr != nil {
 		o.trQueue = s.tr.NewTrack(fmt.Sprintf("%s/%s/queue", s.prefix, name), "bytes")
 		o.trQueue.Set(s.e.Now(), 0)
@@ -390,10 +410,34 @@ func (o *outPort) enqueueFrom(ig *Ingress, p *packet.Packet) {
 		o.sw.Marks.Inc()
 		o.sw.trMarks.Set(o.sw.e.Now(), float64(o.sw.Marks.Total()))
 	}
+	// INT stamp (HPCC feedback): fold this hop's utilization into the
+	// packet's running max. Stateless — derived from the same qBytes/busy
+	// the snapshot already encodes — so it cannot perturb digests. Only
+	// data packets are stamped (receivers echo on ACKs; stamping the
+	// reverse path would be dead weight).
+	if p.IsData() {
+		if u := o.intUtil(); u > p.INTUtil {
+			p.INTUtil = u
+		}
+		if p.INTHops < 255 {
+			p.INTHops++
+		}
+	}
 	o.queue.Push(qent{p: p, ig: ig})
 	o.qBytes += p.WireLen()
 	o.trQueue.Set(o.sw.e.Now(), float64(o.qBytes))
 	o.pump()
+}
+
+// intUtil is this port's instantaneous INT utilization: 1 while the
+// serializer is busy plus the queue depth in units of rate × baseRTT
+// (the stateless reduction of HPCC's txRate/B + qlen/(B·T) signal).
+func (o *outPort) intUtil() float64 {
+	util := float64(o.qBytes) / o.intRefBytes
+	if o.busy {
+		util++
+	}
+	return util
 }
 
 func (o *outPort) pump() {
@@ -450,6 +494,19 @@ func (s *Switch) QueueBytes(id packet.HostID) int {
 // instrumentation).
 func (s *Switch) PortQueueBytes(p PortID) int { return s.ports[p].qBytes }
 
+// MaxINTUtil returns the highest instantaneous INT utilization across
+// the switch's output ports — the per-hop congestion signal HPCC-style
+// senders receive, exported as a telemetry gauge.
+func (s *Switch) MaxINTUtil() float64 {
+	var m float64
+	for _, o := range s.ports {
+		if u := o.intUtil(); u > m {
+			m = u
+		}
+	}
+	return m
+}
+
 // Validate reports the first invalid link parameter.
 func (c LinkConfig) Validate() error {
 	if c.Rate <= 0 {
@@ -479,6 +536,9 @@ func (c SwitchConfig) Validate() error {
 	if c.ECNThresholdBytes >= c.PortBufferBytes {
 		return fmt.Errorf("fabric: ECNThresholdBytes %d must be below PortBufferBytes %d",
 			c.ECNThresholdBytes, c.PortBufferBytes)
+	}
+	if c.INTBaseRTT < 0 {
+		return fmt.Errorf("fabric: negative INTBaseRTT %v", c.INTBaseRTT)
 	}
 	return c.PFC.Validate(c.PortBufferBytes)
 }

@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// TestINTStampsDataPackets: the switch folds each traversed port's
+// utilization (busy + queue/(rate×baseRTT)) into the packet's running
+// max and bumps the hop count; an idle port stamps zero utilization but
+// still counts the hop.
+func TestINTStampsDataPackets(t *testing.T) {
+	e := sim.NewEngine(1)
+	var got []*packet.Packet
+	sw := newSwitchedPath(e, DefaultSwitchConfig(), func(p *packet.Packet) { got = append(got, p) })
+
+	for i := 0; i < 4; i++ {
+		sw.Inject(dataPkt(2, 4096, packet.ECT0))
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d packets, want 4", len(got))
+	}
+	// First packet hits an idle port: hop counted, zero utilization.
+	if got[0].INTHops != 1 || got[0].INTUtil != 0 {
+		t.Fatalf("idle-port stamp: hops=%d util=%v, want 1 and 0", got[0].INTHops, got[0].INTUtil)
+	}
+	// Later packets arrive while the serializer is busy: util ≥ 1, and
+	// it must grow with the queue ahead of each packet.
+	if got[1].INTUtil < 1 {
+		t.Fatalf("busy-port stamp %v, want ≥ 1", got[1].INTUtil)
+	}
+	if got[3].INTUtil <= got[2].INTUtil {
+		t.Fatalf("stamp did not grow with queue depth: %v then %v", got[2].INTUtil, got[3].INTUtil)
+	}
+	if sw.MaxINTUtil() != 0 {
+		t.Fatalf("drained switch reports MaxINTUtil %v, want 0", sw.MaxINTUtil())
+	}
+}
+
+// TestINTDoesNotStampAcks: pure ACKs are never stamped — receivers echo
+// the data-path stamp, and a reverse-path stamp would be dead weight.
+func TestINTDoesNotStampAcks(t *testing.T) {
+	e := sim.NewEngine(1)
+	var got []*packet.Packet
+	sw := newSwitchedPath(e, DefaultSwitchConfig(), func(p *packet.Packet) { got = append(got, p) })
+
+	ack := &packet.Packet{
+		Flow:  packet.FlowID{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20},
+		Flags: packet.FlagACK,
+	}
+	sw.Inject(dataPkt(2, 4096, packet.ECT0)) // make the port busy
+	sw.Inject(ack)
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(got))
+	}
+	if got[1].INTHops != 0 || got[1].INTUtil != 0 {
+		t.Fatalf("ACK was stamped: hops=%d util=%v", got[1].INTHops, got[1].INTUtil)
+	}
+}
+
+// TestINTBaseRTTValidate: a negative normalization window is rejected.
+func TestINTBaseRTTValidate(t *testing.T) {
+	cfg := DefaultSwitchConfig()
+	cfg.INTBaseRTT = -sim.Microsecond
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative INTBaseRTT accepted")
+	}
+	cfg.INTBaseRTT = 10 * sim.Microsecond
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("positive INTBaseRTT rejected: %v", err)
+	}
+}

@@ -135,6 +135,17 @@ type Packet struct {
 	// rather than by a switch; used only for accounting/ablation figures.
 	MarkedByHost bool
 
+	// In-band network telemetry (INT), the HPCC feedback channel.
+	// Switches stamp data packets in INTUtil/INTHops as they forward
+	// them; receivers echo the maximum observed since the last ACK in
+	// INTEchoUtil/INTEchoHops. Separate stamp and echo fields keep
+	// reverse-path switches from overwriting the echo on ACKs. Hosts
+	// never stamp — host-internal congestion is invisible to INT.
+	INTUtil     float64 // max per-hop utilization stamped so far (data path)
+	INTHops     uint8   // hops that stamped this packet (data path)
+	INTEchoUtil float64 // on ACKs: max stamped utilization being echoed
+	INTEchoHops uint8   // on ACKs: hop count behind the echo (0 = none)
+
 	// poolState tracks the packet's lifecycle for double-release
 	// detection; see Pool. poolDebug adds release provenance in
 	// -race/-tags packetdebug builds and is empty otherwise.

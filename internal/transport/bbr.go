@@ -1,0 +1,416 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BBRConfig parameterizes the BBR-like rate controller (Cardwell et al.,
+// ACM Queue 2016). BBR models the path with two estimates — bottleneck
+// bandwidth (windowed max of delivery-rate samples) and round-trip
+// propagation delay (windowed min of RTT samples) — and paces at a gain
+// times the bandwidth estimate, cycling gains to probe for more bandwidth
+// and periodically draining the pipe to re-measure the floor RTT. The
+// hardware constants assume multi-second flows; the defaults here keep
+// the same structure scaled so startup, drain, the probe-bandwidth cycle
+// and probe-RTT are all exercised inside the simulation's
+// tens-of-milliseconds windows. Each field documents the Linux value it
+// scales.
+type BBRConfig struct {
+	// LineRate caps the pacing rate (hardware: port rate); it is also the
+	// ceiling of the bandwidth estimate.
+	LineRate sim.Rate
+	// InitRate seeds the bandwidth estimate before any delivery-rate
+	// sample exists (Linux derives it from the initial cwnd and first
+	// RTT; a tenth of line rate lands in the same regime).
+	InitRate sim.Rate
+	// MinRate floors the pacing rate (Linux: ~1.2 Mbps).
+	MinRate sim.Rate
+	// StartupGain is the pacing gain while searching for the bandwidth
+	// ceiling (Linux: 2/ln2 ≈ 2.885, doubling the rate each RTT).
+	StartupGain float64
+	// DrainGain empties the queue startup built (Linux: ln2/2 ≈ 0.347).
+	DrainGain float64
+	// ProbeUpGain / ProbeDownGain bound the probe-bandwidth gain cycle
+	// (Linux: 1.25 / 0.75); the remaining CycleLen-2 phases cruise at 1.
+	ProbeUpGain   float64
+	ProbeDownGain float64
+	// CycleLen is the number of phases per probe-bandwidth cycle, one
+	// RTprop each (Linux: 8).
+	CycleLen int
+	// BtlBwWindow is how many packet-timed rounds the bandwidth max
+	// filter remembers (Linux: 10).
+	BtlBwWindow int
+	// RTpropWindow bounds the age of the RTprop estimate; when it goes
+	// stale the controller enters probe-RTT (hardware: 10 s).
+	RTpropWindow sim.Time
+	// ProbeRTTDuration is how long probe-RTT holds the rate down so the
+	// queue drains and a floor RTT can be observed (hardware: 200 ms).
+	ProbeRTTDuration sim.Time
+	// CwndGain scales the flight cap: cwnd = CwndGain × BtlBw × RTprop
+	// (Linux: 2).
+	CwndGain float64
+	// FullBwThresh / FullBwRounds end startup: if the bandwidth estimate
+	// grows less than FullBwThresh× in FullBwRounds consecutive rounds,
+	// the pipe is full (Linux: 1.25 / 3).
+	FullBwThresh float64
+	FullBwRounds int
+}
+
+// DefaultBBRConfig returns the sim-scaled parameter set for 100 Gbps.
+func DefaultBBRConfig() BBRConfig {
+	return BBRConfig{
+		LineRate:         sim.Gbps(100),
+		InitRate:         sim.Gbps(10),
+		MinRate:          sim.Gbps(0.1),
+		StartupGain:      2.885,
+		DrainGain:        1 / 2.885,
+		ProbeUpGain:      1.25,
+		ProbeDownGain:    0.75,
+		CycleLen:         8,
+		BtlBwWindow:      10,
+		RTpropWindow:     2500 * sim.Microsecond,
+		ProbeRTTDuration: 100 * sim.Microsecond,
+		CwndGain:         2,
+		FullBwThresh:     1.25,
+		FullBwRounds:     3,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c BBRConfig) Validate() error {
+	if c.LineRate <= 0 || c.InitRate <= 0 || c.MinRate <= 0 {
+		return fmt.Errorf("transport: bbr rates must be positive (line %v, init %v, min %v)",
+			c.LineRate, c.InitRate, c.MinRate)
+	}
+	if c.MinRate > c.LineRate || c.InitRate > c.LineRate {
+		return fmt.Errorf("transport: bbr MinRate %v and InitRate %v must not exceed LineRate %v",
+			c.MinRate, c.InitRate, c.LineRate)
+	}
+	if c.StartupGain <= 1 {
+		return fmt.Errorf("transport: bbr StartupGain %v must exceed 1", c.StartupGain)
+	}
+	if c.DrainGain <= 0 || c.DrainGain >= 1 {
+		return fmt.Errorf("transport: bbr DrainGain %v outside (0,1)", c.DrainGain)
+	}
+	if c.ProbeUpGain <= 1 || c.ProbeDownGain <= 0 || c.ProbeDownGain >= 1 {
+		return fmt.Errorf("transport: bbr probe gains must straddle 1 (up %v, down %v)",
+			c.ProbeUpGain, c.ProbeDownGain)
+	}
+	if c.CycleLen < 2 {
+		return fmt.Errorf("transport: bbr CycleLen %d must be at least 2", c.CycleLen)
+	}
+	if c.BtlBwWindow <= 0 {
+		return fmt.Errorf("transport: bbr BtlBwWindow %d must be positive", c.BtlBwWindow)
+	}
+	if c.RTpropWindow <= 0 || c.ProbeRTTDuration <= 0 {
+		return fmt.Errorf("transport: bbr probe-RTT timing must be positive (window %v, duration %v)",
+			c.RTpropWindow, c.ProbeRTTDuration)
+	}
+	if c.ProbeRTTDuration >= c.RTpropWindow {
+		return fmt.Errorf("transport: bbr ProbeRTTDuration %v must be below RTpropWindow %v",
+			c.ProbeRTTDuration, c.RTpropWindow)
+	}
+	if c.CwndGain <= 0 {
+		return fmt.Errorf("transport: bbr CwndGain %v must be positive", c.CwndGain)
+	}
+	if c.FullBwThresh <= 1 || c.FullBwRounds <= 0 {
+		return fmt.Errorf("transport: bbr full-bandwidth detection needs FullBwThresh > 1 and positive FullBwRounds (got %v, %d)",
+			c.FullBwThresh, c.FullBwRounds)
+	}
+	return nil
+}
+
+// bbr phases.
+const (
+	bbrStartup = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+// bbr is the sender-side BBR-like rate machine. It exposes its pacing
+// rate through RatePacer (like DCQCN) and additionally bounds flight
+// through Cwnd at CwndGain × estimated BDP, so a stale bandwidth
+// estimate cannot keep pouring data into a collapsed path.
+type bbr struct {
+	e   *sim.Engine
+	cfg BBRConfig
+	mss int
+
+	state int
+
+	// btlBw is a windowed max over per-round delivery-rate maxima;
+	// roundMax accumulates the current round.
+	bwWin    []sim.Rate // ring of per-round maxima, BtlBwWindow long
+	bwRounds int        // rounds recorded (ring fill)
+	roundMax sim.Rate
+
+	// rtProp is the windowed min RTT and its observation time.
+	rtProp   sim.Time
+	rtPropAt sim.Time
+
+	// Packet-timed rounds: a round ends when the cumulative ACK passes
+	// the SndNxt recorded at the previous round end.
+	nextRoundSeq uint64
+	lastAckAt    sim.Time
+
+	// Startup full-pipe detection.
+	fullBw      sim.Rate
+	fullBwCount int
+	fullBwSeen  bool
+
+	// Probe-bandwidth gain cycle.
+	cycleIdx   int
+	cycleStamp sim.Time
+
+	// Probe-RTT bookkeeping.
+	probeRTTDone sim.Time
+	prevState    int
+}
+
+// NewBBR returns a BBR-like factory with the sim-scaled defaults.
+func NewBBR() CCFactory { return NewBBRWithConfig(DefaultBBRConfig()) }
+
+// NewBBRWithConfig returns a BBR-like factory with explicit parameters.
+func NewBBRWithConfig(cfg BBRConfig) CCFactory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return func(e *sim.Engine, mss int) CongestionControl {
+		return &bbr{
+			e:     e,
+			cfg:   cfg,
+			mss:   mss,
+			state: bbrStartup,
+			bwWin: make([]sim.Rate, cfg.BtlBwWindow),
+		}
+	}
+}
+
+func (b *bbr) Name() string { return "bbr" }
+
+// btlBw is the max of the per-round maxima still in the window, floored
+// at InitRate until real samples exist.
+func (b *bbr) btlBw() sim.Rate {
+	var m sim.Rate
+	n := b.bwRounds
+	if n > len(b.bwWin) {
+		n = len(b.bwWin)
+	}
+	for i := 0; i < n; i++ {
+		if b.bwWin[i] > m {
+			m = b.bwWin[i]
+		}
+	}
+	if b.roundMax > m {
+		m = b.roundMax
+	}
+	if m <= 0 {
+		m = b.cfg.InitRate
+	}
+	if m > b.cfg.LineRate {
+		m = b.cfg.LineRate
+	}
+	return m
+}
+
+// gain returns the pacing gain of the current state/phase.
+func (b *bbr) gain() float64 {
+	switch b.state {
+	case bbrStartup:
+		return b.cfg.StartupGain
+	case bbrDrain:
+		return b.cfg.DrainGain
+	case bbrProbeRTT:
+		return b.cfg.DrainGain
+	}
+	switch b.cycleIdx {
+	case 0:
+		return b.cfg.ProbeUpGain
+	case 1:
+		return b.cfg.ProbeDownGain
+	}
+	return 1
+}
+
+// PaceRate implements RatePacer: gain × bandwidth estimate, clamped.
+func (b *bbr) PaceRate() sim.Rate {
+	r := sim.Rate(b.gain() * float64(b.btlBw()))
+	if r < b.cfg.MinRate {
+		r = b.cfg.MinRate
+	}
+	if r > b.cfg.LineRate {
+		r = b.cfg.LineRate
+	}
+	return r
+}
+
+// Cwnd bounds flight at CwndGain × BDP; unbounded before an RTT sample.
+func (b *bbr) Cwnd() int {
+	if b.rtProp <= 0 {
+		return 1 << 30
+	}
+	bdp := float64(b.btlBw()) * b.rtProp.Seconds()
+	w := int(b.cfg.CwndGain * bdp)
+	if min := 4 * b.mss; w < min {
+		w = min
+	}
+	return w
+}
+
+// State returns the current phase (diagnostics and tests): "startup",
+// "drain", "probe-bw", "probe-rtt".
+func (b *bbr) State() string {
+	switch b.state {
+	case bbrStartup:
+		return "startup"
+	case bbrDrain:
+		return "drain"
+	case bbrProbeRTT:
+		return "probe-rtt"
+	}
+	return "probe-bw"
+}
+
+// BtlBw returns the bandwidth estimate (diagnostics and tests).
+func (b *bbr) BtlBw() sim.Rate { return b.btlBw() }
+
+// RTprop returns the propagation-delay estimate (diagnostics and tests).
+func (b *bbr) RTprop() sim.Time { return b.rtProp }
+
+func (b *bbr) OnAck(ev AckEvent) {
+	if ev.Bytes <= 0 {
+		return
+	}
+	now := b.e.Now()
+
+	// Delivery-rate sample: acknowledged bytes over the inter-ACK gap.
+	// With delayed ACKs the gap is the bottleneck's serialization time
+	// for the acked bytes, so the sample tracks the bottleneck rate.
+	if b.lastAckAt > 0 && now > b.lastAckAt {
+		bw := sim.Rate(float64(ev.Bytes) / (now - b.lastAckAt).Seconds())
+		if bw > b.cfg.LineRate {
+			bw = b.cfg.LineRate
+		}
+		if bw > b.roundMax {
+			b.roundMax = bw
+		}
+	}
+	b.lastAckAt = now
+
+	// RTprop: windowed min, refreshed whenever an equal-or-lower sample
+	// arrives.
+	if ev.RTT > 0 && (b.rtProp <= 0 || ev.RTT <= b.rtProp) {
+		b.rtProp = ev.RTT
+		b.rtPropAt = now
+	}
+
+	// Round accounting.
+	if ev.AckSeq >= b.nextRoundSeq {
+		b.nextRoundSeq = ev.SndNxt
+		b.onRoundEnd()
+	}
+
+	b.advanceState(ev, now)
+}
+
+// onRoundEnd rolls the per-round bandwidth max into the window and runs
+// startup's full-pipe detection.
+func (b *bbr) onRoundEnd() {
+	b.bwWin[b.bwRounds%len(b.bwWin)] = b.roundMax
+	b.bwRounds++
+	b.roundMax = 0
+
+	if b.state == bbrStartup {
+		bw := b.btlBw()
+		if float64(bw) >= b.cfg.FullBwThresh*float64(b.fullBw) {
+			b.fullBw = bw
+			b.fullBwCount = 0
+			return
+		}
+		b.fullBwCount++
+		if b.fullBwCount >= b.cfg.FullBwRounds {
+			b.fullBwSeen = true
+			b.state = bbrDrain
+		}
+	}
+}
+
+// advanceState runs the drain → probe-bw handoff, the probe-bw gain
+// cycle, and probe-RTT entry/exit.
+func (b *bbr) advanceState(ev AckEvent, now sim.Time) {
+	// Probe-RTT: enter from any state when the RTprop estimate goes
+	// stale; exit after ProbeRTTDuration at drain gain.
+	if b.state == bbrProbeRTT {
+		if now >= b.probeRTTDone {
+			b.rtPropAt = now // the drained floor is the freshest estimate
+			b.state = b.prevState
+			if b.state == bbrProbeBW {
+				b.cycleIdx = 0
+				b.cycleStamp = now
+			}
+		}
+		return
+	}
+	if b.rtProp > 0 && now-b.rtPropAt > b.cfg.RTpropWindow {
+		b.prevState = b.state
+		if b.prevState == bbrDrain {
+			b.prevState = bbrProbeBW
+		}
+		b.state = bbrProbeRTT
+		b.probeRTTDone = now + b.cfg.ProbeRTTDuration
+		return
+	}
+
+	switch b.state {
+	case bbrDrain:
+		// Drain until flight fits one BDP, then cruise.
+		if b.rtProp > 0 && float64(ev.Flight) <= float64(b.btlBw())*b.rtProp.Seconds() {
+			b.state = bbrProbeBW
+			b.cycleIdx = 0
+			b.cycleStamp = now
+		}
+	case bbrProbeBW:
+		// Advance the gain cycle one phase per RTprop. The down phase
+		// ends early once flight is back under a BDP (Linux semantics),
+		// so the probe's queue is drained, not sustained.
+		phase := b.rtProp
+		if phase <= 0 {
+			return
+		}
+		if b.cycleIdx == 1 && float64(ev.Flight) <= float64(b.btlBw())*b.rtProp.Seconds() {
+			b.cycleIdx = 2
+			b.cycleStamp = now
+			return
+		}
+		if now-b.cycleStamp >= phase {
+			b.cycleIdx = (b.cycleIdx + 1) % b.cfg.CycleLen
+			b.cycleStamp = now
+		}
+	}
+}
+
+// OnLoss: BBR does not react to isolated fast retransmits (loss is not a
+// congestion signal in its model), but an RTO means the path estimate is
+// badly stale — halve the bandwidth window and restart the search.
+func (b *bbr) OnLoss(l LossEvent) {
+	if l != LossTimeout {
+		return
+	}
+	n := b.bwRounds
+	if n > len(b.bwWin) {
+		n = len(b.bwWin)
+	}
+	for i := 0; i < n; i++ {
+		b.bwWin[i] /= 2
+	}
+	b.roundMax /= 2
+	if !b.fullBwSeen {
+		return
+	}
+	b.state = bbrProbeBW
+	b.cycleIdx = 2 // cruise; the halved estimate is the new baseline
+	b.cycleStamp = b.e.Now()
+}

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBBRConfigValidateRejects: every invalid field is caught with an
+// identifying message (the testbed Validate convention).
+func TestBBRConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BBRConfig)
+		want string
+	}{
+		{"zero-line-rate", func(c *BBRConfig) { c.LineRate = 0 }, "rates"},
+		{"negative-init-rate", func(c *BBRConfig) { c.InitRate = -1 }, "rates"},
+		{"zero-min-rate", func(c *BBRConfig) { c.MinRate = 0 }, "rates"},
+		{"min-above-line", func(c *BBRConfig) { c.MinRate = c.LineRate * 2 }, "MinRate"},
+		{"init-above-line", func(c *BBRConfig) { c.InitRate = c.LineRate * 2 }, "InitRate"},
+		{"startup-gain-one", func(c *BBRConfig) { c.StartupGain = 1 }, "StartupGain"},
+		{"drain-gain-one", func(c *BBRConfig) { c.DrainGain = 1 }, "DrainGain"},
+		{"probe-up-below-one", func(c *BBRConfig) { c.ProbeUpGain = 0.9 }, "probe gains"},
+		{"probe-down-above-one", func(c *BBRConfig) { c.ProbeDownGain = 1.1 }, "probe gains"},
+		{"cycle-too-short", func(c *BBRConfig) { c.CycleLen = 1 }, "CycleLen"},
+		{"zero-bw-window", func(c *BBRConfig) { c.BtlBwWindow = 0 }, "BtlBwWindow"},
+		{"zero-rtprop-window", func(c *BBRConfig) { c.RTpropWindow = 0 }, "probe-RTT"},
+		{"zero-probe-rtt", func(c *BBRConfig) { c.ProbeRTTDuration = 0 }, "probe-RTT"},
+		{"probe-rtt-above-window", func(c *BBRConfig) { c.ProbeRTTDuration = c.RTpropWindow }, "ProbeRTTDuration"},
+		{"zero-cwnd-gain", func(c *BBRConfig) { c.CwndGain = 0 }, "CwndGain"},
+		{"full-bw-thresh-one", func(c *BBRConfig) { c.FullBwThresh = 1 }, "full-bandwidth"},
+		{"zero-full-bw-rounds", func(c *BBRConfig) { c.FullBwRounds = 0 }, "full-bandwidth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultBBRConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not identify %q", err, tc.want)
+			}
+		})
+	}
+	if err := DefaultBBRConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestBBRFactoryPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBBRWithConfig accepted an invalid config")
+		}
+	}()
+	cfg := DefaultBBRConfig()
+	cfg.CycleLen = 0
+	NewBBRWithConfig(cfg)
+}
+
+func newTestBBR(e *sim.Engine) *bbr {
+	return NewBBR()(e, 1500).(*bbr)
+}
+
+// ackRound feeds b one packet-timed round of ACKs at a fixed delivery
+// rate and RTT, advancing the engine clock between ACKs.
+func ackRound(e *sim.Engine, b *bbr, rate sim.Rate, rtt sim.Time, acks int) {
+	const bytes = 64 << 10
+	for i := 0; i < acks; i++ {
+		e.RunUntil(e.Now() + rate.TimeFor(bytes))
+		seq := b.nextRoundSeq // crossing it ends the round
+		b.OnAck(AckEvent{
+			Bytes:  bytes,
+			RTT:    rtt,
+			AckSeq: seq,
+			SndNxt: seq + bytes,
+			Flight: bytes,
+		})
+	}
+}
+
+// TestBBRStartupFindsBandwidthAndDrains: a bandwidth plateau must end
+// startup within FullBwRounds rounds, pass through drain, and settle in
+// probe-bw with the estimate at the plateau.
+func TestBBRStartupFindsBandwidthAndDrains(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := newTestBBR(e)
+	cfg := DefaultBBRConfig()
+
+	if b.State() != "startup" {
+		t.Fatalf("fresh BBR in %q, want startup", b.State())
+	}
+	if b.Cwnd() != 1<<30 {
+		t.Fatalf("Cwnd %d before any RTT sample, want unbounded", b.Cwnd())
+	}
+	if b.PaceRate() != sim.Rate(cfg.StartupGain*float64(cfg.InitRate)) {
+		t.Fatalf("startup pace %v, want StartupGain × InitRate", b.PaceRate())
+	}
+
+	// Plateau at 25 Gbps: the max filter stops growing, startup must exit.
+	plateau := sim.Gbps(25)
+	for i := 0; i < cfg.FullBwRounds+2 && b.State() == "startup"; i++ {
+		ackRound(e, b, plateau, 50*sim.Microsecond, 4)
+	}
+	if b.State() == "startup" {
+		t.Fatalf("startup did not exit on a bandwidth plateau (state %q)", b.State())
+	}
+	got := b.BtlBw().Gbps()
+	if got < 20 || got > 30 {
+		t.Fatalf("BtlBw %.1f Gbps after plateau, want ≈25", got)
+	}
+
+	// Flight at one BDP ends drain.
+	b.OnAck(AckEvent{Bytes: 1500, RTT: 50 * sim.Microsecond,
+		AckSeq: b.nextRoundSeq - 1, SndNxt: b.nextRoundSeq + 1500, Flight: 0})
+	if b.State() != "probe-bw" {
+		t.Fatalf("state %q after drain completes, want probe-bw", b.State())
+	}
+	if b.Cwnd() >= 1<<30 {
+		t.Fatal("Cwnd still unbounded with bandwidth and RTT estimates in hand")
+	}
+}
+
+// TestBBRProbeRTTOnStaleEstimate: when no lower RTT sample arrives for
+// RTpropWindow, the controller must dip into probe-rtt (pacing below the
+// estimate) and come back out after ProbeRTTDuration.
+func TestBBRProbeRTTOnStaleEstimate(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := newTestBBR(e)
+	cfg := DefaultBBRConfig()
+
+	plateau := sim.Gbps(25)
+	for i := 0; i < cfg.FullBwRounds+3; i++ {
+		ackRound(e, b, plateau, 50*sim.Microsecond, 4)
+	}
+
+	// Age the estimate: higher RTT samples only, past the window.
+	deadline := e.Now() + cfg.RTpropWindow + sim.Millisecond
+	for e.Now() < deadline && b.State() != "probe-rtt" {
+		ackRound(e, b, plateau, 90*sim.Microsecond, 1)
+	}
+	if b.State() != "probe-rtt" {
+		t.Fatal("stale RTprop did not trigger probe-rtt")
+	}
+	if b.PaceRate() >= b.BtlBw() {
+		t.Fatalf("probe-rtt pace %v not below the bandwidth estimate %v", b.PaceRate(), b.BtlBw())
+	}
+
+	// Exit after the dwell.
+	deadline = e.Now() + 2*cfg.ProbeRTTDuration + sim.Millisecond
+	for e.Now() < deadline && b.State() == "probe-rtt" {
+		ackRound(e, b, plateau, 50*sim.Microsecond, 1)
+	}
+	if b.State() != "probe-bw" {
+		t.Fatalf("state %q after probe-rtt dwell, want probe-bw", b.State())
+	}
+}
+
+// TestBBRLossResponses: fast retransmit is not a signal; an RTO halves
+// the bandwidth window.
+func TestBBRLossResponses(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := newTestBBR(e)
+	cfg := DefaultBBRConfig()
+
+	for i := 0; i < cfg.FullBwRounds+3; i++ {
+		ackRound(e, b, sim.Gbps(25), 50*sim.Microsecond, 4)
+	}
+	before := b.BtlBw()
+	b.OnLoss(LossFastRetransmit)
+	if b.BtlBw() != before {
+		t.Fatalf("fast retransmit moved the bandwidth estimate %v -> %v", before, b.BtlBw())
+	}
+	b.OnLoss(LossTimeout)
+	if b.BtlBw() >= before {
+		t.Fatalf("RTO did not cut the bandwidth estimate (still %v)", b.BtlBw())
+	}
+	if b.Name() != "bbr" {
+		t.Fatalf("Name() = %q", b.Name())
+	}
+}
+
+// TestBBRPacesConnection: plumbed into a live connection via the scheme
+// registry, BBR must wire the RatePacer hook and deliver the transfer.
+func TestBBRPacesConnection(t *testing.T) {
+	e := sim.NewEngine(1)
+	pp := newPipe(e, 10*sim.Microsecond)
+	s, err := SchemeByName("bbr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := pp.attach(1, testCfg(s.Factory()))
+	receiver := pp.attach(2, testCfg(s.Factory()))
+	var got int64
+	receiver.Listen(5000, func(c *Conn) {
+		c.OnData(func(n int) { got += int64(n) })
+	})
+	c := sender.Dial(2, 5000)
+	if _, ok := c.cc.(*bbr); !ok {
+		t.Fatalf("connection CC is %T, want *bbr", c.cc)
+	}
+	if c.ratePacer == nil {
+		t.Fatal("connection did not wire BBR's RatePacer hook")
+	}
+	const total = 1 << 20
+	c.Send(total)
+	e.Run()
+	if got != total {
+		t.Fatalf("delivered %d of %d bytes under BBR pacing", got, total)
+	}
+}

@@ -22,6 +22,13 @@ type AckEvent struct {
 	AckSeq uint64   // cumulative sequence acknowledged
 	SndNxt uint64   // highest sequence sent so far
 	Flight int      // bytes in flight after this ACK
+
+	// INT telemetry echoed by the receiver: the maximum per-hop switch
+	// utilization stamped on the data packets this ACK covers, and the
+	// hop count of the stamping path. INTHops == 0 means no hop stamped
+	// (host-internal paths never do — the paper's blind spot).
+	INTUtil float64
+	INTHops int
 }
 
 // LossEvent distinguishes how a loss was detected.

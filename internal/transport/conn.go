@@ -143,6 +143,8 @@ type Conn struct {
 	ceSinceLastAck bool
 	lastCE         bool
 	lastDataSentAt sim.Time
+	intMaxUtil     float64 // max INT stamp on data since the last ACK
+	intMaxHops     uint8
 	ackTimer       *sim.Timer
 	onData         func(n int)
 
@@ -440,12 +442,14 @@ func (c *Conn) handleAck(p *packet.Packet) {
 	}
 
 	c.cc.OnAck(AckEvent{
-		Bytes:  int(newly),
-		Marked: marked,
-		RTT:    rtt,
-		AckSeq: p.Ack,
-		SndNxt: c.sndNxt,
-		Flight: c.Flight(),
+		Bytes:   int(newly),
+		Marked:  marked,
+		RTT:     rtt,
+		AckSeq:  p.Ack,
+		SndNxt:  c.sndNxt,
+		Flight:  c.Flight(),
+		INTUtil: p.INTEchoUtil,
+		INTHops: int(p.INTEchoHops),
 	})
 
 	// Fresh RTO for the new head of line. An armed probe is re-armed
@@ -589,6 +593,16 @@ func (c *Conn) handleData(p *packet.Packet) {
 		c.ceSinceLastAck = true
 	}
 	c.lastDataSentAt = p.SentAt
+	// INT echo: remember the worst per-hop utilization reported since the
+	// last ACK, so delayed ACKs carry the peak, not the latest sample.
+	if p.INTHops > 0 {
+		if p.INTUtil > c.intMaxUtil {
+			c.intMaxUtil = p.INTUtil
+		}
+		if p.INTHops > c.intMaxHops {
+			c.intMaxHops = p.INTHops
+		}
+	}
 
 	switch {
 	case p.End() <= c.rcvNxt:
@@ -652,6 +666,10 @@ func (c *Conn) sendAck() {
 		ack.Flags |= packet.FlagECE
 	}
 	c.ceSinceLastAck = false
+	ack.INTEchoUtil = c.intMaxUtil
+	ack.INTEchoHops = c.intMaxHops
+	c.intMaxUtil = 0
+	c.intMaxHops = 0
 	c.net.Transmit(ack)
 }
 

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// HPCCConfig parameterizes the HPCC-like controller (Li et al., SIGCOMM
+// 2019). HPCC steers the sending rate directly from in-network telemetry:
+// switches stamp per-hop utilization onto data packets, receivers echo
+// the maximum back on ACKs, and the sender multiplicatively scales its
+// rate by η/U once per RTT so the bottleneck link settles just below full
+// utilization with near-empty queues. Crucially the *host* never stamps
+// INT — when the bottleneck moves inside the receiving host, the fabric
+// reports all-clear and only losses rein the sender in, which is exactly
+// the blind spot the paper's host-CC argument targets.
+type HPCCConfig struct {
+	// LineRate caps the sending rate (and is the initial rate).
+	LineRate sim.Rate
+	// MinRate floors the sending rate.
+	MinRate sim.Rate
+	// Eta is the target utilization (HPCC: 0.95).
+	Eta float64
+	// AIRate is the per-update additive increase that keeps probing when
+	// the multiplicative term saturates (HPCC: W_AI, here as a rate).
+	AIRate sim.Rate
+	// MaxScale bounds the per-update multiplicative factor η/U to
+	// [1/MaxScale, MaxScale], so one noisy sample cannot collapse or
+	// explode the rate (HPCC bounds the equivalent window update).
+	MaxScale float64
+	// UtilGain is the EWMA weight for new utilization samples (0,1].
+	UtilGain float64
+}
+
+// DefaultHPCCConfig returns the parameter set for 100 Gbps.
+func DefaultHPCCConfig() HPCCConfig {
+	return HPCCConfig{
+		LineRate: sim.Gbps(100),
+		MinRate:  sim.Gbps(0.1),
+		Eta:      0.95,
+		AIRate:   sim.Gbps(1),
+		MaxScale: 2,
+		UtilGain: 0.5,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c HPCCConfig) Validate() error {
+	if c.LineRate <= 0 || c.MinRate <= 0 {
+		return fmt.Errorf("transport: hpcc rates must be positive (line %v, min %v)",
+			c.LineRate, c.MinRate)
+	}
+	if c.MinRate > c.LineRate {
+		return fmt.Errorf("transport: hpcc MinRate %v must not exceed LineRate %v",
+			c.MinRate, c.LineRate)
+	}
+	if c.Eta <= 0 || c.Eta >= 1 {
+		return fmt.Errorf("transport: hpcc Eta %v outside (0,1)", c.Eta)
+	}
+	if c.AIRate < 0 {
+		return fmt.Errorf("transport: hpcc AIRate %v must not be negative", c.AIRate)
+	}
+	if c.MaxScale <= 1 {
+		return fmt.Errorf("transport: hpcc MaxScale %v must exceed 1", c.MaxScale)
+	}
+	if c.UtilGain <= 0 || c.UtilGain > 1 {
+		return fmt.Errorf("transport: hpcc UtilGain %v outside (0,1]", c.UtilGain)
+	}
+	return nil
+}
+
+// hpcc is the sender-side HPCC-like rate machine. Pure rate pacing
+// (Cwnd is effectively unbounded, like DCQCN): the INT feedback loop is
+// the window.
+type hpcc struct {
+	cfg HPCCConfig
+
+	rate sim.Rate
+	u    float64 // EWMA of echoed max per-hop utilization
+	seen bool    // at least one INT sample observed
+
+	// Reference-window update: apply the multiplicative step once per
+	// RTT (when the cumulative ACK passes the SndNxt recorded at the
+	// last update), not on every ACK, to avoid compounding feedback for
+	// packets sent before the previous adjustment took effect.
+	nextUpdateSeq uint64
+}
+
+// NewHPCC returns an HPCC-like factory with default parameters.
+func NewHPCC() CCFactory { return NewHPCCWithConfig(DefaultHPCCConfig()) }
+
+// NewHPCCWithConfig returns an HPCC-like factory with explicit parameters.
+func NewHPCCWithConfig(cfg HPCCConfig) CCFactory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return func(_ *sim.Engine, _ int) CongestionControl {
+		return &hpcc{cfg: cfg, rate: cfg.LineRate}
+	}
+}
+
+func (h *hpcc) Name() string { return "hpcc" }
+
+// Cwnd is unbounded: rate pacing is the sole control.
+func (h *hpcc) Cwnd() int { return 1 << 30 }
+
+// PaceRate implements RatePacer.
+func (h *hpcc) PaceRate() sim.Rate { return h.rate }
+
+// Util returns the current utilization estimate (diagnostics and tests).
+func (h *hpcc) Util() float64 { return h.u }
+
+func (h *hpcc) clamp(r sim.Rate) sim.Rate {
+	if r < h.cfg.MinRate {
+		return h.cfg.MinRate
+	}
+	if r > h.cfg.LineRate {
+		return h.cfg.LineRate
+	}
+	return r
+}
+
+func (h *hpcc) OnAck(ev AckEvent) {
+	if ev.Bytes <= 0 {
+		return
+	}
+	if ev.INTHops > 0 {
+		if !h.seen {
+			h.u = ev.INTUtil
+			h.seen = true
+		} else {
+			h.u += h.cfg.UtilGain * (ev.INTUtil - h.u)
+		}
+	}
+	if ev.AckSeq < h.nextUpdateSeq {
+		return
+	}
+	h.nextUpdateSeq = ev.SndNxt
+
+	if !h.seen {
+		// No fabric telemetry yet: probe additively only.
+		h.rate = h.clamp(h.rate + h.cfg.AIRate)
+		return
+	}
+	// rate ← rate × clamp(η/U) + W_AI. A near-idle fabric (tiny U)
+	// scales up by at most MaxScale per RTT; an overdriven hop scales
+	// down by at most 1/MaxScale per RTT.
+	scale := h.cfg.MaxScale
+	if h.u > 0 {
+		scale = h.cfg.Eta / h.u
+	}
+	if scale > h.cfg.MaxScale {
+		scale = h.cfg.MaxScale
+	}
+	if scale < 1/h.cfg.MaxScale {
+		scale = 1 / h.cfg.MaxScale
+	}
+	h.rate = h.clamp(sim.Rate(float64(h.rate)*scale) + h.cfg.AIRate)
+}
+
+// OnLoss halves the rate. Loss is HPCC's only signal of congestion the
+// fabric cannot see — i.e. congestion inside the host, which never
+// stamps INT.
+func (h *hpcc) OnLoss(LossEvent) {
+	h.rate = h.clamp(h.rate / 2)
+}

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestHPCCConfigValidateRejects: every invalid field is caught with an
+// identifying message (the testbed Validate convention).
+func TestHPCCConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*HPCCConfig)
+		want string
+	}{
+		{"zero-line-rate", func(c *HPCCConfig) { c.LineRate = 0 }, "rates"},
+		{"zero-min-rate", func(c *HPCCConfig) { c.MinRate = 0 }, "rates"},
+		{"min-above-line", func(c *HPCCConfig) { c.MinRate = c.LineRate * 2 }, "MinRate"},
+		{"eta-zero", func(c *HPCCConfig) { c.Eta = 0 }, "Eta"},
+		{"eta-one", func(c *HPCCConfig) { c.Eta = 1 }, "Eta"},
+		{"negative-ai", func(c *HPCCConfig) { c.AIRate = -1 }, "AIRate"},
+		{"max-scale-one", func(c *HPCCConfig) { c.MaxScale = 1 }, "MaxScale"},
+		{"util-gain-zero", func(c *HPCCConfig) { c.UtilGain = 0 }, "UtilGain"},
+		{"util-gain-above-one", func(c *HPCCConfig) { c.UtilGain = 1.5 }, "UtilGain"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultHPCCConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not identify %q", err, tc.want)
+			}
+		})
+	}
+	if err := DefaultHPCCConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestHPCCFactoryPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHPCCWithConfig accepted an invalid config")
+		}
+	}()
+	cfg := DefaultHPCCConfig()
+	cfg.Eta = 2
+	NewHPCCWithConfig(cfg)
+}
+
+func newTestHPCC() *hpcc {
+	return NewHPCC()(nil, 1500).(*hpcc)
+}
+
+// intAck builds one round-ending ACK carrying an INT echo.
+func intAck(h *hpcc, util float64, hops int) AckEvent {
+	seq := h.nextUpdateSeq
+	return AckEvent{Bytes: 64 << 10, AckSeq: seq, SndNxt: seq + 64<<10,
+		INTUtil: util, INTHops: hops}
+}
+
+// TestHPCCOverdrivenHopDecreases: echoed utilization above η must pull
+// the rate down, bounded by 1/MaxScale per update, and floor at MinRate.
+func TestHPCCOverdrivenHopDecreases(t *testing.T) {
+	h := newTestHPCC()
+	cfg := DefaultHPCCConfig()
+	if h.PaceRate() != cfg.LineRate {
+		t.Fatalf("fresh HPCC rate %v, want line rate", h.PaceRate())
+	}
+	before := h.PaceRate()
+	h.OnAck(intAck(h, 2.0, 1)) // hop at 2× capacity
+	if h.PaceRate() >= before {
+		t.Fatalf("rate %v did not drop on overdriven hop (was %v)", h.PaceRate(), before)
+	}
+	// Bounded multiplicative decrease: no single update below 1/MaxScale
+	// of the previous rate (minus nothing — AI adds back a little).
+	if min := sim.Rate(float64(before) / cfg.MaxScale); h.PaceRate() < min {
+		t.Fatalf("rate %v fell below the per-update bound %v", h.PaceRate(), min)
+	}
+	// Sustained overload converges to the fixed point of
+	// r ← r/MaxScale + AIRate (= 2×AIRate with the defaults): the
+	// additive term keeps probing, so the rate never collapses to the
+	// floor on telemetry alone.
+	for i := 0; i < 200; i++ {
+		h.OnAck(intAck(h, 5.0, 2))
+	}
+	fixed := sim.Rate(float64(cfg.AIRate) * cfg.MaxScale / (cfg.MaxScale - 1))
+	if got := h.PaceRate(); got > fixed*1.01 || got < cfg.MinRate {
+		t.Fatalf("sustained overload: rate %v, want convergence to ≈%v", got, fixed)
+	}
+}
+
+// TestHPCCIdleFabricIncreases: echoed utilization below η must push the
+// rate up toward (and cap at) line rate.
+func TestHPCCIdleFabricIncreases(t *testing.T) {
+	h := newTestHPCC()
+	cfg := DefaultHPCCConfig()
+	for i := 0; i < 100; i++ {
+		h.OnAck(intAck(h, 3.0, 1))
+	}
+	low := h.PaceRate()
+	for i := 0; i < 100 && h.PaceRate() < cfg.LineRate; i++ {
+		h.OnAck(intAck(h, 0.1, 1))
+	}
+	if h.PaceRate() != cfg.LineRate {
+		t.Fatalf("near-idle fabric: rate %v (from %v), want recovery to line rate", h.PaceRate(), low)
+	}
+}
+
+// TestHPCCUtilEWMA: the utilization estimate seeds from the first sample
+// and then smooths with UtilGain.
+func TestHPCCUtilEWMA(t *testing.T) {
+	h := newTestHPCC()
+	cfg := DefaultHPCCConfig()
+	h.OnAck(intAck(h, 0.8, 1))
+	if h.Util() != 0.8 {
+		t.Fatalf("first sample should seed the estimate: got %v", h.Util())
+	}
+	h.OnAck(AckEvent{Bytes: 1, INTUtil: 0.4, INTHops: 1})
+	want := 0.8 + cfg.UtilGain*(0.4-0.8)
+	if diff := h.Util() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("EWMA after second sample = %v, want %v", h.Util(), want)
+	}
+}
+
+// TestHPCCBlindWithoutINT: with no hop ever stamping (the host-bottleneck
+// case), the controller only probes upward additively — and only loss
+// reins it in. This is the paper's blind spot, reproduced.
+func TestHPCCBlindWithoutINT(t *testing.T) {
+	h := newTestHPCC()
+	cfg := DefaultHPCCConfig()
+	h.OnLoss(LossTimeout)
+	if h.PaceRate() != cfg.LineRate/2 {
+		t.Fatalf("rate %v after loss, want half", h.PaceRate())
+	}
+	before := h.PaceRate()
+	h.OnAck(intAck(h, 0, 0)) // no INT echo at all
+	if h.PaceRate() != before+cfg.AIRate {
+		t.Fatalf("blind update moved rate %v -> %v, want additive +%v only",
+			before, h.PaceRate(), cfg.AIRate)
+	}
+	if h.Cwnd() < 1<<29 {
+		t.Fatalf("Cwnd %d should stay effectively unbounded (rate-based control)", h.Cwnd())
+	}
+	if h.Name() != "hpcc" {
+		t.Fatalf("Name() = %q", h.Name())
+	}
+}
+
+// TestHPCCPerRTTUpdates: mid-window ACKs fold into the EWMA but do not
+// re-apply the multiplicative step until the reference window closes.
+func TestHPCCPerRTTUpdates(t *testing.T) {
+	h := newTestHPCC()
+	h.OnAck(intAck(h, 2.0, 1)) // closes window, sets nextUpdateSeq
+	after := h.PaceRate()
+	// Mid-window ACK: below nextUpdateSeq, rate must not move.
+	h.OnAck(AckEvent{Bytes: 1, AckSeq: h.nextUpdateSeq - 1, SndNxt: h.nextUpdateSeq + 100,
+		INTUtil: 5.0, INTHops: 1})
+	if h.PaceRate() != after {
+		t.Fatalf("mid-window ACK moved the rate %v -> %v", after, h.PaceRate())
+	}
+	// Window boundary: now it applies.
+	h.OnAck(intAck(h, 5.0, 1))
+	if h.PaceRate() >= after {
+		t.Fatal("rate did not drop when the reference window closed")
+	}
+}
+
+// TestHPCCPacesConnection: plumbed into a live connection via the scheme
+// registry, HPCC must wire the RatePacer hook and deliver the transfer.
+func TestHPCCPacesConnection(t *testing.T) {
+	e := sim.NewEngine(1)
+	pp := newPipe(e, 10*sim.Microsecond)
+	s, err := SchemeByName("hpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := pp.attach(1, testCfg(s.Factory()))
+	receiver := pp.attach(2, testCfg(s.Factory()))
+	var got int64
+	receiver.Listen(5000, func(c *Conn) {
+		c.OnData(func(n int) { got += int64(n) })
+	})
+	c := sender.Dial(2, 5000)
+	if _, ok := c.cc.(*hpcc); !ok {
+		t.Fatalf("connection CC is %T, want *hpcc", c.cc)
+	}
+	if c.ratePacer == nil {
+		t.Fatal("connection did not wire HPCC's RatePacer hook")
+	}
+	const total = 1 << 20
+	c.Send(total)
+	e.Run()
+	if got != total {
+		t.Fatalf("delivered %d of %d bytes under HPCC pacing", got, total)
+	}
+}

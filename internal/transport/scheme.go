@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// delayCCDefaultTarget is the registry's target delay for the "delay"
+// scheme, matching the Swift-style operating point the repo's examples
+// use (~3.4× the base fabric RTT of 44 µs).
+const delayCCDefaultTarget = 150 * sim.Microsecond
+
+// SchemeInfo describes one registered congestion-control scheme. The
+// registry is the single naming authority: testbed configs, the crucible
+// generator, the evaluation harness and the public hostcc API all resolve
+// scheme names here.
+type SchemeInfo struct {
+	// Name is the canonical lower-case identifier ("dctcp", "bbr", ...).
+	Name string
+	// Summary is a one-line human-readable description.
+	Summary string
+	// Lossless marks schemes designed for a lossless (PFC) fabric.
+	Lossless bool
+	// Factory constructs the scheme's CCFactory with default parameters.
+	Factory func() CCFactory
+}
+
+// schemes is the registry, in stable presentation order: the window-based
+// schemes first (in historical order), then the rate-based ones.
+var schemes = []SchemeInfo{
+	{Name: "dctcp", Summary: "ECN-proportional AIMD (DCTCP, SIGCOMM 2010)", Factory: NewDCTCP},
+	{Name: "reno", Summary: "New Reno AIMD (loss-based)", Factory: NewReno},
+	{Name: "cubic", Summary: "CUBIC window growth (loss-based)", Factory: NewCubic},
+	{Name: "dcqcn", Summary: "rate-based ECN/CNP control for RoCE (DCQCN, SIGCOMM 2015)", Lossless: true, Factory: NewDCQCN},
+	{Name: "delay", Summary: "Swift-style delay-target AIMD (150 µs target)", Factory: func() CCFactory { return NewDelayCC(delayCCDefaultTarget) }},
+	{Name: "bbr", Summary: "model-based rate control: bandwidth/RTprop probing (BBR-like)", Factory: NewBBR},
+	{Name: "hpcc", Summary: "INT-telemetry rate control (HPCC-like, SIGCOMM 2019)", Factory: NewHPCC},
+}
+
+// Schemes returns all registered schemes in stable order. The slice is a
+// copy; callers may reorder it freely.
+func Schemes() []SchemeInfo {
+	out := make([]SchemeInfo, len(schemes))
+	copy(out, schemes)
+	return out
+}
+
+// SchemeByName resolves a canonical scheme name.
+func SchemeByName(name string) (SchemeInfo, error) {
+	for _, s := range schemes {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SchemeInfo{}, fmt.Errorf("transport: unknown congestion-control scheme %q (have %s)",
+		name, SchemeNames())
+}
+
+// SchemeNames returns the registered names as a comma-separated list, in
+// registry order — for error messages and usage strings.
+func SchemeNames() string {
+	s := ""
+	for i, sc := range schemes {
+		if i > 0 {
+			s += ", "
+		}
+		s += sc.Name
+	}
+	return s
+}

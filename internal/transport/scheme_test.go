@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSchemeRegistry: the registry names the full scheme set in stable
+// order, every factory builds a controller whose Name matches its
+// registry entry, and only DCQCN is flagged lossless.
+func TestSchemeRegistry(t *testing.T) {
+	want := []string{"dctcp", "reno", "cubic", "dcqcn", "delay", "bbr", "hpcc"}
+	got := Schemes()
+	if len(got) != len(want) {
+		t.Fatalf("Schemes() returned %d entries, want %d", len(got), len(want))
+	}
+	e := sim.NewEngine(1)
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Fatalf("Schemes()[%d].Name = %q, want %q", i, s.Name, want[i])
+		}
+		cc := s.Factory()(e, 1500)
+		if cc.Name() != s.Name {
+			t.Fatalf("scheme %q built a controller named %q", s.Name, cc.Name())
+		}
+		if s.Lossless != (s.Name == "dcqcn") {
+			t.Fatalf("scheme %q Lossless = %v", s.Name, s.Lossless)
+		}
+		if s.Summary == "" {
+			t.Fatalf("scheme %q has no summary", s.Name)
+		}
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	s, err := SchemeByName("bbr")
+	if err != nil || s.Name != "bbr" {
+		t.Fatalf("SchemeByName(bbr) = %v, %v", s, err)
+	}
+	if _, err := SchemeByName("vegas"); err == nil {
+		t.Fatal("SchemeByName(vegas) should fail")
+	} else if !strings.Contains(err.Error(), "bbr") {
+		t.Fatalf("unknown-scheme error should list the registry, got %v", err)
+	}
+}
+
+// TestSchemesReturnsCopy: mutating the returned slice must not corrupt
+// the registry.
+func TestSchemesReturnsCopy(t *testing.T) {
+	Schemes()[0].Name = "mangled"
+	if s := Schemes()[0]; s.Name != "dctcp" {
+		t.Fatalf("registry mutated through Schemes(): %q", s.Name)
+	}
+}

@@ -1,0 +1,75 @@
+// scheme.go is the public face of the transport scheme registry: every
+// congestion control protocol the simulator implements, discoverable by
+// name and selectable with WithScheme. The registry is the primary way
+// to pick a protocol; the typed CC selectors (CCDCTCP, CCDelay, ...)
+// remain for callers that want a compile-time handle.
+package hostcc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Scheme describes one registered congestion control scheme. Obtain
+// schemes from Schemes or SchemeByName; the zero value is not valid.
+type Scheme struct {
+	info transport.SchemeInfo
+}
+
+// Name returns the registry name ("dctcp", "bbr", ...), accepted by
+// WithScheme, EvalMatrix.Schemes and `hostcc-bench -eval-schemes`.
+func (s Scheme) Name() string { return s.info.Name }
+
+// Summary is a one-line description of the scheme's congestion signal
+// and response.
+func (s Scheme) Summary() string { return s.info.Summary }
+
+// RequiresLossless reports that the scheme is designed for a PFC
+// lossless fabric (DCQCN: without PFC no CNPs are generated and the
+// sender never slows). WithScheme configures the fabric automatically.
+func (s Scheme) RequiresLossless() bool { return s.info.Lossless }
+
+// CC returns the scheme as a WithCC selector (a fresh factory per call;
+// congestion control state is never shared between experiments).
+func (s Scheme) CC() CC { return CC{factory: s.info.Factory(), name: s.info.Name} }
+
+// Schemes lists every registered congestion control scheme in stable
+// registry order (dctcp, reno, cubic, dcqcn, delay, bbr, hpcc).
+func Schemes() []Scheme {
+	infos := transport.Schemes()
+	out := make([]Scheme, len(infos))
+	for i, info := range infos {
+		out[i] = Scheme{info: info}
+	}
+	return out
+}
+
+// SchemeByName resolves a registry name; the error lists the valid
+// names.
+func SchemeByName(name string) (Scheme, error) {
+	info, err := transport.SchemeByName(name)
+	if err != nil {
+		return Scheme{}, err
+	}
+	return Scheme{info: info}, nil
+}
+
+// WithScheme selects the congestion control scheme by registry name —
+// the primary way to pick a protocol. A scheme that requires a lossless
+// fabric (DCQCN) also enables PFC with a 150 µs pause watchdog, unless
+// WithLossless already configured one. An unknown name surfaces as an
+// error from New.
+func WithScheme(name string) Option {
+	return func(x *Experiment) {
+		s, err := SchemeByName(name)
+		if err != nil {
+			x.err = err
+			return
+		}
+		x.cfg.CC = s.info.Factory()
+		if s.info.Lossless && !x.cfg.Lossless {
+			x.cfg.Lossless = true
+			x.cfg.PauseWatchdog = 150 * sim.Microsecond
+		}
+	}
+}
