@@ -21,6 +21,15 @@
 #   make topology-smoke
 #                   short leaf-spine scale-out run, replay-verified
 #                   (two runs must produce bit-identical digests)
+#   make fluid-smoke
+#                   hybrid fluid/packet tier gate: fluid-vs-packet
+#                   validation bands, promote/demote determinism,
+#                   sharded replay, plus a replay-verified CLI run with
+#                   a fluid background population
+#   make bench-fluid
+#                   time the fluid-tier leaf-spine scale-out across
+#                   10k/100k/1M background flows at 1, 2 and 4 shards
+#                   -> BENCH_fluid.json (wall clock vs flow count)
 #   make bench-parallel
 #                   time the 128-sender leaf-spine scale-out at 1, 2 and
 #                   4 shards -> BENCH_parallel.json (speedup report; the
@@ -45,7 +54,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race chaos chaos-race bench bench-smoke bench-parallel parallel-determinism api-compat telemetry-overhead figures vet staticcheck replay topology-smoke crucible-smoke crucible-corpus eval-smoke
+.PHONY: all build test verify race chaos chaos-race bench bench-smoke bench-parallel bench-fluid parallel-determinism api-compat telemetry-overhead figures vet staticcheck replay topology-smoke fluid-smoke crucible-smoke crucible-corpus eval-smoke
 
 all: verify race
 
@@ -78,6 +87,21 @@ replay:
 # final combined digest match bit-for-bit. Fast enough for CI (~2 s).
 topology-smoke:
 	$(GO) run ./cmd/hostcc-bench -topology leafspine -senders 32 -seed 42
+
+# Hybrid fluid/packet tier gate: the checked-in validation bands
+# (fluid-vs-packet utilization on star and dumbbell), promote/demote
+# determinism under a trunk-flap window, sharded replay stability, and
+# one replay-verified CLI run carrying a fluid background population.
+fluid-smoke:
+	$(GO) test ./internal/fluid/ ./internal/testbed/ -run 'TestFluid' -short -count=1
+	$(GO) run ./cmd/hostcc-bench -topology leafspine -senders 16 -seed 42 -shards 2 		-fluid-hosts 64 -fluid-promotable 4
+
+# Fluid-tier scaling report: wall clock vs background flow count
+# (10k/100k/1M) at 1, 2 and 4 shards. The coarse-tick integrator is the
+# point — a million background flows cost minutes, not the hours a
+# packet-level population would.
+bench-fluid:
+	$(GO) run ./cmd/hostcc-bench -bench-fluid BENCH_fluid.json -seed 42
 
 # Parallel-engine speedup report: the 128-sender leaf-spine scale-out
 # timed at 1, 2 and 4 shards. The JSON records the core count alongside

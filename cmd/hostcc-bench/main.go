@@ -12,7 +12,10 @@
 //	hostcc-bench -timeline out.json -degree 3
 //	hostcc-bench -topology leafspine -senders 128
 //	hostcc-bench -topology leafspine -senders 128 -shards 4
+//	hostcc-bench -topology leafspine -shards 4 -fluid-hosts 10000 -fluid-flows 1000000
 //	hostcc-bench -bench-parallel BENCH_parallel.json -leaves 4 -spines 2 -senders 128
+//	hostcc-bench -bench-fluid BENCH_fluid.json
+//	hostcc-bench -chaos link-flap -scheme bbr
 //	hostcc-bench -lossless
 //	hostcc-bench -eval
 //	hostcc-bench -eval -eval-schemes dctcp,bbr -eval-topos star -eval-json BENCH_evalharness.json
@@ -95,6 +98,7 @@ type benchFlags struct {
 	degree          *float64
 	noHostCC        *bool
 	topology        *string
+	scheme          *string
 	senders         *int
 	receivers       *int
 	flows           *int
@@ -104,6 +108,10 @@ type benchFlags struct {
 	noVerify        *bool
 	lossless        *bool
 	benchParallel   *string
+	fluidHosts      *int
+	fluidFlows      *int
+	fluidPromotable *int
+	benchFluid      *string
 	eval            *bool
 	evalSchemes     *string
 	evalTopos       *string
@@ -134,6 +142,7 @@ func registerFlags(fs *flag.FlagSet) benchFlags {
 		degree:          fs.Float64("degree", 3, "with -timeline or -lossless: degree of host congestion"),
 		noHostCC:        fs.Bool("no-hostcc", false, "with -timeline: disable the hostCC module"),
 		topology:        fs.String("topology", "", "run a scale-out topology experiment: star, leafspine, dumbbell"),
+		scheme:          fs.String("scheme", "", "with -topology or -chaos: transport congestion-control scheme by registry name (empty = dctcp)"),
 		senders:         fs.Int("senders", 32, "with -topology: number of sending hosts"),
 		receivers:       fs.Int("receivers", 0, "with -topology: number of receiving hosts (0 = one per 16 senders)"),
 		flows:           fs.Int("flows", 0, "with -topology: NetApp-T flows (0 = one per sender)"),
@@ -143,6 +152,10 @@ func registerFlags(fs *flag.FlagSet) benchFlags {
 		noVerify:        fs.Bool("no-verify", false, "with -topology: skip the second run that verifies replay determinism"),
 		lossless:        fs.Bool("lossless", false, "run the lossless-fabric study: PFC + DCQCN congestion spreading, hostCC off vs on"),
 		benchParallel:   fs.String("bench-parallel", "", "time the leaf-spine scale-out at 1, 2 and 4 shards and write the speedup report (JSON) to this file"),
+		fluidHosts:      fs.Int("fluid-hosts", 0, "with -topology: add the hybrid fluid tier with this many virtual background hosts (0 = off)"),
+		fluidFlows:      fs.Int("fluid-flows", 0, "with -topology or -bench-fluid: fluid background flow count (0 = 4 x fluid-hosts; for -bench-fluid, 0 sweeps 10k/100k/1M)"),
+		fluidPromotable: fs.Int("fluid-promotable", 0, "with -topology: fluid flows given packet-level twins that promote under congestion"),
+		benchFluid:      fs.String("bench-fluid", "", "time the fluid-tier leaf-spine scale-out across flow counts at 1, 2 and 4 shards and write the report (JSON) to this file"),
 		eval:            fs.Bool("eval", false, "run the CC evaluation matrix: scheme x topology x workload x hostCC arm, every cell replay-verified"),
 		evalSchemes:     fs.String("eval-schemes", "", "with -eval: comma-separated scheme registry names (empty = all)"),
 		evalTopos:       fs.String("eval-topos", "", "with -eval: comma-separated topologies (empty = star,leafspine)"),
@@ -201,8 +214,12 @@ func run() error {
 	if *benchParallel != "" {
 		return runBenchParallel(*benchParallel, *leaves, *spines, *senders, *receivers, *flows, *seed)
 	}
+	if *f.benchFluid != "" {
+		return runBenchFluid(*f.benchFluid, *leaves, *spines, *f.fluidFlows, *seed)
+	}
 	if *topology != "" {
-		return runScaleOut(*topology, *senders, *receivers, *flows, *leaves, *spines, *shards, *seed, !*noVerify)
+		return runScaleOut(*topology, *f.scheme, *senders, *receivers, *flows, *leaves, *spines, *shards,
+			*f.fluidHosts, *f.fluidFlows, *f.fluidPromotable, *seed, !*noVerify)
 	}
 	if *lossless {
 		return runLossless(*seed, *degree)
@@ -211,7 +228,7 @@ func run() error {
 		return resumeChaos(*resume)
 	}
 	if *chaos != "" {
-		return runChaos(*chaos, *seed, *shards, *checkpoint, *checkpointEvery, *verifyReplay)
+		return runChaos(*chaos, *f.scheme, *seed, *shards, *checkpoint, *checkpointEvery, *verifyReplay)
 	}
 	if *checkpoint != "" || *verifyReplay {
 		return fmt.Errorf("-checkpoint and -verify-replay require -chaos <scenario>")
@@ -331,7 +348,7 @@ func startProfiling(cpuprofile, memprofile, tracePath string) (stop func(), err 
 	return stop, nil
 }
 
-func runChaos(name string, seed int64, shards int, checkpoint string, checkpointEvery uint64, verifyReplay bool) error {
+func runChaos(name, scheme string, seed int64, shards int, checkpoint string, checkpointEvery uint64, verifyReplay bool) error {
 	if name == "list" {
 		for _, s := range hostcc.ChaosScenarios() {
 			fmt.Println(s)
@@ -348,7 +365,7 @@ func runChaos(name string, seed int64, shards int, checkpoint string, checkpoint
 	fmt.Printf("== Chaos — fault injection and recovery (seed %d)\n", seed)
 	for _, sc := range scenarios {
 		start := time.Now()
-		cfg := hostcc.ChaosConfig{Scenario: sc, Seed: seed, Shards: shards}
+		cfg := hostcc.ChaosConfig{Scenario: sc, Scheme: scheme, Seed: seed, Shards: shards}
 		if checkpoint != "" {
 			cfg.CheckpointPath = checkpoint
 			cfg.CheckpointEvery = checkpointEvery
@@ -508,18 +525,23 @@ func runTimeline(path string, degree float64, enableHostCC bool, seed int64) err
 
 // runScaleOut runs one scale-out topology experiment (run twice with
 // frame-by-frame digest verification unless -no-verify).
-func runScaleOut(topology string, senders, receivers, flows, leaves, spines, shards int, seed int64, verify bool) error {
+func runScaleOut(topology, scheme string, senders, receivers, flows, leaves, spines, shards,
+	fluidHosts, fluidFlows, fluidPromotable int, seed int64, verify bool) error {
 	start := time.Now()
 	r, err := hostcc.RunScaleOut(hostcc.ScaleOutConfig{
-		Topology:     topology,
-		Senders:      senders,
-		Receivers:    receivers,
-		Flows:        flows,
-		Leaves:       leaves,
-		Spines:       spines,
-		Shards:       shards,
-		Seed:         seed,
-		VerifyReplay: verify,
+		Topology:        topology,
+		Scheme:          scheme,
+		Senders:         senders,
+		Receivers:       receivers,
+		Flows:           flows,
+		Leaves:          leaves,
+		Spines:          spines,
+		Shards:          shards,
+		FluidHosts:      fluidHosts,
+		FluidFlows:      fluidFlows,
+		FluidPromotable: fluidPromotable,
+		Seed:            seed,
+		VerifyReplay:    verify,
 	})
 	if err != nil {
 		return fmt.Errorf("topology %s: %w", topology, err)
@@ -621,6 +643,80 @@ func runBenchParallel(path string, leaves, spines, senders, receivers, flows int
 	}
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return fmt.Errorf("bench-parallel: %w", err)
+	}
+	fmt.Printf("   wrote %s\n", path)
+	return nil
+}
+
+// fluidRun is one timed execution in the BENCH_fluid.json report.
+type fluidRun struct {
+	Shards           int     `json:"shards"`
+	FluidFlows       int     `json:"fluid_flows"`
+	Seconds          float64 `json:"seconds"`
+	Events           uint64  `json:"events"`
+	FluidGoodputGbps float64 `json:"fluid_goodput_gbps"`
+	ThroughputGbps   float64 `json:"throughput_gbps"`
+	Digest           string  `json:"digest"`
+}
+
+// fluidReport is the BENCH_fluid.json schema: wall clock of the hybrid
+// fluid/packet leaf-spine scale-out across background flow counts at 1,
+// 2 and 4 shards. The headline is the scaling curve — wall clock grows
+// with flow count far below linearly in events because the background
+// advances per coarse tick, not per packet.
+type fluidReport struct {
+	Cores  int        `json:"cores"`
+	Seed   int64      `json:"seed"`
+	Leaves int        `json:"leaves"`
+	Spines int        `json:"spines"`
+	Runs   []fluidRun `json:"runs"`
+}
+
+// runBenchFluid times the fluid-tier scale-out. flowsOverride > 0 pins a
+// single population size; 0 sweeps 10k / 100k / 1M background flows.
+func runBenchFluid(path string, leaves, spines, flowsOverride int, seed int64) error {
+	flowCounts := []int{10_000, 100_000, 1_000_000}
+	if flowsOverride > 0 {
+		flowCounts = []int{flowsOverride}
+	}
+	report := fluidReport{Cores: runtime.NumCPU(), Seed: seed, Leaves: leaves, Spines: spines}
+	fmt.Printf("== Fluid tier bench — leafspine, %d cores (seed %d)\n", report.Cores, seed)
+	for _, flows := range flowCounts {
+		for _, shards := range []int{1, 2, 4} {
+			start := time.Now()
+			r, err := hostcc.RunScaleOut(hostcc.ScaleOutConfig{
+				Topology: "leafspine",
+				Leaves:   leaves,
+				Spines:   spines,
+				Senders:  8, Receivers: 2, Flows: 8,
+				Shards:     shards,
+				FluidHosts: max(flows/100, 2),
+				FluidFlows: flows,
+				Seed:       seed,
+			})
+			if err != nil {
+				return fmt.Errorf("bench-fluid (%d flows, %d shards): %w", flows, shards, err)
+			}
+			wall := time.Since(start).Seconds()
+			report.Runs = append(report.Runs, fluidRun{
+				Shards:           shards,
+				FluidFlows:       r.FluidFlows,
+				Seconds:          wall,
+				Events:           r.Events,
+				FluidGoodputGbps: r.FluidGoodputGbps,
+				ThroughputGbps:   r.ThroughputGbps,
+				Digest:           fmt.Sprintf("%#016x", r.Digest),
+			})
+			fmt.Printf("   %7d flows, %d shard(s): %6.2fs wall, fluid %.0f Gbps, packet %.1f Gbps\n",
+				r.FluidFlows, shards, wall, r.FluidGoodputGbps, r.ThroughputGbps)
+		}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench-fluid: %w", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench-fluid: %w", err)
 	}
 	fmt.Printf("   wrote %s\n", path)
 	return nil

@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// FluidPort is the well-known port of the fluid background population's
+// promotable twin connections.
+const FluidPort = 5003
+
+// fluidTwinSrcPort bases the twins' source ports, clear of NetApp-T's
+// 20000+i and NetApp-L's 30000 ranges.
+const fluidTwinSrcPort = 40000
+
+// FluidTwins owns the packet-level twin connections of promotable fluid
+// background flows: twin i is pre-dialed sender[i%S] → receiver[i%R] at
+// build time and sits idle until the fluid tier promotes its flow. On
+// promote the twin starts as an infinite source with its congestion
+// window seeded from the fluid rate; on demote it stops and reports the
+// goodput it measured while promoted, which becomes the flow's fluid
+// rate again. Promote/demote run at coarse-tick time — in a sharded
+// testbed that is a coordinator barrier with every shard quiesced, so
+// touching any twin's connection is safe.
+type FluidTwins struct {
+	rtt        sim.Time
+	clock      func() sim.Time
+	conns      []*transport.Conn
+	promotedAt []sim.Time
+}
+
+// NewFluidTwins pre-dials count twin connections. rtt seeds promoted
+// windows (rate × rtt); clock reads simulation time for demote-rate
+// measurement (pass the testbed's Now).
+func NewFluidTwins(senders, receivers []*host.Host, count int, rtt sim.Time, clock func() sim.Time) *FluidTwins {
+	if count <= 0 {
+		panic("apps: FluidTwins needs at least one twin")
+	}
+	if len(senders) == 0 || len(receivers) == 0 {
+		panic("apps: FluidTwins needs senders and receivers")
+	}
+	if rtt <= 0 {
+		panic("apps: non-positive twin RTT")
+	}
+	for _, r := range receivers {
+		r.EP.Listen(FluidPort, func(*transport.Conn) {})
+	}
+	ft := &FluidTwins{rtt: rtt, clock: clock, promotedAt: make([]sim.Time, count)}
+	for i := 0; i < count; i++ {
+		s := senders[i%len(senders)]
+		r := receivers[i%len(receivers)]
+		ft.conns = append(ft.conns, s.EP.DialFrom(uint16(fluidTwinSrcPort+i), r.ID(), FluidPort))
+	}
+	return ft
+}
+
+// Count returns the number of twins.
+func (ft *FluidTwins) Count() int { return len(ft.conns) }
+
+// Conn returns twin i's sender-side connection.
+func (ft *FluidTwins) Conn(i int) *transport.Conn { return ft.conns[i] }
+
+// Promote starts twin i at packet level, seeded with the fluid rate.
+func (ft *FluidTwins) Promote(i int, rate sim.Rate) {
+	c := ft.conns[i]
+	c.SeedRate(rate, ft.rtt)
+	c.AckedBytes.Mark()
+	ft.promotedAt[i] = ft.clock()
+	c.SetInfiniteSource(true)
+}
+
+// Demote stops twin i and returns the goodput it sustained while
+// promoted (0 when nothing was acknowledged yet — the fluid tier floors
+// the rate it adopts).
+func (ft *FluidTwins) Demote(i int) sim.Rate {
+	c := ft.conns[i]
+	c.SetInfiniteSource(false)
+	elapsed := ft.clock() - ft.promotedAt[i]
+	if elapsed <= 0 {
+		return 0
+	}
+	return sim.Rate(float64(c.AckedBytes.SinceMark()) / elapsed.Seconds())
+}
+
+// DeliveredBytes sums acknowledged bytes across twins (the promoted
+// population's packet-level goodput). Read at quiesced points only.
+func (ft *FluidTwins) DeliveredBytes() int64 {
+	var n int64
+	for _, c := range ft.conns {
+		n += c.AckedBytes.Total()
+	}
+	return n
+}

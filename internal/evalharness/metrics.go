@@ -5,15 +5,28 @@ package evalharness
 // and the convergence index is the earliest position from which every
 // later sample stays inside the ±tol×settled band. Returns -1 when the
 // series never settles (some sample inside the final quarter still
-// escapes the band), 0 for an all-equal series, and 0 for a single
-// sample. A settled value of zero converges only if the series is zero
-// from some point on (the band is empty).
+// escapes the band), 0 for an all-equal non-zero series, and 0 for a
+// single non-zero sample. A series that never carried any goodput at
+// all (every sample zero) reports -1 — "never converged" — rather than
+// instant convergence: a dead flow has not settled, it never started. A
+// settled value of zero with earlier non-zero samples converges at the
+// point the series went (and stayed) zero.
 //
 // Pure function — the unit it returns is a sample index; callers scale
 // by their sampling period.
 func ConvergenceIndex(series []float64, tol float64) int {
 	n := len(series)
 	if n == 0 {
+		return -1
+	}
+	allZero := true
+	for _, v := range series {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
 		return -1
 	}
 	q := n - n/4

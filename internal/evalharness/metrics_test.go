@@ -28,11 +28,17 @@ func TestConvergenceIndexKnownAnswers(t *testing.T) {
 		// Tight tolerance rejects what a loose one accepts: the ±5% band
 		// around 80 is [76,84], so 75 is still outside it.
 		{"tight-tol", []float64{70, 75, 80, 80, 80, 80, 80, 80}, 0.05, 2},
-		// All-zero series is settled at zero from the start.
-		{"all-zero", []float64{0, 0, 0, 0}, 0.25, 0},
-		// Zero settled value: the band is a point; any nonzero prefix
-		// sample converges only after it.
+		// An all-zero goodput series never carried traffic: it must
+		// report "never converged", not instant convergence (the dead
+		// flow in a starved cell would otherwise look perfectly settled).
+		{"all-zero", []float64{0, 0, 0, 0}, 0.25, -1},
+		{"single-zero-sample", []float64{0}, 0.25, -1},
+		// Zero settled value with a live prefix: the band is a point;
+		// the series converges where it went (and stayed) zero.
 		{"dies-to-zero", []float64{50, 50, 0, 0, 0, 0, 0, 0}, 0.25, 2},
+		// A zero tail that resumes inside the final quarter never
+		// settles.
+		{"flatline-then-resume", []float64{0, 0, 0, 0, 0, 0, 0, 90}, 0.25, -1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -55,7 +61,10 @@ func TestJainKnownAnswers(t *testing.T) {
 		{"single-flow", []float64{123}, 1.0},
 		{"all-equal", []float64{5, 5, 5, 5}, 1.0},
 		{"empty", nil, 0},
+		// Degenerate series must not divide by zero: zero allocations
+		// carry no fairness information, so the index reports 0.
 		{"all-zero", []float64{0, 0, 0}, 0},
+		{"single-zero", []float64{0}, 0},
 		// (1+3)² / (2·(1+9)) = 16/20.
 		{"two-flow-skew", []float64{1, 3}, 0.8},
 		// One flow hogging: (4)²/(4·16) → 1/4 with three starved flows.

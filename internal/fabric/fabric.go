@@ -54,6 +54,12 @@ type Link struct {
 	// counters stay on the owning (transmitting) shard.
 	bnd *sim.Boundary
 
+	// fluid, when set (FluidTap), couples the link to the fluid-flow
+	// tier: the background rate is debited from the serializer and the
+	// packet bytes offered are counted for the fluid integrator. Nil —
+	// the common case — leaves Send's arithmetic untouched.
+	fluid *FluidTap
+
 	Bytes stats.Meter
 	// Corrupted counts packets dropped by injected wire loss.
 	Corrupted stats.Counter
@@ -101,7 +107,13 @@ func (l *Link) deliverEvent(slot, _ uint64) {
 // injected wire loss.
 func (l *Link) Send(p *packet.Packet) {
 	start := max(l.e.Now(), l.busyUntil)
-	done := start + l.cfg.Rate.TimeFor(p.WireLen())
+	var done sim.Time
+	if l.fluid != nil {
+		l.fluid.pktBytes += int64(p.WireLen())
+		done = start + l.fluid.effRate().TimeFor(p.WireLen())
+	} else {
+		done = start + l.cfg.Rate.TimeFor(p.WireLen())
+	}
 	l.busyUntil = done
 	l.Bytes.Add(int64(p.WireLen()))
 	if l.lost() {
@@ -269,6 +281,13 @@ type outPort struct {
 	// intRefBytes normalizes the INT queue term: rate × INTBaseRTT.
 	intRefBytes float64
 
+	// fluid, when set (Switch.FluidTap), couples the port to the
+	// fluid-flow tier: background rate debits the serializer, the fluid
+	// queue share joins the ECN/INT queue view, and offered packet
+	// bytes are counted for the integrator. Nil leaves every hot-path
+	// computation bit-identical.
+	fluid *FluidTap
+
 	// doneH fires when the port serializer finishes serFlight (the port
 	// serializes one packet at a time, so no slot table is needed).
 	doneH     sim.HandlerID
@@ -387,6 +406,11 @@ func (s *Switch) Inject(p *packet.Packet) {
 func (o *outPort) enqueue(p *packet.Packet) { o.enqueueFrom(nil, p) }
 
 func (o *outPort) enqueueFrom(ig *Ingress, p *packet.Packet) {
+	if o.fluid != nil {
+		// Offered load, counted before admission: drops are demand too,
+		// and the fluid integrator must see the pressure that caused them.
+		o.fluid.pktBytes += int64(p.WireLen())
+	}
 	if ig != nil {
 		// Lossless admission: the ingress quota (XOFF + headroom), not
 		// the output queue, bounds buffering. A failed admit means the
@@ -404,8 +428,14 @@ func (o *outPort) enqueueFrom(ig *Ingress, p *packet.Packet) {
 	}
 	// DCTCP marking: mark on instantaneous queue depth at enqueue.
 	// PFC does not replace ECN — DCQCN's CNPs are generated from exactly
-	// these marks; pause frames are the backstop, not the signal.
-	if o.qBytes > o.sw.cfg.ECNThresholdBytes && p.ECN == packet.ECT0 {
+	// these marks; pause frames are the backstop, not the signal. The
+	// fluid tier's queue share joins the depth the marker sees, so
+	// packet flows react to congestion the background causes.
+	ecnQ := o.qBytes
+	if o.fluid != nil {
+		ecnQ += o.fluid.qBytes
+	}
+	if ecnQ > o.sw.cfg.ECNThresholdBytes && p.ECN == packet.ECT0 {
 		p.ECN = packet.CE
 		o.sw.Marks.Inc()
 		o.sw.trMarks.Set(o.sw.e.Now(), float64(o.sw.Marks.Total()))
@@ -433,7 +463,11 @@ func (o *outPort) enqueueFrom(ig *Ingress, p *packet.Packet) {
 // serializer is busy plus the queue depth in units of rate × baseRTT
 // (the stateless reduction of HPCC's txRate/B + qlen/(B·T) signal).
 func (o *outPort) intUtil() float64 {
-	util := float64(o.qBytes) / o.intRefBytes
+	q := o.qBytes
+	if o.fluid != nil {
+		q += o.fluid.qBytes
+	}
+	util := float64(q) / o.intRefBytes
 	if o.busy {
 		util++
 	}
@@ -453,9 +487,14 @@ func (o *outPort) pump() {
 		ent.ig.release(p.WireLen())
 	}
 	// Hold the serializer for the packet's own transmission time, then
-	// hand it to the link (which adds propagation).
+	// hand it to the link (which adds propagation). A fluid background
+	// debits the serializer: packets see the residual capacity.
 	o.serFlight = p
-	o.sw.e.ScheduleAfter(o.link.cfg.Rate.TimeFor(p.WireLen()), o.doneH, 0, 0)
+	rate := o.link.cfg.Rate
+	if o.fluid != nil {
+		rate = o.fluid.effRate()
+	}
+	o.sw.e.ScheduleAfter(rate.TimeFor(p.WireLen()), o.doneH, 0, 0)
 }
 
 // serDone fires when the port serializer finishes its packet.

@@ -1,0 +1,115 @@
+package fabric
+
+import "repro/internal/sim"
+
+// FluidTap couples one packet-tier capacity — a serializing Link or a
+// switch output port — to the fluid-flow tier. Conservation at the seam
+// works in both directions through it:
+//
+//   - The fluid integrator reads the packet tier's offered load
+//     (TakePacketBytes, reset per tick) and folds it into the resource's
+//     demand, so fluid flows back off when packet flows burst.
+//   - The integrator writes back the fluid background (SetBackground):
+//     the fluid rate is debited from the serializer — packets see the
+//     residual capacity — and the fluid queue share joins the port's
+//     instantaneous queue depth in the ECN-mark and INT-stamp views, so
+//     packet flows see the congestion the background causes.
+//
+// A tap is inert until SetBackground installs a non-zero rate or queue:
+// with both zero the serializer and marking arithmetic is bit-identical
+// to an untapped port, which is what keeps fluid-off golden digests
+// byte-identical. Tap state is transient per tick and derived from the
+// fluid network's snapshotted state, so it is not separately encoded.
+type FluidTap struct {
+	capacity sim.Rate
+	floor    sim.Rate // capacity the packet tier always keeps
+	rate     sim.Rate // fluid background demand currently debited
+	qBytes   int      // fluid queue share seen by ECN/INT
+	pktBytes int64    // packet bytes offered since the last take
+	pktQueue func() int
+}
+
+// fluidFloorDiv sets the capacity floor reserved for the packet tier:
+// even a saturating fluid background leaves 1/fluidFloorDiv of the line
+// rate to packets, so promoted foreground flows can always make
+// progress (the fluid model sees their bytes as demand and backs off).
+const fluidFloorDiv = 10
+
+func newFluidTap(capacity sim.Rate, pktQueue func() int) *FluidTap {
+	floor := capacity / fluidFloorDiv
+	if floor <= 0 {
+		floor = 1
+	}
+	return &FluidTap{capacity: capacity, floor: floor, pktQueue: pktQueue}
+}
+
+// Capacity returns the tapped serializer's line rate.
+func (t *FluidTap) Capacity() sim.Rate { return t.capacity }
+
+// TakePacketBytes returns the packet bytes offered to the tapped
+// serializer since the previous call, and resets the counter. The fluid
+// integrator calls it once per coarse tick.
+func (t *FluidTap) TakePacketBytes() int64 {
+	n := t.pktBytes
+	t.pktBytes = 0
+	return n
+}
+
+// PacketQueueBytes returns the tapped port's instantaneous packet queue
+// depth (zero for plain links, which queue in the NIC).
+func (t *FluidTap) PacketQueueBytes() int {
+	if t.pktQueue == nil {
+		return 0
+	}
+	return t.pktQueue()
+}
+
+// SetBackground installs the fluid background demand: rate is debited
+// from the serializer, qBytes joins the ECN/INT queue view.
+func (t *FluidTap) SetBackground(rate sim.Rate, qBytes int) {
+	if rate < 0 {
+		rate = 0
+	}
+	if qBytes < 0 {
+		qBytes = 0
+	}
+	t.rate = rate
+	t.qBytes = qBytes
+}
+
+// effRate is the capacity left to the packet tier.
+func (t *FluidTap) effRate() sim.Rate {
+	eff := t.capacity - t.rate
+	if eff < t.floor {
+		eff = t.floor
+	}
+	return eff
+}
+
+// FluidTap attaches (or returns) the link's fluid seam. Use for links
+// that serialize in Send — host uplinks; switch downlinks and trunks
+// serialize in their output port, tap those via Switch.FluidTap.
+func (l *Link) FluidTap() *FluidTap {
+	if l.fluid == nil {
+		l.fluid = newFluidTap(l.cfg.Rate, nil)
+	}
+	return l.fluid
+}
+
+// HostFluidTaps returns host i's access seams: the up link (which
+// serializes in Link.Send, driven by the NIC) and the switch output
+// port toward the host (which serializes the down direction). i indexes
+// the build's hosts slice.
+func (f *Fabric) HostFluidTaps(i int) (up, down *FluidTap) {
+	ref := f.hostPorts[i]
+	return f.Access[2*i].FluidTap(), ref.sw.FluidTap(ref.port)
+}
+
+// FluidTap attaches (or returns) the fluid seam of output port p.
+func (s *Switch) FluidTap(p PortID) *FluidTap {
+	o := s.ports[p]
+	if o.fluid == nil {
+		o.fluid = newFluidTap(o.link.cfg.Rate, func() int { return o.qBytes })
+	}
+	return o.fluid
+}

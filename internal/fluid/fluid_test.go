@@ -1,0 +1,334 @@
+package fluid
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+func testConfig() Config {
+	return Config{
+		Tick:     20 * sim.Microsecond,
+		RTT:      44 * sim.Microsecond,
+		MSS:      4096,
+		InitRate: sim.Gbps(0.1),
+	}
+}
+
+// run ticks the network n times (the clock argument is unused by Tick).
+func run(net *Network, n int) {
+	for i := 0; i < n; i++ {
+		net.Tick(0)
+	}
+}
+
+// TestFluidConvergesToCapacity: DCTCP twins sharing one bottleneck must
+// fill it without sustained overload — the ODE analogue of the packet
+// tier's steady state — and share it approximately fairly.
+func TestFluidConvergesToCapacity(t *testing.T) {
+	net := New(testConfig())
+	r := net.AddResource("bottleneck", sim.Gbps(10), 1<<20, 80*1024)
+	const flows = 4
+	for i := 0; i < flows; i++ {
+		net.AddFlow(r)
+	}
+	run(net, 25_000) // settle
+	base := net.DeliveredBytes()
+	run(net, 25_000) // measure 0.5 s of model time
+	goodput := (net.DeliveredBytes() - base) * 8 / 0.5 / 1e9
+
+	// The instantaneous demand sawtooths around capacity; the averaged
+	// goodput is the convergence claim.
+	if goodput < 7.5 || goodput > 10.05 {
+		t.Fatalf("averaged goodput %.2f Gbps against a 10 Gbps bottleneck, want ≈10", goodput)
+	}
+	if got := net.TotalRate().Gbps(); got > 15 {
+		t.Fatalf("instantaneous demand %.2f Gbps ran away", got)
+	}
+	if q := net.QueueBytes(r); q >= 1<<20 {
+		t.Fatalf("steady-state queue %.0f pinned at the buffer (DCTCP should hold it near the threshold)", q)
+	}
+	var lo, hi float64
+	for i := 0; i < flows; i++ {
+		rt := float64(net.FlowRate(i))
+		if i == 0 || rt < lo {
+			lo = rt
+		}
+		if rt > hi {
+			hi = rt
+		}
+	}
+	if hi > 3*lo {
+		t.Fatalf("unfair split: fastest flow %.2fx the slowest", hi/lo)
+	}
+	if net.DeliveredBytes() <= 0 {
+		t.Fatal("no goodput integrated")
+	}
+}
+
+// TestFluidRenoOverflowsThenBacksOff: the Reno twin ignores marks, so
+// against a bounded buffer it must reach overflow (loss) and halve —
+// the queue saturates but the rates stay bounded.
+func TestFluidRenoOverflowsThenBacksOff(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheme = "reno"
+	net := New(cfg)
+	r := net.AddResource("bottleneck", sim.Gbps(10), 256*1024, 80*1024)
+	net.AddFlow(r)
+	net.AddFlow(r)
+	run(net, 50_000)
+
+	got := net.TotalRate().Gbps()
+	if got < 7 || got > 15 {
+		t.Fatalf("aggregate Reno rate %.2f Gbps, want near the 10 Gbps bottleneck", got)
+	}
+	if q := net.QueueBytes(r); q > 256*1024 {
+		t.Fatalf("queue %.0f exceeds the %d-byte buffer", q, 256*1024)
+	}
+}
+
+// TestFluidDeterminism: two identically built networks ticked the same
+// number of times must encode byte-identical snapshots.
+func TestFluidDeterminism(t *testing.T) {
+	build := func() *Network {
+		net := New(testConfig())
+		a := net.AddResource("a", sim.Gbps(10), 1<<20, 80*1024)
+		b := net.AddResource("b", sim.Gbps(25), 1<<20, 80*1024)
+		for i := 0; i < 64; i++ {
+			if i%2 == 0 {
+				net.AddFlow(a, b)
+			} else {
+				net.AddFlow(b)
+			}
+		}
+		return net
+	}
+	n1, n2 := build(), build()
+	run(n1, 10_000)
+	run(n2, 10_000)
+	var e1, e2 snapshot.Encoder
+	n1.Snapshot(&e1)
+	n2.Snapshot(&e2)
+	if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("identical runs encoded different snapshots")
+	}
+}
+
+// TestFluidSnapshotRoundTrip: state survives encode/restore into an
+// identically built network, and mismatched shapes are rejected.
+func TestFluidSnapshotRoundTrip(t *testing.T) {
+	build := func(flows int) *Network {
+		net := New(testConfig())
+		r := net.AddResource("r", sim.Gbps(10), 1<<20, 80*1024)
+		for i := 0; i < flows; i++ {
+			net.AddFlow(r)
+		}
+		return net
+	}
+	src := build(8)
+	src.SetFault(0, true)
+	run(src, 5_000)
+
+	var enc snapshot.Encoder
+	src.Snapshot(&enc)
+
+	dst := build(8)
+	if err := dst.Restore(snapshot.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	var again snapshot.Encoder
+	dst.Snapshot(&again)
+	if !bytes.Equal(enc.Bytes(), again.Bytes()) {
+		t.Fatal("restored network re-encodes differently")
+	}
+	if dst.Ticks() != src.Ticks() || dst.DeliveredBytes() != src.DeliveredBytes() {
+		t.Fatal("counters lost in the round trip")
+	}
+	// Restored state must continue identically.
+	run(src, 1_000)
+	run(dst, 1_000)
+	var e1, e2 snapshot.Encoder
+	src.Snapshot(&e1)
+	dst.Snapshot(&e2)
+	if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("restored network diverges when ticked onward")
+	}
+
+	if err := build(4).Restore(snapshot.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("Restore accepted a snapshot with a different flow count")
+	}
+	bad := append([]byte(nil), enc.Bytes()...)
+	bad[0] ^= 0xff // corrupt the version word
+	if err := build(8).Restore(snapshot.NewDecoder(bad)); err == nil {
+		t.Fatal("Restore accepted a wrong version")
+	}
+}
+
+// fakeSeam scripts the packet tier's side of the conservation seam.
+type fakeSeam struct {
+	offer    int64 // packet bytes reported per take
+	pktQ     int
+	gotRate  sim.Rate
+	gotQ     int
+	takes    int
+	setCalls int
+}
+
+func (s *fakeSeam) TakePacketBytes() int64 { s.takes++; return s.offer }
+func (s *fakeSeam) PacketQueueBytes() int  { return s.pktQ }
+func (s *fakeSeam) SetBackground(rate sim.Rate, q int) {
+	s.setCalls++
+	s.gotRate = rate
+	s.gotQ = q
+}
+
+// TestFluidSeamConservation: packet bytes offered at a tapped resource
+// take capacity first — the fluid queue grows by exactly the excess —
+// and the integrator writes the fluid demand and queue back each tick.
+func TestFluidSeamConservation(t *testing.T) {
+	cfg := testConfig()
+	net := New(cfg)
+	r := net.AddResource("shared", sim.Gbps(10), 1<<20, 80*1024)
+	seam := &fakeSeam{}
+	net.BindSeam(r, seam)
+	f := net.AddFlow(r)
+
+	// Packet tier saturates the serializer: every fluid byte queues.
+	dt := cfg.Tick.Seconds()
+	seam.offer = int64(sim.Gbps(10).BytesIn(cfg.Tick))
+	net.Tick(0)
+	wantQ := float64(net.FlowRate(f)) * dt
+	if q := net.QueueBytes(r); q < wantQ*0.99 || q > wantQ*1.01 {
+		t.Fatalf("queue %.0f after a saturated tick, want ≈%.0f (demand × dt)", q, wantQ)
+	}
+	if seam.takes != 1 || seam.setCalls != 1 {
+		t.Fatalf("seam saw %d takes / %d set calls in one tick, want 1/1", seam.takes, seam.setCalls)
+	}
+	if seam.gotRate != net.FlowRate(f) {
+		t.Fatalf("seam got background rate %v, want the flow's %v", seam.gotRate, net.FlowRate(f))
+	}
+	if seam.gotQ != int(net.QueueBytes(r)) {
+		t.Fatalf("seam got queue %d, want %d", seam.gotQ, int(net.QueueBytes(r)))
+	}
+
+	// Packet tier goes idle: the queue drains within a tick or two
+	// (while the flow's AIMD rate is still far below the capacity).
+	seam.offer = 0
+	for i := 0; i < 10; i++ {
+		net.Tick(0)
+	}
+	if q := net.QueueBytes(r); q != 0 {
+		t.Fatalf("queue %.0f did not drain once the packet tier went idle", q)
+	}
+
+	// A packet queue alone (fluid queue empty) above the ECN threshold
+	// must read as marked — the mark view is the combined depth — while
+	// staying below the promote (hot) threshold at half the buffer.
+	seam.pktQ = 100 * 1024
+	net.Tick(0)
+	if !net.res[r].marked {
+		t.Fatal("packet queue above the threshold did not mark the resource")
+	}
+	if net.res[r].hot {
+		t.Fatal("ordinary marking depth must not count as hot (promote trigger)")
+	}
+	seam.pktQ = 600 * 1024 // past half the 1 MB buffer
+	net.Tick(0)
+	if !net.res[r].hot {
+		t.Fatal("deep packet queue did not make the resource hot")
+	}
+}
+
+// TestFluidPromoteDemoteHysteresis: a promotable flow promotes after
+// exactly PromoteTicks consecutive hot ticks, leaves the fluid demand
+// while promoted, and demotes after DemoteTicks calm ticks at the rate
+// the demote hook reports. Event order is part of the contract.
+func TestFluidPromoteDemoteHysteresis(t *testing.T) {
+	cfg := testConfig()
+	cfg.PromoteTicks = 3
+	cfg.DemoteTicks = 5
+	net := New(cfg)
+	r := net.AddResource("r", sim.Gbps(10), 1<<20, 80*1024)
+	f := net.AddFlow(r)
+	net.AddFlow(r) // stays fluid throughout
+	net.SetPromotable(f, true)
+
+	type ev struct {
+		kind string
+		flow int
+		tick uint64
+	}
+	var events []ev
+	net.SetPromoteHooks(
+		func(i int, rate sim.Rate) {
+			if rate <= 0 {
+				t.Fatalf("promote hook got rate %v", rate)
+			}
+			events = append(events, ev{"promote", i, net.Ticks()})
+		},
+		func(i int) sim.Rate {
+			events = append(events, ev{"demote", i, net.Ticks()})
+			return sim.Gbps(2)
+		},
+	)
+
+	// Fault the resource: hot regardless of queue depth.
+	net.SetFault(r, true)
+	run(net, 10)
+	if len(events) != 1 || events[0].kind != "promote" || events[0].flow != f {
+		t.Fatalf("events after a faulted run: %+v, want one promotion of flow %d", events, f)
+	}
+	if events[0].tick != uint64(cfg.PromoteTicks) {
+		t.Fatalf("promotion at tick %d, want exactly PromoteTicks=%d", events[0].tick, cfg.PromoteTicks)
+	}
+	if !net.Promoted(f) || net.Promotions() != 1 {
+		t.Fatal("flow not marked promoted")
+	}
+
+	// Promoted flows contribute no fluid demand.
+	if tr, fr := net.TotalRate(), net.FlowRate(f); float64(tr) >= float64(fr)+float64(net.FlowRate(1)) {
+		t.Fatalf("TotalRate %v still includes the promoted flow", tr)
+	}
+
+	// Clear the fault; once the queue drains calm, demotion fires after
+	// DemoteTicks and adopts the hook's measured rate. Tick one step at
+	// a time so the adopted rate is observable before AIMD moves it.
+	net.SetFault(r, false)
+	for i := 0; i < 2_000 && len(events) < 2; i++ {
+		net.Tick(0)
+	}
+	if len(events) != 2 || events[1].kind != "demote" || events[1].flow != f {
+		t.Fatalf("events after recovery: %+v, want a demotion of flow %d", events, f)
+	}
+	if net.Promoted(f) || net.Demotions() != 1 {
+		t.Fatal("flow not demoted")
+	}
+	if got := net.FlowRate(f); got != sim.Gbps(2) {
+		t.Fatalf("demoted rate %v, want the hook's 2 Gbps", got)
+	}
+	run(net, 2_000)
+
+	// A non-promotable flow never promotes no matter how hot.
+	if events[0].flow == 1 || len(events) > 2 {
+		t.Fatal("non-promotable flow transitioned")
+	}
+}
+
+// TestFluidValidateRejects: config validation catches the usual traps.
+func TestFluidValidateRejects(t *testing.T) {
+	bad := testConfig()
+	bad.Scheme = "bbr" // no fluid twin
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a scheme with no fluid twin")
+	}
+	bad = testConfig()
+	bad.DemoteFrac = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted DemoteFrac > 1")
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config (all defaults) rejected: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+// CoarseClock is a fixed-period integrator registry that runs alongside
+// the event heap: coarse-tick models (the fluid-flow tier) advance once
+// per period while packet-level models keep per-event fidelity. The
+// clock itself is engine-agnostic — bind it to a serial Engine (a
+// Ticker drives it between packet events) or to a ShardGroup (a
+// coordinator hook drives it at barriers, when every shard is quiesced
+// at the same time, so tick functions may touch any shard's state
+// without racing a shard worker). Tick functions run in registration
+// order, which is what keeps a multi-integrator tick deterministic.
+type CoarseClock struct {
+	period Time
+	fns    []coarseFn
+	ticks  uint64
+	bound  bool
+}
+
+type coarseFn struct {
+	name string
+	fn   func(now Time)
+}
+
+// NewCoarseClock creates a clock ticking every period.
+func NewCoarseClock(period Time) *CoarseClock {
+	if period <= 0 {
+		panic("sim: non-positive coarse-clock period")
+	}
+	return &CoarseClock{period: period}
+}
+
+// Period returns the tick period.
+func (c *CoarseClock) Period() Time { return c.period }
+
+// Ticks returns how many ticks have run.
+func (c *CoarseClock) Ticks() uint64 { return c.ticks }
+
+// Register appends a named tick function. Registration order is the
+// execution order within a tick; register before binding.
+func (c *CoarseClock) Register(name string, fn func(now Time)) {
+	if fn == nil {
+		panic("sim: nil coarse tick function")
+	}
+	if c.bound {
+		panic("sim: Register after the coarse clock was bound")
+	}
+	c.fns = append(c.fns, coarseFn{name: name, fn: fn})
+}
+
+func (c *CoarseClock) tick(now Time) {
+	c.ticks++
+	for _, f := range c.fns {
+		f.fn(now)
+	}
+}
+
+// BindEngine drives the clock from a serial engine: a Ticker fires the
+// tick every period, interleaved deterministically with packet events.
+func (c *CoarseClock) BindEngine(e *Engine) *Ticker {
+	c.bind()
+	return NewTicker(e, c.period, func() { c.tick(e.Now()) })
+}
+
+// BindGroup drives the clock from a shard group's coordinator: the tick
+// runs at barriers with every shard quiesced, so integrators may read
+// packet counters and write back fluid demand on any shard. The period
+// also bounds the group's synchronization window, so ticks land exactly
+// on their due times.
+func (c *CoarseClock) BindGroup(g *ShardGroup) *GroupHook {
+	c.bind()
+	return g.Every(c.period, func() { c.tick(g.Now()) })
+}
+
+func (c *CoarseClock) bind() {
+	if c.bound {
+		panic("sim: coarse clock bound twice")
+	}
+	c.bound = true
+}

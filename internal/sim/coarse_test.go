@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// TestCoarseClockEngineBinding: ticks fire every period in registration
+// order, interleaved with the event heap.
+func TestCoarseClockEngineBinding(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCoarseClock(10 * Microsecond)
+	var order []string
+	var at []Time
+	c.Register("a", func(now Time) { order = append(order, "a"); at = append(at, now) })
+	c.Register("b", func(_ Time) { order = append(order, "b") })
+	c.BindEngine(e)
+	e.RunUntil(35 * Microsecond)
+
+	if c.Ticks() != 3 {
+		t.Fatalf("%d ticks in 35µs at a 10µs period, want 3", c.Ticks())
+	}
+	if len(order) != 6 || order[0] != "a" || order[1] != "b" || order[2] != "a" {
+		t.Fatalf("tick order %v, want a,b repeating", order)
+	}
+	for i, ts := range at {
+		if want := Time(i+1) * 10 * Microsecond; ts != want {
+			t.Fatalf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+// TestCoarseClockGroupBinding: bound to a shard group, ticks run at
+// barriers with every shard quiesced at the tick time.
+func TestCoarseClockGroupBinding(t *testing.T) {
+	g := NewShardGroup(1, 2)
+	defer g.Close()
+	c := NewCoarseClock(10 * Microsecond)
+	var ticks int
+	c.Register("probe", func(now Time) {
+		ticks++
+		for i := 0; i < g.Shards(); i++ {
+			if g.Shard(i).Now() > now {
+				t.Fatalf("shard %d at %v past the tick time %v", i, g.Shard(i).Now(), now)
+			}
+		}
+	})
+	c.BindGroup(g)
+	g.RunUntil(50 * Microsecond)
+	if ticks < 4 {
+		t.Fatalf("%d group ticks in 50µs at a 10µs period, want ≥4", ticks)
+	}
+}
+
+// TestCoarseClockMisuse: binding twice or registering after binding is
+// a build bug, caught loudly.
+func TestCoarseClockMisuse(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCoarseClock(Microsecond)
+	c.Register("x", func(Time) {})
+	c.BindEngine(e)
+	mustPanic(t, "double bind", func() { c.BindEngine(e) })
+	mustPanic(t, "late register", func() { c.Register("y", func(Time) {}) })
+	mustPanic(t, "zero period", func() { NewCoarseClock(0) })
+	mustPanic(t, "nil fn", func() { NewCoarseClock(Microsecond).Register("z", nil) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
+	"repro/internal/transport"
 )
 
 // chaosRTT is the nominal base RTT of the testbed topology (4 × 9 µs
@@ -33,6 +34,12 @@ type ChaosConfig struct {
 	// "" selects the scenario's natural topology — leaf–spine for
 	// trunk-flap, star otherwise).
 	Topology string
+
+	// Scheme selects the transport congestion control by public scheme
+	// name. Blank keeps what every chaos run used before the field
+	// existed: dcqcn on lossless scenarios/fabrics, dctcp elsewhere.
+	// Lossless schemes (dcqcn) imply the PFC fabric.
+	Scheme string
 
 	Seed int64
 	// Shards partitions the run across parallel engine shards (0/1 =
@@ -92,6 +99,19 @@ func scenarioInfo(name string) faults.ScenarioInfo {
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
+	if scenarioInfo(c.Scenario).Lossless {
+		c.Lossless = true
+	}
+	if c.Scheme == "" {
+		// What every chaos run used before the field existed: dcqcn on
+		// the PFC fabric (the CC lossless fabrics deploy), dctcp
+		// elsewhere — keeps pre-scheme golden digests byte-identical.
+		if c.Lossless {
+			c.Scheme = "dcqcn"
+		} else {
+			c.Scheme = "dctcp"
+		}
+	}
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
@@ -113,9 +133,6 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 		if c.Scenario == "trunk-flap" {
 			c.RecoveryRTTBudget = 150
 		}
-	}
-	if scenarioInfo(c.Scenario).Lossless {
-		c.Lossless = true
 	}
 	if c.VerifyReplay && c.DigestEvery == 0 {
 		c.DigestEvery = 500 * sim.Microsecond
@@ -235,9 +252,17 @@ func runChaos(cfg ChaosConfig) (ChaosResult, *snapshot.Timeline, error) {
 	if err != nil {
 		return ChaosResult{}, nil, err
 	}
+	scheme, err := transport.SchemeByName(cfg.Scheme)
+	if err != nil {
+		return ChaosResult{}, nil, err
+	}
 	wd := core.DefaultWatchdogConfig()
 	opts := DefaultOptions()
 	opts.Seed = cfg.Seed
+	opts.CC = scheme.Factory()
+	if scheme.Lossless {
+		cfg.Lossless = true
+	}
 	opts.HostCC = true
 	opts.Degree = cfg.Degree
 	opts.Topology = fabric.Topology{Kind: topoKind}
@@ -409,6 +434,7 @@ func chaosMeta(cfg ChaosConfig, scenarioKey, topology string) map[string]string 
 	return map[string]string{
 		"scenario":       scenarioKey,
 		"topology":       topology,
+		"scheme":         cfg.Scheme,
 		"seed":           strconv.FormatInt(cfg.Seed, 10),
 		"degree":         strconv.FormatFloat(cfg.Degree, 'g', -1, 64),
 		"faultAt":        strconv.FormatInt(int64(cfg.FaultAt), 10),
@@ -451,7 +477,10 @@ func chaosConfigFromCheckpoint(ck *snapshot.Checkpoint) (ChaosConfig, error) {
 		// Checkpoints from before the topology field carry no key; the
 		// blank value selects the scenario's natural topology, which is
 		// what those runs used.
-		Topology:          ck.Get("topology"),
+		Topology: ck.Get("topology"),
+		// Checkpoints from before the scheme field carry no key; the blank
+		// value re-selects dctcp, which is what those runs used.
+		Scheme:            ck.Get("scheme"),
 		Seed:              geti("seed"),
 		Degree:            degree,
 		FaultAt:           sim.Time(geti("faultAt")),

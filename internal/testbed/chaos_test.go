@@ -193,3 +193,23 @@ func TestChaosUnknownScenario(t *testing.T) {
 		t.Fatal("unknown scenario did not error")
 	}
 }
+
+// TestChaosBBRLinkFlapRecovers pins the BBR idle-restart fix at system
+// level: a link flap silences the path long past the 10 s RTprop filter
+// window's worth of samples, and before the fix the pinned stale RTprop
+// (measured on an idle, queue-free path) capped the post-fault inflight
+// so hard that goodput never returned to baseline. With the filter
+// expiring on idle restart, BBR must ride through the flap and recover
+// inside the standard budget.
+func TestChaosBBRLinkFlapRecovers(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{Scenario: "link-flap", Scheme: "bbr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if !res.Recovered {
+		t.Fatalf("BBR did not recover from link-flap: %s", res)
+	}
+}

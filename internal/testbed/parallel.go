@@ -317,5 +317,12 @@ func newSharded(opts Options) *Testbed {
 		}
 	}
 
+	// The fluid tier binds to the group: ticks run at coordinator
+	// barriers with every shard quiesced, so the integrator may touch any
+	// shard's seams and the twin connections safely.
+	if opts.FluidBackground != nil {
+		tb.buildFluid()
+	}
+
 	return tb
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
+	"repro/internal/transport"
 )
 
 // ScaleOutConfig parameterizes a scale-out run: many senders fanning
@@ -30,6 +31,19 @@ type ScaleOutConfig struct {
 	Receivers int
 	Flows     int
 
+	// Scheme selects the transport congestion control by public scheme
+	// name ("" = dctcp). Lossless schemes (dcqcn) run on their native PFC
+	// fabric with the pause watchdog armed, as in the evaluation harness.
+	Scheme string
+
+	// FluidHosts, when > 0, enables the hybrid fluid/packet tier with
+	// that many virtual background hosts. FluidFlows sets the background
+	// flow count (0 = 4 × FluidHosts); FluidPromotable gives that many
+	// lead flows packet-level twins that promote under congestion.
+	FluidHosts      int
+	FluidFlows      int
+	FluidPromotable int
+
 	Seed int64
 	// Shards partitions the run across parallel engine shards (0/1 =
 	// classic serial engine). Requires a multi-switch topology.
@@ -53,6 +67,9 @@ type ScaleOutConfig struct {
 func (c ScaleOutConfig) withDefaults() ScaleOutConfig {
 	if c.Topology == "" {
 		c.Topology = "leafspine"
+	}
+	if c.Scheme == "" {
+		c.Scheme = "dctcp"
 	}
 	if c.Senders == 0 {
 		c.Senders = 32
@@ -89,8 +106,17 @@ type ScaleOutResult struct {
 	Senders   int
 	Receivers int
 	Flows     int
+	Scheme    string
 	Seed      int64
 	Shards    int
+
+	// Fluid tier outputs (zero without FluidHosts): background flow
+	// count, their aggregate goodput over the whole run, and how many
+	// promote/demote transitions the run saw.
+	FluidFlows       int
+	FluidGoodputGbps float64
+	Promotions       uint64
+	Demotions        uint64
 
 	// Aggregate NetApp-T goodput over the measurement window, and the
 	// in-fabric congestion it produced.
@@ -128,11 +154,16 @@ func (r ScaleOutResult) String() string {
 	if r.Shards > 1 {
 		shape = fmt.Sprintf("%s x%d shards", r.Topology, r.Shards)
 	}
+	fl := ""
+	if r.FluidFlows > 0 {
+		fl = fmt.Sprintf("; fluid %d flows %.1f Gbps (%d promote, %d demote)",
+			r.FluidFlows, r.FluidGoodputGbps, r.Promotions, r.Demotions)
+	}
 	return fmt.Sprintf(
-		"%s (%d switches, %d trunks): %d senders -> %d receivers, %d flows: %.1f Gbps; switch drops=%d marks=%d rto=%d retx=%d; digest %#016x over %d frames%s",
-		shape, r.Switches, r.Trunks, r.Senders, r.Receivers, r.Flows,
+		"%s %s (%d switches, %d trunks): %d senders -> %d receivers, %d flows: %.1f Gbps; switch drops=%d marks=%d rto=%d retx=%d%s; digest %#016x over %d frames%s",
+		shape, r.Scheme, r.Switches, r.Trunks, r.Senders, r.Receivers, r.Flows,
 		r.ThroughputGbps, r.SwitchDrops, r.SwitchMarks, r.NetTimeouts, r.NetRetx,
-		r.Digest, r.Frames, v)
+		fl, r.Digest, r.Frames, v)
 }
 
 // RunScaleOut executes one scale-out run (twice under VerifyReplay) and
@@ -168,9 +199,20 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 		return ScaleOutResult{}, nil, err
 	}
 	topo := fabric.Topology{Kind: kind, Leaves: cfg.Leaves, Spines: cfg.Spines}
+	scheme, err := transport.SchemeByName(cfg.Scheme)
+	if err != nil {
+		return ScaleOutResult{}, nil, err
+	}
 
 	opts := DefaultOptions()
 	opts.Seed = cfg.Seed
+	opts.CC = scheme.Factory()
+	if scheme.Lossless {
+		// DCQCN runs on its native lossless fabric, watchdog armed, the
+		// same pairing the evaluation harness uses.
+		opts.Lossless = true
+		opts.PauseWatchdog = 150 * sim.Microsecond
+	}
 	opts.HostCC = true
 	opts.Degree = cfg.Degree
 	opts.Topology = topo
@@ -183,6 +225,13 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 	// park most flows for the entire measurement window.
 	opts.MinRTO = sim.Millisecond
 	opts.Shards = cfg.Shards
+	if cfg.FluidHosts > 0 {
+		opts.FluidBackground = &FluidBackground{
+			Hosts:      cfg.FluidHosts,
+			Flows:      cfg.FluidFlows,
+			Promotable: cfg.FluidPromotable,
+		}
+	}
 	if err := opts.Validate(); err != nil {
 		return ScaleOutResult{}, nil, err
 	}
@@ -196,6 +245,7 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 		Senders:   opts.Senders,
 		Receivers: opts.Receivers,
 		Flows:     opts.Flows,
+		Scheme:    scheme.Name,
 		Seed:      opts.Seed,
 		Shards:    opts.Shards,
 	}
@@ -227,6 +277,19 @@ func runScaleOut(cfg ScaleOutConfig) (ScaleOutResult, *snapshot.Timeline, error)
 	res.MaxPending = tb.MaxPendingEvents()
 	res.HeapCap = tb.EventHeapCap()
 	res.Events = tb.Processed()
+	if tb.FluidNet != nil {
+		res.FluidFlows = tb.FluidNet.Flows()
+		elapsed := tb.Now().Seconds()
+		if elapsed > 0 {
+			delivered := tb.FluidNet.DeliveredBytes()
+			if tb.FluidTwins != nil {
+				delivered += float64(tb.FluidTwins.DeliveredBytes())
+			}
+			res.FluidGoodputGbps = delivered * 8 / elapsed / 1e9
+		}
+		res.Promotions = tb.FluidNet.Promotions()
+		res.Demotions = tb.FluidNet.Demotions()
+	}
 
 	for _, h := range tb.HCCs {
 		h.Stop()

@@ -1,0 +1,39 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestShardedSchemeReplay audits the cross-shard telemetry paths of the
+// stateful schemes: HPCC's INT stamps accumulate per hop and cross
+// trunk boundaries inside the packet, DCQCN's CNPs travel the reverse
+// path from receiver NIC to sender, and BBR's bandwidth/RTprop filters
+// integrate delivery samples whose segments crossed shards. Each scheme
+// runs a 4-shard leaf–spine incast twice; the digest timelines must
+// reproduce frame for frame — any shard-boundary nondeterminism in the
+// stamp/CNP/sample paths shows up as the most upstream divergent
+// component.
+func TestShardedSchemeReplay(t *testing.T) {
+	for _, scheme := range []string{"bbr", "hpcc", "dcqcn"} {
+		t.Run(scheme, func(t *testing.T) {
+			res, err := RunScaleOut(ScaleOutConfig{
+				Scheme:  scheme,
+				Senders: 8, Receivers: 2, Flows: 8,
+				Shards: 4,
+				Warmup: sim.Millisecond, Measure: 3 * sim.Millisecond,
+				VerifyReplay: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s: 4-shard replay not verified", scheme)
+			}
+			if res.ThroughputGbps <= 0 {
+				t.Fatalf("%s: no goodput measured", scheme)
+			}
+		})
+	}
+}

@@ -54,6 +54,9 @@ func (tb *Testbed) Registry() *snapshot.Registry {
 		}
 		reg.Register(name, h)
 	}
+	if tb.FluidNet != nil {
+		reg.Register("fluid", tb.FluidNet)
+	}
 	if tb.Injector != nil {
 		reg.Register("faults", tb.Injector)
 		// Sharded runs arm one injector per shard; shard 0's is "faults"

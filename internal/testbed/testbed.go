@@ -13,6 +13,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/fluid"
 	"repro/internal/host"
 	"repro/internal/iommu"
 	"repro/internal/msr"
@@ -89,6 +90,13 @@ type Config struct {
 	// registration is always on (it costs nothing per event); the tracer
 	// is opt-in because it records per-packet state.
 	Telemetry bool
+
+	// FluidBackground, when non-nil, adds the hybrid fluid/packet tier: a
+	// background flow population advanced as rate ODEs on coarse ticks,
+	// coupled to the packet fabric through conservation seams (see
+	// fluid.go). nil runs the pure packet testbed, byte-identical to
+	// before.
+	FluidBackground *FluidBackground
 
 	// CC is the network congestion control (nil = DCTCP).
 	CC transport.CCFactory
@@ -235,6 +243,11 @@ func (o Config) Validate() error {
 			return err
 		}
 	}
+	if o.FluidBackground != nil {
+		if err := o.FluidBackground.validate(o.MTU); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -317,6 +330,14 @@ type Testbed struct {
 	Injectors []*faults.Injector
 	// Inv is the invariant checker (nil without Options.Invariants).
 	Inv *core.InvariantChecker
+
+	// FluidNet is the fluid background tier (nil without
+	// Config.FluidBackground); FluidTwins holds the promotable flows'
+	// packet twins (nil when Promotable is 0) and FluidClock the coarse
+	// tick driver.
+	FluidNet   *fluid.Network
+	FluidTwins *apps.FluidTwins
+	FluidClock *sim.CoarseClock
 
 	// Reg indexes every instrument of the testbed (always built — a
 	// registered instrument is a name plus a read closure, with no
@@ -646,6 +667,10 @@ func New(opts Options) *Testbed {
 				"instantaneous queue depth behind this trunk port",
 				func() float64 { return float64(tp.Sw.PortQueueBytes(tp.Port)) })
 		}
+	}
+
+	if opts.FluidBackground != nil {
+		tb.buildFluid()
 	}
 
 	return tb

@@ -286,10 +286,17 @@ func (b *bbr) OnAck(ev AckEvent) {
 	}
 	now := b.e.Now()
 
+	// Idle restart: an ACK silence longer than the RTprop window (a link
+	// flap, a fault window, an app pause) invalidates the windowed min —
+	// the path may have changed while no sample could observe it, and
+	// probe-RTT only refreshes the estimate's age, never the pinned
+	// minimum itself. Restart the filter from the first post-idle sample.
+	idleRestart := b.lastAckAt > 0 && now-b.lastAckAt > b.cfg.RTpropWindow
+
 	// Delivery-rate sample: acknowledged bytes over the inter-ACK gap.
 	// With delayed ACKs the gap is the bottleneck's serialization time
 	// for the acked bytes, so the sample tracks the bottleneck rate.
-	if b.lastAckAt > 0 && now > b.lastAckAt {
+	if b.lastAckAt > 0 && now > b.lastAckAt && !idleRestart {
 		bw := sim.Rate(float64(ev.Bytes) / (now - b.lastAckAt).Seconds())
 		if bw > b.cfg.LineRate {
 			bw = b.cfg.LineRate
@@ -301,8 +308,8 @@ func (b *bbr) OnAck(ev AckEvent) {
 	b.lastAckAt = now
 
 	// RTprop: windowed min, refreshed whenever an equal-or-lower sample
-	// arrives.
-	if ev.RTT > 0 && (b.rtProp <= 0 || ev.RTT <= b.rtProp) {
+	// arrives, and rebuilt from scratch after an idle restart.
+	if ev.RTT > 0 && (b.rtProp <= 0 || ev.RTT <= b.rtProp || idleRestart) {
 		b.rtProp = ev.RTT
 		b.rtPropAt = now
 	}

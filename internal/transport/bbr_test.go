@@ -160,6 +160,41 @@ func TestBBRProbeRTTOnStaleEstimate(t *testing.T) {
 	}
 }
 
+// TestBBRIdleRestartExpiresRTprop: a long ACK silence (a link flap's
+// fault window) must expire the windowed-min RTprop filter. Before the
+// fix the first post-idle sample could never raise the pinned minimum —
+// probe-rtt refreshed the estimate's age but kept the stale value — so
+// a path whose floor RTT rose during the outage kept a cwnd cap sized
+// for the old path forever.
+func TestBBRIdleRestartExpiresRTprop(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := newTestBBR(e)
+	cfg := DefaultBBRConfig()
+
+	// Establish a 50 µs floor.
+	for i := 0; i < cfg.FullBwRounds+3; i++ {
+		ackRound(e, b, sim.Gbps(25), 50*sim.Microsecond, 4)
+	}
+	if b.RTprop() != 50*sim.Microsecond {
+		t.Fatalf("RTprop %v before the flap, want 50µs", b.RTprop())
+	}
+
+	// Link flap: no ACKs for well over the RTprop window.
+	e.RunUntil(e.Now() + 4*cfg.RTpropWindow)
+
+	// The path came back slower: 200 µs floor. The first post-idle
+	// samples must rebuild the filter at the new floor, not stay pinned.
+	ackRound(e, b, sim.Gbps(25), 200*sim.Microsecond, 2)
+	if b.RTprop() != 200*sim.Microsecond {
+		t.Fatalf("RTprop %v after idle restart, want 200µs (stale minimum pinned)", b.RTprop())
+	}
+	// And the windowed min still works on the new path.
+	ackRound(e, b, sim.Gbps(25), 180*sim.Microsecond, 1)
+	if b.RTprop() != 180*sim.Microsecond {
+		t.Fatalf("RTprop %v, want the post-restart min 180µs", b.RTprop())
+	}
+}
+
 // TestBBRLossResponses: fast retransmit is not a signal; an RTO halves
 // the bandwidth window.
 func TestBBRLossResponses(t *testing.T) {

@@ -70,6 +70,15 @@ type CNPReceiver interface {
 	OnCNP()
 }
 
+// RateSeeder is implemented by controllers that can be seeded from a
+// fluid-model rate estimate when the hybrid tier promotes a flow to
+// packet level: the window starts at the rate×RTT product instead of
+// the initial window, so a promoted long flow does not re-run slow
+// start against a queue the fluid model already measured.
+type RateSeeder interface {
+	SeedRate(rate sim.Rate, rtt sim.Time)
+}
+
 // reno implements TCP New Reno-style AIMD: slow start to ssthresh, then
 // one MSS per RTT of additive increase; halve on loss.
 type reno struct {
@@ -115,6 +124,21 @@ func (r *reno) OnAck(ev AckEvent) {
 		r.acc -= r.cwnd
 		r.cwnd += r.mss
 	}
+}
+
+// SeedRate implements RateSeeder: the window jumps to the fluid rate's
+// BDP and congestion avoidance takes over from there (ssthresh at the
+// seeded window disables slow start — the fluid estimate already found
+// the operating point; overshooting it would re-create the congestion
+// the promotion reacted to).
+func (r *reno) SeedRate(rate sim.Rate, rtt sim.Time) {
+	w := int(rate.BytesIn(rtt))
+	if w < 2*r.mss {
+		w = 2 * r.mss
+	}
+	r.cwnd = w
+	r.ssthresh = w
+	r.acc = 0
 }
 
 func (r *reno) OnLoss(l LossEvent) {

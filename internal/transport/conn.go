@@ -212,6 +212,14 @@ func (c *Conn) SetInfiniteSource(on bool) {
 	}
 }
 
+// SeedRate forwards a fluid-model rate estimate to the congestion
+// controller, if it supports seeding (the hybrid tier's promote path).
+func (c *Conn) SeedRate(rate sim.Rate, rtt sim.Time) {
+	if s, ok := c.cc.(RateSeeder); ok {
+		s.SeedRate(rate, rtt)
+	}
+}
+
 // Flight returns the bytes currently in flight.
 func (c *Conn) Flight() int { return int(c.sndNxt - c.sndUna) }
 

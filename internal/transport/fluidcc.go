@@ -1,0 +1,104 @@
+// Fluid congestion-control twins: the coarse-tick rate laws the hybrid
+// fluid/packet tier integrates for background flows. A twin is the ODE
+// form of its packet-level controller — instead of reacting per ACK it
+// advances a sending rate once per model RTT, responding to the mark
+// and loss fractions its path's fluid queues produced over that window.
+// Twins are stateless rate laws (per-flow state — rate, alpha — lives
+// in the fluid network), so one twin instance serves a whole population.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FluidCC advances one flow's rate by one RTT window. rate is bytes/sec;
+// alpha is the flow's smoothed congestion estimate (DCTCP's α; unused
+// twins return it unchanged); markFrac and lossFrac are the fractions
+// of the window's ticks during which the path marked or overflowed.
+type FluidCC interface {
+	Name() string
+	Advance(rate, alpha, markFrac, lossFrac float64) (newRate, newAlpha float64)
+}
+
+// fluidDCTCP mirrors the packet-level dctcp controller: α smoothed with
+// gain g toward the observed mark fraction, one multiplicative decrease
+// of α/2 per marked window, one MSS per RTT of additive increase
+// otherwise. Loss (queue overflow) responds like Reno — halve — since
+// drop-tail loss is the stronger signal.
+type fluidDCTCP struct {
+	g    float64
+	incr float64 // additive increase per window, bytes/sec
+}
+
+// NewFluidDCTCP returns the DCTCP twin: gain g (0 selects the packet
+// controller's default 1/16), additive increase of one mss per rtt.
+func NewFluidDCTCP(g float64, mss int, rtt sim.Time) FluidCC {
+	if g <= 0 || g > 1 {
+		g = 1.0 / 16
+	}
+	return &fluidDCTCP{g: g, incr: aiPerWindow(mss, rtt)}
+}
+
+func (f *fluidDCTCP) Name() string { return "dctcp" }
+
+func (f *fluidDCTCP) Advance(rate, alpha, markFrac, lossFrac float64) (float64, float64) {
+	alpha = (1-f.g)*alpha + f.g*markFrac
+	switch {
+	case lossFrac > 0:
+		rate *= 0.5
+	case markFrac > 0:
+		rate *= 1 - alpha/2
+	default:
+		rate += f.incr
+	}
+	return rate, alpha
+}
+
+// fluidReno mirrors the packet-level reno controller: AIMD on loss only
+// (reno ignores ECN marks; against a marking switch it fills the buffer
+// until drop-tail loss, and the fluid queue model reproduces exactly
+// that overflow).
+type fluidReno struct {
+	incr float64
+}
+
+// NewFluidReno returns the Reno twin.
+func NewFluidReno(mss int, rtt sim.Time) FluidCC {
+	return &fluidReno{incr: aiPerWindow(mss, rtt)}
+}
+
+func (f *fluidReno) Name() string { return "reno" }
+
+func (f *fluidReno) Advance(rate, alpha, _, lossFrac float64) (float64, float64) {
+	if lossFrac > 0 {
+		rate *= 0.5
+	} else {
+		rate += f.incr
+	}
+	return rate, alpha
+}
+
+// aiPerWindow converts "one mss per rtt of window growth" into a rate
+// increment per RTT window: Δrate = mss/rtt.
+func aiPerWindow(mss int, rtt sim.Time) float64 {
+	if mss <= 0 {
+		panic("transport: non-positive fluid MSS")
+	}
+	if rtt <= 0 {
+		panic("transport: non-positive fluid RTT")
+	}
+	return float64(mss) / rtt.Seconds()
+}
+
+// FluidSchemeByName resolves a fluid twin by its packet scheme name.
+func FluidSchemeByName(name string, mss int, rtt sim.Time) (FluidCC, error) {
+	switch name {
+	case "", "dctcp":
+		return NewFluidDCTCP(0, mss, rtt), nil
+	case "reno":
+		return NewFluidReno(mss, rtt), nil
+	}
+	return nil, fmt.Errorf("transport: no fluid twin for scheme %q (have dctcp, reno)", name)
+}
